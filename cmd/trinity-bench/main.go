@@ -1,0 +1,80 @@
+// Command trinity-bench regenerates the tables and figures of the
+// paper's evaluation section (§7) on the simulated cluster.
+//
+// Usage:
+//
+//	trinity-bench                 # run everything at the default scale
+//	trinity-bench -scale 4        # larger graphs (closer to paper shapes)
+//	trinity-bench -run fig12b     # one experiment
+//	trinity-bench -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"trinity/internal/bench"
+)
+
+var experiments = map[string]func(bench.Scale) (*bench.Table, error){
+	"fig8a":  bench.Fig8a,
+	"fig8b":  bench.Fig8b,
+	"fig12a": bench.Fig12a,
+	"fig12b": bench.Fig12b,
+	"fig12c": bench.Fig12c,
+	"fig12d": bench.Fig12d,
+	"fig13":  bench.Fig13,
+	"fig14a": bench.Fig14a,
+	"fig14b": bench.Fig14b,
+	"3hop":   bench.ThreeHop,
+	"msgopt": bench.MsgOptAblation,
+}
+
+func main() {
+	scale := flag.Int("scale", 1, "scale factor (1 = quick, 4+ = closer to paper shapes)")
+	run := flag.String("run", "", "comma-separated experiment names (default: all)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	names := make([]string, 0, len(experiments))
+	for name := range experiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if *list {
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	selected := names
+	if *run != "" {
+		selected = strings.Split(*run, ",")
+	}
+	s := bench.Scale{Factor: *scale}
+	failed := false
+	for _, name := range selected {
+		fn, ok := experiments[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "trinity-bench: unknown experiment %q (use -list)\n", name)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		table, err := fn(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trinity-bench: %s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		table.Print(os.Stdout)
+		fmt.Printf("  (experiment wall time: %s)\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,184 @@
+// Command trinityd hosts a Trinity memory cloud and serves it to external
+// clients over a line-oriented TCP protocol — the "Trinity client"
+// interaction tier of the paper's Figure 1, where applications link a
+// client library and talk to the slave/proxy tier over the network.
+//
+// Start a daemon:
+//
+//	trinityd -machines 8 -listen 127.0.0.1:7700
+//
+// Then from any TCP client (e.g. nc):
+//
+//	SET 42 hello          -> OK
+//	GET 42                -> VALUE hello
+//	APPEND 42 ,world      -> OK
+//	DEL 42                -> OK
+//	KHOP <node> <hops>    -> VISITED <n>   (over cells that are graph nodes)
+//	STATS                 -> cluster counters
+//	QUIT
+//
+// Keys are decimal cell IDs; values are raw bytes to end of line.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+
+	"trinity/internal/compute/traversal"
+	"trinity/internal/graph"
+	"trinity/internal/memcloud"
+)
+
+func main() {
+	machines := flag.Int("machines", 4, "simulated machines in the cloud")
+	listen := flag.String("listen", "127.0.0.1:7700", "client listen address")
+	flag.Parse()
+
+	cloud := memcloud.New(memcloud.Config{Machines: *machines})
+	defer cloud.Close()
+	g := graph.New(cloud, true)
+	trav := traversal.New(g)
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trinityd: %d-machine memory cloud serving on %s", *machines, l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go serve(conn, cloud, g, trav)
+	}
+}
+
+func serve(conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal.Engine) {
+	defer conn.Close()
+	s := cloud.Slave(0)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	w := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) {
+		fmt.Fprintf(w, format+"\r\n", args...)
+		w.Flush()
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(cmd) {
+		case "SET", "APPEND":
+			keyStr, val, ok := strings.Cut(rest, " ")
+			key, err := strconv.ParseUint(keyStr, 10, 64)
+			if !ok || err != nil {
+				reply("ERR usage: %s <key> <value>", strings.ToUpper(cmd))
+				continue
+			}
+			if strings.EqualFold(cmd, "SET") {
+				err = s.Put(key, []byte(val))
+			} else {
+				err = s.Append(key, []byte(val))
+			}
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK")
+		case "GET":
+			key, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				reply("ERR usage: GET <key>")
+				continue
+			}
+			val, err := s.Get(key)
+			if errors.Is(err, memcloud.ErrNotFound) {
+				reply("NOT_FOUND")
+				continue
+			}
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("VALUE %s", val)
+		case "DEL":
+			key, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				reply("ERR usage: DEL <key>")
+				continue
+			}
+			if err := s.Remove(key); err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK")
+		case "ADDNODE":
+			key, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				reply("ERR usage: ADDNODE <id>")
+				continue
+			}
+			if err := g.On(0).PutNode(&graph.Node{ID: key}); err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK")
+		case "ADDEDGE":
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				reply("ERR usage: ADDEDGE <src> <dst>")
+				continue
+			}
+			src, err1 := strconv.ParseUint(parts[0], 10, 64)
+			dst, err2 := strconv.ParseUint(parts[1], 10, 64)
+			if err1 != nil || err2 != nil {
+				reply("ERR usage: ADDEDGE <src> <dst>")
+				continue
+			}
+			if err := g.On(0).AddEdge(src, dst); err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK")
+		case "KHOP":
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				reply("ERR usage: KHOP <node> <hops>")
+				continue
+			}
+			node, err1 := strconv.ParseUint(parts[0], 10, 64)
+			hops, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				reply("ERR usage: KHOP <node> <hops>")
+				continue
+			}
+			n, err := trav.KHopNeighborhoodSize(0, node, hops)
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("VISITED %d", n)
+		case "STATS":
+			st := cloud.Stats()
+			reply("STATS local=%d remote=%d retries=%d recoveries=%d mem=%dB",
+				st.LocalOps, st.RemoteOps, st.Retries, st.Recoveries, cloud.MemoryUsage())
+		case "BACKUP":
+			if err := cloud.Backup(); err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK")
+		case "QUIT":
+			reply("BYE")
+			return
+		case "":
+		default:
+			reply("ERR unknown command %q", cmd)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command peoplesearch reproduces the paper's motivating online query
+// (§5.1): on a Facebook-like social graph, find anyone named David among
+// a user's friends, friends-of-friends, and friends-of-friends-of-friends
+// — with no index, by exploring the memory cloud in real time.
+//
+//	go run ./examples/peoplesearch [-people 20000] [-degree 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"trinity/internal/compute/traversal"
+	"trinity/internal/gen"
+	"trinity/internal/graph"
+	"trinity/internal/hash"
+	"trinity/internal/memcloud"
+)
+
+func main() {
+	people := flag.Int("people", 20000, "social graph size")
+	degree := flag.Int("degree", 50, "average friend count")
+	name := flag.String("name", "David", "first name to search for")
+	flag.Parse()
+
+	cloud := memcloud.New(memcloud.Config{Machines: 8})
+	defer cloud.Close()
+
+	fmt.Printf("building a %d-person social graph (avg degree %d) on 8 machines...\n",
+		*people, *degree)
+	b := graph.NewBuilder(false)
+	gen.BuildSocial(gen.SocialConfig{People: *people, AvgDegree: *degree, Seed: 42}, b)
+	g, err := b.Load(cloud)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := traversal.New(g)
+
+	me := uint64(7) // an arbitrary member
+	myName, _ := g.On(0).Name(me)
+	fmt.Printf("logged in as %q\n\n", myName)
+
+	label := int64(hash.String(*name))
+	for hops := 1; hops <= 3; hops++ {
+		start := time.Now()
+		matches, err := t.PeopleSearch(0, me, label, hops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		ball, _ := t.Explore(0, me, hops, traversal.Predicate{})
+		fmt.Printf("%d-hop search: %3d %ss among %6d people, in %s\n",
+			hops, len(matches), *name, ball.Visited, elapsed.Round(time.Microsecond))
+		if hops == 3 {
+			for i, id := range matches {
+				if i == 5 {
+					fmt.Printf("  ... and %d more\n", len(matches)-5)
+					break
+				}
+				full, _ := g.On(0).Name(id)
+				fmt.Printf("  found: %s\n", full)
+			}
+		}
+	}
+}

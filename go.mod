@@ -1,0 +1,3 @@
+module trinity
+
+go 1.22

@@ -1,0 +1,461 @@
+package algo
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"trinity/internal/gen"
+	"trinity/internal/graph"
+	"trinity/internal/memcloud"
+	"trinity/internal/msg"
+)
+
+func newCloud(t testing.TB, machines int) *memcloud.Cloud {
+	c := memcloud.New(memcloud.Config{
+		Machines: machines,
+		Msg:      msg.Options{FlushInterval: time.Millisecond, CallTimeout: 10 * time.Second},
+	})
+	t.Cleanup(c.Close)
+	return c
+}
+
+func loadUniform(t testing.TB, cloud *memcloud.Cloud, nodes, deg, labels int, seed uint64) *graph.Graph {
+	b := graph.NewBuilder(true)
+	gen.BuildUniform(gen.UniformConfig{Nodes: nodes, AvgDegree: deg, Seed: seed}, labels, b)
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPageRankRanksHubsHigher(t *testing.T) {
+	cloud := newCloud(t, 3)
+	// Star graph: everyone points at node 0.
+	b := graph.NewBuilder(true)
+	const n = 50
+	for i := uint64(0); i < n; i++ {
+		b.AddNode(i, 0, "")
+	}
+	for i := uint64(1); i < n; i++ {
+		b.AddEdge(i, 0)
+	}
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PageRank(g, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := res.Ranks[0]
+	for i := uint64(1); i < n; i++ {
+		if res.Ranks[i] >= hub {
+			t.Fatalf("leaf %d rank %.3f >= hub rank %.3f", i, res.Ranks[i], hub)
+		}
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	cloud := newCloud(t, 3)
+	// Binary-ish tree: i -> 2i+1, 2i+2 for i < 15 (31 nodes).
+	b := graph.NewBuilder(true)
+	for i := uint64(0); i < 31; i++ {
+		b.AddNode(i, 0, "")
+	}
+	for i := uint64(0); i < 15; i++ {
+		b.AddEdge(i, 2*i+1)
+		b.AddEdge(i, 2*i+2)
+	}
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != 31 {
+		t.Fatalf("reached = %d", res.Reached)
+	}
+	for id, lvl := range res.Levels {
+		want := float64(bitsLen(id+1) - 1)
+		if lvl != want {
+			t.Fatalf("level(%d) = %v, want %v", id, lvl, want)
+		}
+	}
+}
+
+func bitsLen(x uint64) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	cloud := newCloud(t, 2)
+	b := graph.NewBuilder(true)
+	b.AddNode(1, 0, "")
+	b.AddNode(2, 0, "")
+	b.AddNode(3, 0, "")
+	b.AddEdge(1, 2)
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(g, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != 2 {
+		t.Fatalf("reached = %d", res.Reached)
+	}
+	if res.Levels[3] != Unreached {
+		t.Fatalf("level(3) = %v", res.Levels[3])
+	}
+}
+
+func TestBFSWithHubOptimizationMatches(t *testing.T) {
+	cloud1 := newCloud(t, 4)
+	g1 := loadUniform(t, cloud1, 400, 5, 0, 7)
+	plain, err := BFS(g1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud2 := newCloud(t, 4)
+	g2 := loadUniform(t, cloud2, 400, 5, 0, 7)
+	hub, err := BFS(g2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Reached != hub.Reached {
+		t.Fatalf("reached differ: %d vs %d", plain.Reached, hub.Reached)
+	}
+	for id, v := range plain.Levels {
+		if hub.Levels[id] != v {
+			t.Fatalf("level(%d): %v plain vs %v hub", id, v, hub.Levels[id])
+		}
+	}
+}
+
+func TestSSSPWeighted(t *testing.T) {
+	cloud := newCloud(t, 2)
+	b := graph.NewBuilder(true)
+	// 1 -> 2 (w 10), 1 -> 3 (w 1), 3 -> 2 (w 2): shortest 1->2 is 3.
+	b.AddWeightedEdge(1, 2, 10)
+	b.AddWeightedEdge(1, 3, 1)
+	b.AddWeightedEdge(3, 2, 2)
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SSSP(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[2] != 3 {
+		t.Fatalf("dist(2) = %v, want 3", res.Dist[2])
+	}
+	if res.Dist[3] != 1 {
+		t.Fatalf("dist(3) = %v", res.Dist[3])
+	}
+}
+
+func TestSSSPUnweightedEqualsBFS(t *testing.T) {
+	cloud := newCloud(t, 3)
+	g := loadUniform(t, cloud, 300, 4, 0, 3)
+	bfs, err := BFS(g, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sssp, err := SSSP(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, lvl := range bfs.Levels {
+		d := sssp.Dist[id]
+		if lvl == Unreached {
+			if !math.IsInf(d, 1) {
+				t.Fatalf("vertex %d: BFS unreached but SSSP %v", id, d)
+			}
+			continue
+		}
+		if d != lvl {
+			t.Fatalf("vertex %d: BFS %v != SSSP %v", id, lvl, d)
+		}
+	}
+}
+
+func TestWCC(t *testing.T) {
+	cloud := newCloud(t, 3)
+	// Two components: ring 0..9 and ring 100..104 (undirected).
+	b := graph.NewBuilder(false)
+	for i := uint64(0); i < 10; i++ {
+		b.AddEdge(i, (i+1)%10)
+	}
+	for i := uint64(100); i < 105; i++ {
+		b.AddEdge(i, 100+((i+1)-100)%5)
+	}
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WCC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 2 {
+		t.Fatalf("components = %d, want 2", res.Components)
+	}
+	if res.Component[0] != 9 || res.Component[104] != 104 {
+		t.Fatalf("labels: %v %v", res.Component[0], res.Component[104])
+	}
+}
+
+func TestGenerateQueryHasEmbedding(t *testing.T) {
+	cloud := newCloud(t, 2)
+	g := loadUniform(t, cloud, 300, 8, 5, 3)
+	for _, mode := range []QueryGenMode{GenDFS, GenRandom} {
+		p, err := GenerateQuery(g, 5, mode, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Size() != 5 {
+			t.Fatalf("query size = %d", p.Size())
+		}
+		edges := p.edges()
+		if len(edges) < 4 {
+			t.Fatalf("query has %d edges, want a connected pattern", len(edges))
+		}
+		mt := NewMatcher(g)
+		matches, err := mt.Match(0, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) == 0 {
+			t.Fatalf("mode %v: no embedding found for an extracted pattern", mode)
+		}
+		verifyEmbedding(t, g, p, matches[0])
+	}
+}
+
+func verifyEmbedding(t *testing.T, g *graph.Graph, p *Pattern, m []uint64) {
+	t.Helper()
+	seen := map[uint64]bool{}
+	for qi, did := range m {
+		if seen[did] {
+			t.Fatalf("embedding not injective: %v", m)
+		}
+		seen[did] = true
+		l, err := g.On(0).Label(did)
+		if err != nil || l != p.Labels[qi] {
+			t.Fatalf("query %d: label %d != %d", qi, l, p.Labels[qi])
+		}
+	}
+	for u, vs := range p.Out {
+		out, err := g.On(0).Outlinks(m[u])
+		if err != nil {
+			t.Fatal(err)
+		}
+		outSet := map[uint64]bool{}
+		for _, o := range out {
+			outSet[o] = true
+		}
+		for _, v := range vs {
+			if !outSet[m[v]] {
+				t.Fatalf("embedding misses edge %d->%d (%d->%d)", u, v, m[u], m[v])
+			}
+		}
+	}
+}
+
+func TestMatchCountsTriangles(t *testing.T) {
+	cloud := newCloud(t, 2)
+	// A directed triangle 1->2->3->1 plus noise; query = triangle.
+	b := graph.NewBuilder(true)
+	for i := uint64(1); i <= 6; i++ {
+		b.AddNode(i, 0, "")
+	}
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 1)
+	b.AddEdge(4, 5) // noise
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pattern{Labels: []int64{0, 0, 0}, Out: [][]int{{1}, {2}, {0}}}
+	mt := NewMatcher(g)
+	matches, err := mt.Match(0, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The triangle has 3 rotations as embeddings.
+	if len(matches) != 3 {
+		t.Fatalf("triangle embeddings = %d, want 3: %v", len(matches), matches)
+	}
+}
+
+func TestMatchNoEmbedding(t *testing.T) {
+	cloud := newCloud(t, 2)
+	b := graph.NewBuilder(true)
+	b.AddNode(1, 7, "")
+	b.AddNode(2, 7, "")
+	b.AddEdge(1, 2)
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := NewMatcher(g)
+	// Label 9 does not exist.
+	p := &Pattern{Labels: []int64{9, 9}, Out: [][]int{{1}, {}}}
+	matches, err := mt.Match(0, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("found %d impossible embeddings", len(matches))
+	}
+}
+
+func TestMatchLimit(t *testing.T) {
+	cloud := newCloud(t, 2)
+	b := graph.NewBuilder(true)
+	// Complete bipartite-ish: 10 sources each pointing at 10 sinks.
+	for s := uint64(0); s < 10; s++ {
+		for d := uint64(100); d < 110; d++ {
+			b.AddEdge(s, d)
+		}
+	}
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pattern{Labels: []int64{0, 0}, Out: [][]int{{1}, {}}}
+	mt := NewMatcher(g)
+	matches, err := mt.Match(0, p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 5 {
+		t.Fatalf("limit returned %d matches", len(matches))
+	}
+}
+
+func TestOracleStrategies(t *testing.T) {
+	cloud := newCloud(t, 4)
+	b := graph.NewBuilder(false) // undirected for distances
+	gen.BuildSocial(gen.SocialConfig{People: 600, AvgDegree: 8, Seed: 5}, b)
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []LandmarkStrategy{ByDegree, ByGlobalBetweenness, ByLocalBetweenness} {
+		o, err := BuildOracle(g, 10, strat, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if len(o.Landmarks) != 10 {
+			t.Fatalf("%v: %d landmarks", strat, len(o.Landmarks))
+		}
+		acc, err := o.Accuracy(30, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 30 || acc > 100 {
+			t.Fatalf("%v: accuracy %.1f%% implausible", strat, acc)
+		}
+		t.Logf("%v: accuracy %.1f%%", strat, acc)
+	}
+}
+
+func TestOracleEstimateIsUpperBound(t *testing.T) {
+	cloud := newCloud(t, 2)
+	b := graph.NewBuilder(false)
+	gen.BuildSocial(gen.SocialConfig{People: 200, AvgDegree: 8, Seed: 9}, b)
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := BuildOracle(g, 8, ByDegree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, actual := range res.Levels {
+		if actual == Unreached || id == 0 {
+			continue
+		}
+		est := o.Estimate(0, id)
+		if est < actual {
+			t.Fatalf("estimate(0,%d) = %v < actual %v (triangulation violated)", id, est, actual)
+		}
+	}
+	if o.Estimate(5, 5) != 0 {
+		t.Fatal("self-distance must be 0")
+	}
+}
+
+func TestPartitionBeatsRandom(t *testing.T) {
+	cloud := newCloud(t, 2)
+	b := graph.NewBuilder(false)
+	// A graph with clear community structure: 4 dense clusters plus a few
+	// bridges.
+	const per = 50
+	id := func(c, i int) uint64 { return uint64(c*per + i) }
+	for c := 0; c < 4; c++ {
+		for i := 0; i < per; i++ {
+			for j := i + 1; j < i+5 && j < per; j++ {
+				b.AddEdge(id(c, i), id(c, j))
+			}
+		}
+	}
+	for c := 0; c < 4; c++ {
+		b.AddEdge(id(c, 0), id((c+1)%4, 0))
+	}
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := Partition(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := RandomPartition(g, 4, 1)
+	if ml.EdgeCut >= rnd.EdgeCut {
+		t.Fatalf("multilevel cut %d >= random cut %d", ml.EdgeCut, rnd.EdgeCut)
+	}
+	// Balance: no part may hold more than half the vertices.
+	counts := map[int]int{}
+	for _, p := range ml.Part {
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c > 2*per*4/4 {
+			t.Fatalf("part %d has %d vertices", p, c)
+		}
+	}
+	t.Logf("edge cut: multilevel %d vs random %d", ml.EdgeCut, rnd.EdgeCut)
+}
+
+func TestPartitionValidatesK(t *testing.T) {
+	cloud := newCloud(t, 1)
+	g := loadUniform(t, cloud, 20, 2, 0, 1)
+	if _, err := Partition(g, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	p, err := Partition(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EdgeCut != 0 {
+		t.Fatalf("k=1 cut = %d", p.EdgeCut)
+	}
+}

@@ -1,0 +1,371 @@
+package algo
+
+import (
+	"fmt"
+
+	"trinity/internal/graph"
+	"trinity/internal/hash"
+)
+
+// Partitioning divides the vertex set into k balanced parts minimizing
+// edge cut. The paper cites multi-level partitioning as an example of a
+// sophisticated computation that vertex-centric systems cannot express
+// but Trinity can run over the memory cloud (§1, §5.3: "Trinity can
+// partition billion-node graphs within a few hours using a multi-level
+// partitioning algorithm [6]").
+type Partitioning struct {
+	// Part maps each vertex to its part in [0, K).
+	Part map[uint64]int
+	// K is the number of parts.
+	K int
+	// EdgeCut is the number of edges crossing parts.
+	EdgeCut int
+}
+
+// multilevel working representation: a compact undirected multigraph.
+type mgraph struct {
+	ids    []uint64       // coarse vertex -> representative original id
+	weight []int          // coarse vertex weight (collapsed vertex count)
+	adj    [][]medge      // undirected adjacency with edge weights
+	fine   map[uint64]int // original id -> coarse vertex (finest level)
+}
+
+type medge struct {
+	to int
+	w  int
+}
+
+// Partition runs the multilevel algorithm over the distributed graph:
+// gather a snapshot, coarsen by heavy-edge matching, grow k regions
+// greedily on the coarsest graph, then uncoarsen with boundary
+// refinement at every level.
+func Partition(g *graph.Graph, k int, seed uint64) (*Partitioning, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("algo: k must be >= 1, got %d", k)
+	}
+	adj, ids := gatherAdjacency(g, -1)
+	return partitionAdjacency(adj, ids, k, seed)
+}
+
+// partitionAdjacency is the algorithm core, exposed for tests.
+func partitionAdjacency(adjIn map[uint64][]uint64, ids []uint64, k int, seed uint64) (*Partitioning, error) {
+	base := buildMGraph(adjIn, ids)
+	rng := hash.NewRNG(seed)
+
+	// Coarsening phase: heavy-edge matching until small or stuck.
+	levels := []*mgraph{base}
+	maps := [][]int{} // fine vertex -> coarse vertex per level
+	cur := base
+	for len(cur.ids) > 4*k && len(cur.ids) > 32 {
+		next, mapping := coarsen(cur, rng)
+		if len(next.ids) >= len(cur.ids) {
+			break // matching made no progress
+		}
+		levels = append(levels, next)
+		maps = append(maps, mapping)
+		cur = next
+	}
+
+	// Initial partitioning on the coarsest graph: greedy region growing.
+	part := growRegions(cur, k, rng)
+
+	// Uncoarsening with refinement.
+	refine(cur, part, k)
+	for i := len(maps) - 1; i >= 0; i-- {
+		finer := levels[i]
+		mapping := maps[i]
+		finePart := make([]int, len(finer.ids))
+		for v := range finePart {
+			finePart[v] = part[mapping[v]]
+		}
+		part = finePart
+		refine(finer, part, k)
+	}
+
+	out := &Partitioning{Part: make(map[uint64]int, len(ids)), K: k}
+	for v, id := range base.ids {
+		out.Part[id] = part[v]
+	}
+	out.EdgeCut = cutOf(base, part)
+	return out, nil
+}
+
+// buildMGraph converts a directed adjacency snapshot to the undirected
+// weighted working form.
+func buildMGraph(adj map[uint64][]uint64, ids []uint64) *mgraph {
+	index := make(map[uint64]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+	g := &mgraph{
+		ids:    ids,
+		weight: make([]int, len(ids)),
+		adj:    make([][]medge, len(ids)),
+		fine:   index,
+	}
+	for i := range g.weight {
+		g.weight[i] = 1
+	}
+	// Merge parallel/reverse edges into undirected weighted edges.
+	type key struct{ a, b int }
+	merged := map[key]int{}
+	for id, outs := range adj {
+		u, ok := index[id]
+		if !ok {
+			continue
+		}
+		for _, dst := range outs {
+			v, ok := index[dst]
+			if !ok || u == v {
+				continue
+			}
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			merged[key{a, b}]++
+		}
+	}
+	for e, w := range merged {
+		g.adj[e.a] = append(g.adj[e.a], medge{e.b, w})
+		g.adj[e.b] = append(g.adj[e.b], medge{e.a, w})
+	}
+	return g
+}
+
+// coarsen contracts a heavy-edge matching.
+func coarsen(g *mgraph, rng *hash.RNG) (*mgraph, []int) {
+	n := len(g.ids)
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	visit := rng.Perm(n)
+	for _, u := range visit {
+		if match[u] != -1 {
+			continue
+		}
+		best, bestW := -1, -1
+		for _, e := range g.adj[u] {
+			if match[e.to] == -1 && e.to != u && e.w > bestW {
+				best, bestW = e.to, e.w
+			}
+		}
+		if best >= 0 {
+			match[u] = best
+			match[best] = u
+		} else {
+			match[u] = u // unmatched: survives alone
+		}
+	}
+	// Assign coarse ids.
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	var coarseIDs []uint64
+	var coarseW []int
+	next := 0
+	for u := 0; u < n; u++ {
+		if mapping[u] != -1 {
+			continue
+		}
+		v := match[u]
+		mapping[u] = next
+		w := g.weight[u]
+		if v != u && v >= 0 {
+			mapping[v] = next
+			w += g.weight[v]
+		}
+		coarseIDs = append(coarseIDs, g.ids[u])
+		coarseW = append(coarseW, w)
+		next++
+	}
+	// Build coarse adjacency.
+	type key struct{ a, b int }
+	merged := map[key]int{}
+	for u := 0; u < n; u++ {
+		cu := mapping[u]
+		for _, e := range g.adj[u] {
+			cv := mapping[e.to]
+			if cu == cv {
+				continue
+			}
+			a, b := cu, cv
+			if a > b {
+				a, b = b, a
+			}
+			merged[key{a, b}] += e.w
+		}
+	}
+	cg := &mgraph{ids: coarseIDs, weight: coarseW, adj: make([][]medge, next)}
+	for e, w := range merged {
+		// Each undirected edge was counted from both endpoints.
+		cg.adj[e.a] = append(cg.adj[e.a], medge{e.b, w / 2})
+		cg.adj[e.b] = append(cg.adj[e.b], medge{e.a, w / 2})
+	}
+	return cg, mapping
+}
+
+// growRegions produces the initial partition by greedy BFS region
+// growing: seed k regions at random vertices and expand the lightest
+// region one frontier vertex at a time.
+func growRegions(g *mgraph, k int, rng *hash.RNG) []int {
+	n := len(g.ids)
+	part := make([]int, n)
+	for i := range part {
+		part[i] = -1
+	}
+	if n == 0 {
+		return part
+	}
+	loads := make([]int, k)
+	frontiers := make([][]int, k)
+	for p := 0; p < k; p++ {
+		for tries := 0; tries < 4*n; tries++ {
+			s := rng.Intn(n)
+			if part[s] == -1 {
+				part[s] = p
+				loads[p] += g.weight[s]
+				frontiers[p] = append(frontiers[p], s)
+				break
+			}
+		}
+	}
+	assigned := 0
+	for i := range part {
+		if part[i] >= 0 {
+			assigned++
+		}
+	}
+	for assigned < n {
+		// Expand the lightest region that still has a frontier.
+		best := -1
+		for p := 0; p < k; p++ {
+			if len(frontiers[p]) == 0 {
+				continue
+			}
+			if best == -1 || loads[p] < loads[best] {
+				best = p
+			}
+		}
+		if best == -1 {
+			// All frontiers exhausted (disconnected remainder): seed the
+			// lightest region at any unassigned vertex.
+			light := 0
+			for p := 1; p < k; p++ {
+				if loads[p] < loads[light] {
+					light = p
+				}
+			}
+			for v := 0; v < n; v++ {
+				if part[v] == -1 {
+					part[v] = light
+					loads[light] += g.weight[v]
+					frontiers[light] = append(frontiers[light], v)
+					assigned++
+					break
+				}
+			}
+			continue
+		}
+		// Pop one frontier vertex and claim an unassigned neighbor.
+		f := frontiers[best]
+		u := f[len(f)-1]
+		claimed := false
+		for _, e := range g.adj[u] {
+			if part[e.to] == -1 {
+				part[e.to] = best
+				loads[best] += g.weight[e.to]
+				frontiers[best] = append(frontiers[best], e.to)
+				assigned++
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			frontiers[best] = f[:len(f)-1]
+		}
+	}
+	return part
+}
+
+// refine performs greedy boundary moves (a light Kernighan-Lin/FM pass):
+// repeatedly move a boundary vertex to the neighboring part with the
+// largest cut gain, respecting a balance constraint.
+func refine(g *mgraph, part []int, k int) {
+	n := len(g.ids)
+	if n == 0 || k < 2 {
+		return
+	}
+	loads := make([]int, k)
+	total := 0
+	for v := 0; v < n; v++ {
+		loads[part[v]] += g.weight[v]
+		total += g.weight[v]
+	}
+	maxLoad := total/k + total/(4*k) + 1 // 25% imbalance tolerance
+	for pass := 0; pass < 4; pass++ {
+		moved := 0
+		for v := 0; v < n; v++ {
+			home := part[v]
+			// Gain of moving v to part p = edges to p minus edges to home.
+			gains := map[int]int{}
+			internal := 0
+			for _, e := range g.adj[v] {
+				if part[e.to] == home {
+					internal += e.w
+				} else {
+					gains[part[e.to]] += e.w
+				}
+			}
+			bestP, bestGain := -1, 0
+			for p, toP := range gains {
+				gain := toP - internal
+				if gain > bestGain && loads[p]+g.weight[v] <= maxLoad {
+					bestP, bestGain = p, gain
+				}
+			}
+			if bestP >= 0 {
+				loads[home] -= g.weight[v]
+				loads[bestP] += g.weight[v]
+				part[v] = bestP
+				moved++
+			}
+		}
+		if moved == 0 {
+			return
+		}
+	}
+}
+
+// cutOf counts undirected cut edges (by weight).
+func cutOf(g *mgraph, part []int) int {
+	cut := 0
+	for v := 0; v < len(g.ids); v++ {
+		for _, e := range g.adj[v] {
+			if e.to > v && part[e.to] != part[v] {
+				cut += e.w
+			}
+		}
+	}
+	return cut
+}
+
+// RandomPartition assigns vertices to k parts uniformly — the baseline
+// the multilevel partitioner is compared against, and also the placement
+// Trinity's hash addressing induces naturally.
+func RandomPartition(g *graph.Graph, k int, seed uint64) *Partitioning {
+	adj, ids := gatherAdjacency(g, -1)
+	base := buildMGraph(adj, ids)
+	rng := hash.NewRNG(seed)
+	part := make([]int, len(ids))
+	for i := range part {
+		part[i] = rng.Intn(k)
+	}
+	out := &Partitioning{Part: make(map[uint64]int, len(ids)), K: k, EdgeCut: cutOf(base, part)}
+	for v, id := range base.ids {
+		out.Part[id] = part[v]
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package algo implements the graph algorithms of the paper's evaluation
+// on top of Trinity's computation engines: PageRank, BFS and SSSP in the
+// restrictive vertex-centric model (Figures 12(b), 12(c)), weakly
+// connected components, index-free distributed subgraph matching
+// (Figures 8(a), 14(a)), the landmark-based distance oracle with three
+// landmark-selection strategies (Figure 8(b)), and a multilevel graph
+// partitioner (§5.3's "billion-node graph partitioning" claim, scaled).
+package algo
+
+import (
+	"math"
+
+	"trinity/internal/compute/bsp"
+	"trinity/internal/graph"
+)
+
+// PageRankResult carries the outcome of a PageRank run.
+type PageRankResult struct {
+	Ranks      map[uint64]float64
+	Supersteps int
+}
+
+// pageRankProg implements PageRank with damping 0.85 in the restrictive
+// model: every vertex talks only to its out-neighbors, so the program
+// benefits fully from hub buffering and message combining.
+type pageRankProg struct {
+	iters int
+}
+
+func (p *pageRankProg) Init(id uint64, outDeg int) (float64, bool) { return 1.0, true }
+
+func (p *pageRankProg) Compute(ctx *bsp.Context, id uint64, val float64, msgs []float64) (float64, bool) {
+	if ctx.Superstep() > 0 {
+		sum := 0.0
+		for _, m := range msgs {
+			sum += m
+		}
+		val = 0.15 + 0.85*sum
+	}
+	if ctx.Superstep() < p.iters {
+		if deg := ctx.OutDegree(); deg > 0 {
+			ctx.SendToAllOut(val / float64(deg))
+		}
+		return val, false
+	}
+	return val, true
+}
+
+// PageRank runs `iters` power iterations over the distributed graph.
+// HubThreshold > 0 enables the §5.4 hub optimization.
+func PageRank(g *graph.Graph, iters, hubThreshold int) (*PageRankResult, error) {
+	e := bsp.New(g, bsp.Options{
+		Combine:       func(a, b float64) float64 { return a + b },
+		HubThreshold:  hubThreshold,
+		MaxSupersteps: iters + 1,
+	})
+	steps, err := e.Run(&pageRankProg{iters: iters})
+	if err != nil {
+		return nil, err
+	}
+	return &PageRankResult{Ranks: e.Values(), Supersteps: steps}, nil
+}
+
+// InstrumentedPageRank extends PageRankResult with engine counters.
+type InstrumentedPageRank struct {
+	PageRankResult
+	// WireMessages counts messages that physically crossed the wire
+	// (hub-buffered broadcasts count once per subscribed machine).
+	WireMessages int64
+}
+
+// PageRankInstrumented is PageRank with wire-message accounting, used by
+// the §5.4 hub-buffering ablation.
+func PageRankInstrumented(g *graph.Graph, iters, hubThreshold int) (*InstrumentedPageRank, error) {
+	e := bsp.New(g, bsp.Options{
+		Combine:       func(a, b float64) float64 { return a + b },
+		HubThreshold:  hubThreshold,
+		MaxSupersteps: iters + 1,
+	})
+	steps, err := e.Run(&pageRankProg{iters: iters})
+	if err != nil {
+		return nil, err
+	}
+	return &InstrumentedPageRank{
+		PageRankResult: PageRankResult{Ranks: e.Values(), Supersteps: steps},
+		WireMessages:   e.WireMessages(),
+	}, nil
+}
+
+// Unreached marks vertices a traversal never touched.
+const Unreached = -1
+
+// bfsProg computes hop distance from a source (the Graph 500 kernel).
+type bfsProg struct {
+	source uint64
+}
+
+func (p *bfsProg) Init(id uint64, _ int) (float64, bool) {
+	if id == p.source {
+		return 0, true
+	}
+	return Unreached, false
+}
+
+func (p *bfsProg) Compute(ctx *bsp.Context, id uint64, val float64, msgs []float64) (float64, bool) {
+	if ctx.Superstep() == 0 {
+		if id == p.source {
+			ctx.SendToAllOut(1)
+		}
+		return val, true
+	}
+	if val != Unreached {
+		return val, true // already labeled; ignore late messages
+	}
+	level := math.Inf(1)
+	for _, m := range msgs {
+		if m < level {
+			level = m
+		}
+	}
+	ctx.SendToAllOut(level + 1)
+	return level, true
+}
+
+// BFSResult carries hop distances from the source (Unreached = -1).
+type BFSResult struct {
+	Levels     map[uint64]float64
+	Reached    int
+	Supersteps int
+}
+
+// BFS computes hop distances from source over the distributed graph.
+func BFS(g *graph.Graph, source uint64, hubThreshold int) (*BFSResult, error) {
+	e := bsp.New(g, bsp.Options{
+		Combine:      func(a, b float64) float64 { return math.Min(a, b) },
+		HubThreshold: hubThreshold,
+	})
+	steps, err := e.Run(&bfsProg{source: source})
+	if err != nil {
+		return nil, err
+	}
+	res := &BFSResult{Levels: e.Values(), Supersteps: steps}
+	for _, v := range res.Levels {
+		if v != Unreached {
+			res.Reached++
+		}
+	}
+	return res, nil
+}
+
+// ssspProg computes single-source shortest distances over weighted edges.
+type ssspProg struct {
+	source uint64
+}
+
+func (p *ssspProg) Init(id uint64, _ int) (float64, bool) {
+	if id == p.source {
+		return 0, true
+	}
+	return math.Inf(1), false
+}
+
+func (p *ssspProg) Compute(ctx *bsp.Context, id uint64, val float64, msgs []float64) (float64, bool) {
+	best := val
+	for _, m := range msgs {
+		if m < best {
+			best = m
+		}
+	}
+	if best < val || (ctx.Superstep() == 0 && id == p.source) {
+		ctx.ForEachOutEdge(func(dst uint64, w int64) bool {
+			ctx.Send(dst, best+float64(w))
+			return true
+		})
+	}
+	return best, true
+}
+
+// SSSPResult carries shortest distances from the source (+Inf =
+// unreachable).
+type SSSPResult struct {
+	Dist       map[uint64]float64
+	Supersteps int
+}
+
+// SSSP computes single-source shortest paths over the distributed graph,
+// using edge weights when present (weight 1 otherwise).
+func SSSP(g *graph.Graph, source uint64) (*SSSPResult, error) {
+	e := bsp.New(g, bsp.Options{
+		Combine: func(a, b float64) float64 { return math.Min(a, b) },
+	})
+	steps, err := e.Run(&ssspProg{source: source})
+	if err != nil {
+		return nil, err
+	}
+	return &SSSPResult{Dist: e.Values(), Supersteps: steps}, nil
+}
+
+// wccProg labels every vertex with the maximum vertex id reachable in its
+// weakly connected component (out-edges only here; callers wanting true
+// WCC should load the graph undirected, which the builders support).
+type wccProg struct{}
+
+func (wccProg) Init(id uint64, _ int) (float64, bool) { return float64(id), true }
+
+func (wccProg) Compute(ctx *bsp.Context, id uint64, val float64, msgs []float64) (float64, bool) {
+	changed := ctx.Superstep() == 0
+	for _, m := range msgs {
+		if m > val {
+			val = m
+			changed = true
+		}
+	}
+	if changed {
+		ctx.SendToAllOut(val)
+	}
+	return val, true
+}
+
+// WCCResult maps every vertex to its component label.
+type WCCResult struct {
+	Component  map[uint64]float64
+	Components int
+	Supersteps int
+}
+
+// WCC computes connected components by max-label propagation.
+func WCC(g *graph.Graph) (*WCCResult, error) {
+	e := bsp.New(g, bsp.Options{
+		Combine: func(a, b float64) float64 { return math.Max(a, b) },
+	})
+	steps, err := e.Run(wccProg{})
+	if err != nil {
+		return nil, err
+	}
+	res := &WCCResult{Component: e.Values(), Supersteps: steps}
+	distinct := map[float64]bool{}
+	for _, c := range res.Component {
+		distinct[c] = true
+	}
+	res.Components = len(distinct)
+	return res, nil
+}

@@ -1,0 +1,267 @@
+// Package pbgl implements a stand-in for the Parallel Boost Graph
+// Library, the distributed-BFS comparator of Figure 13. It reproduces the
+// two PBGL design decisions the paper measures:
+//
+//   - ghost cells: every machine materializes a full local replica of
+//     every remote vertex adjacent to one of its local vertices. "The
+//     ghost cell mechanism only works well for well-partitioned graphs;
+//     great memory overhead would be incurred for not-well-partitioned
+//     large graphs" — on a hash-partitioned R-MAT graph nearly every
+//     neighbor is remote, so ghosts multiply the memory footprint;
+//
+//   - two-sided bulk-synchronous communication in the MPI style: at each
+//     BFS level machines exchange whole ghost-update buffers with every
+//     peer, rather than Trinity's one-sided fine-grained messages.
+package pbgl
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"trinity/internal/msg"
+)
+
+// vertex is a local runtime vertex object.
+type vertex struct {
+	id    uint64
+	edges []uint64
+	dist  int64
+}
+
+// ghost is a local replica of a remote vertex's property.
+type ghost struct {
+	id    uint64
+	owner int
+	dist  int64
+}
+
+// unvisited marks undiscovered vertices.
+const unvisited = int64(-1)
+
+// Engine is the PBGL-style distributed graph: partitioned vertex objects
+// plus per-machine ghost tables. Machines exchange ghost updates over a
+// real transport (the same in-process bus the Trinity engines use), in
+// the two-sided MPI style: one bulk exchange per peer per BFS level.
+type Engine struct {
+	machines int
+	workers  []*worker
+	bus      *msg.Bus
+}
+
+type worker struct {
+	id       msg.MachineID
+	node     *msg.Node
+	vertices map[uint64]*vertex
+	ghosts   map[uint64]*ghost
+
+	inMu    sync.Mutex
+	inbound []ghostUpdate
+}
+
+// protoGhostExchange carries one machine's ghost updates to their owner.
+const protoGhostExchange msg.ProtocolID = 1
+
+// New partitions the adjacency across `machines` and builds the ghost
+// tables (one replica per (machine, remote neighbor) pair).
+func New(machines int, adjacency map[uint64][]uint64) *Engine {
+	e := &Engine{machines: machines, bus: msg.NewBus()}
+	for i := 0; i < machines; i++ {
+		node := msg.NewNode(e.bus.Endpoint(msg.MachineID(i)), msg.Options{})
+		w := &worker{
+			id:       msg.MachineID(i),
+			node:     node,
+			vertices: make(map[uint64]*vertex),
+			ghosts:   make(map[uint64]*ghost),
+		}
+		// Two-sided exchange: the owner applies the batch and replies,
+		// so the sender knows the round trip completed (MPI-style).
+		node.HandleSync(protoGhostExchange, func(_ msg.MachineID, b []byte) ([]byte, error) {
+			w.inMu.Lock()
+			for off := 0; off+16 <= len(b); off += 16 {
+				w.inbound = append(w.inbound, ghostUpdate{
+					id:   binary.LittleEndian.Uint64(b[off:]),
+					dist: int64(binary.LittleEndian.Uint64(b[off+8:])),
+				})
+			}
+			w.inMu.Unlock()
+			return nil, nil
+		})
+		e.workers = append(e.workers, w)
+	}
+	for id, targets := range adjacency {
+		w := e.workers[e.ownerOf(id)]
+		w.vertices[id] = &vertex{id: id, edges: targets, dist: unvisited}
+	}
+	// Ghost construction pass.
+	for mi, w := range e.workers {
+		for _, v := range w.vertices {
+			for _, t := range v.edges {
+				owner := e.ownerOf(t)
+				if owner != mi {
+					if _, ok := w.ghosts[t]; !ok {
+						w.ghosts[t] = &ghost{id: t, owner: owner, dist: unvisited}
+					}
+				}
+			}
+		}
+	}
+	return e
+}
+
+func (e *Engine) ownerOf(id uint64) int {
+	h := id * 0x9e3779b97f4a7c15
+	return int(h % uint64(e.machines))
+}
+
+// Close shuts down the engine's transport.
+func (e *Engine) Close() {
+	for _, w := range e.workers {
+		w.node.Close()
+	}
+}
+
+// MemoryFootprint is a deterministic accounting of the baseline's heap:
+// per-object costs of vertices, edge slices, ghost replicas, and their
+// hash-map entries. It is the apples-to-apples counterpart of Trinity's
+// committed trunk bytes for Figure 13(c)/(d).
+func (e *Engine) MemoryFootprint() int64 {
+	const (
+		vertexObj = 8 + 24 + 8 + 16 // id + edge slice header + dist + object header
+		ghostObj  = 8 + 8 + 8 + 16  // id + owner + dist + object header
+		mapEntry  = 48              // bucket share + pointer + hash
+	)
+	var total int64
+	for _, w := range e.workers {
+		for _, v := range w.vertices {
+			total += vertexObj + mapEntry + int64(len(v.edges))*8
+		}
+		total += int64(len(w.ghosts)) * (ghostObj + mapEntry)
+	}
+	return total
+}
+
+// GhostCount returns the total number of ghost replicas — the memory
+// overhead Figure 13(c) measures.
+func (e *Engine) GhostCount() int {
+	total := 0
+	for _, w := range e.workers {
+		total += len(w.ghosts)
+	}
+	return total
+}
+
+// VertexCount returns the number of real (non-ghost) vertices.
+func (e *Engine) VertexCount() int {
+	total := 0
+	for _, w := range e.workers {
+		total += len(w.vertices)
+	}
+	return total
+}
+
+// ghostUpdate is one entry of the bulk exchange buffers.
+type ghostUpdate struct {
+	id   uint64
+	dist int64
+}
+
+// BFS runs a level-synchronous distributed BFS from source and returns
+// hop distances (unvisited = -1) plus the number of levels executed.
+func (e *Engine) BFS(source uint64) (map[uint64]int64, int) {
+	// Reset state.
+	for _, w := range e.workers {
+		for _, v := range w.vertices {
+			v.dist = unvisited
+		}
+		for _, g := range w.ghosts {
+			g.dist = unvisited
+		}
+	}
+	if w := e.workers[e.ownerOf(source)]; w.vertices[source] != nil {
+		w.vertices[source].dist = 0
+	}
+	level := int64(0)
+	for {
+		// Phase 1: every machine expands its local frontier, updating
+		// local vertices directly and ghosts for remote neighbors.
+		var wg sync.WaitGroup
+		progress := make([]bool, e.machines)
+		for mi, w := range e.workers {
+			wg.Add(1)
+			go func(mi int, w *worker) {
+				defer wg.Done()
+				for _, v := range w.vertices {
+					if v.dist != level {
+						continue
+					}
+					for _, t := range v.edges {
+						if lv, ok := w.vertices[t]; ok {
+							if lv.dist == unvisited {
+								lv.dist = level + 1
+								progress[mi] = true
+							}
+						} else if g, ok := w.ghosts[t]; ok {
+							if g.dist == unvisited {
+								g.dist = level + 1
+								progress[mi] = true
+							}
+						}
+					}
+				}
+			}(mi, w)
+		}
+		wg.Wait()
+		// Phase 2: two-sided bulk exchange over the transport — every
+		// machine ships its dirty ghost values to the owners (the
+		// MPI-style all-to-all), one synchronous round per peer.
+		var xwg sync.WaitGroup
+		for _, w := range e.workers {
+			xwg.Add(1)
+			go func(w *worker) {
+				defer xwg.Done()
+				buffers := make([][]byte, e.machines)
+				for _, g := range w.ghosts {
+					if g.dist == level+1 {
+						var rec [16]byte
+						binary.LittleEndian.PutUint64(rec[0:], g.id)
+						binary.LittleEndian.PutUint64(rec[8:], uint64(g.dist))
+						buffers[g.owner] = append(buffers[g.owner], rec[:]...)
+					}
+				}
+				for dst, buf := range buffers {
+					if len(buf) == 0 || msg.MachineID(dst) == w.id {
+						continue
+					}
+					w.node.Call(msg.MachineID(dst), protoGhostExchange, buf)
+				}
+			}(w)
+		}
+		xwg.Wait()
+		anyProgress := false
+		for _, p := range progress {
+			anyProgress = anyProgress || p
+		}
+		for _, w := range e.workers {
+			w.inMu.Lock()
+			for _, u := range w.inbound {
+				if v := w.vertices[u.id]; v != nil && v.dist == unvisited {
+					v.dist = u.dist
+					anyProgress = true
+				}
+			}
+			w.inbound = w.inbound[:0]
+			w.inMu.Unlock()
+		}
+		if !anyProgress {
+			break
+		}
+		level++
+	}
+	out := make(map[uint64]int64)
+	for _, w := range e.workers {
+		for id, v := range w.vertices {
+			out[id] = v.dist
+		}
+	}
+	return out, int(level)
+}

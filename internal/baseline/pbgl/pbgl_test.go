@@ -1,0 +1,108 @@
+package pbgl
+
+import (
+	"testing"
+
+	"trinity/internal/gen"
+)
+
+func TestBFSOnChain(t *testing.T) {
+	adj := map[uint64][]uint64{}
+	for i := uint64(0); i < 19; i++ {
+		adj[i] = []uint64{i + 1}
+	}
+	adj[19] = nil
+	e := New(3, adj)
+	dist, levels := e.BFS(0)
+	if levels != 19 {
+		t.Fatalf("levels = %d", levels)
+	}
+	for i := uint64(0); i <= 19; i++ {
+		if dist[i] != int64(i) {
+			t.Fatalf("dist(%d) = %d", i, dist[i])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	adj := map[uint64][]uint64{1: {2}, 2: nil, 3: nil}
+	e := New(2, adj)
+	dist, _ := e.BFS(1)
+	if dist[3] != -1 {
+		t.Fatalf("dist(3) = %d", dist[3])
+	}
+	if dist[2] != 1 {
+		t.Fatalf("dist(2) = %d", dist[2])
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	adj := map[uint64][]uint64{}
+	gen.RMAT(gen.RMATConfig{Scale: 9, AvgDegree: 6, Seed: 2}, func(u, v uint64) {
+		adj[u] = append(adj[u], v)
+	})
+	for i := uint64(0); i < 512; i++ {
+		if _, ok := adj[i]; !ok {
+			adj[i] = nil
+		}
+	}
+	// Sequential reference BFS.
+	ref := map[uint64]int64{0: 0}
+	frontier := []uint64{0}
+	for d := int64(1); len(frontier) > 0; d++ {
+		var next []uint64
+		for _, u := range frontier {
+			for _, v := range adj[u] {
+				if _, ok := ref[v]; !ok {
+					ref[v] = d
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	e := New(4, adj)
+	dist, _ := e.BFS(0)
+	for id := uint64(0); id < 512; id++ {
+		want, ok := ref[id]
+		if !ok {
+			want = -1
+		}
+		if dist[id] != want {
+			t.Fatalf("dist(%d) = %d, reference %d", id, dist[id], want)
+		}
+	}
+}
+
+func TestGhostOverheadGrowsWithMachines(t *testing.T) {
+	// The paper's point: on a hash-partitioned (not-well-partitioned)
+	// graph, ghosts multiply with machine count.
+	adj := map[uint64][]uint64{}
+	gen.RMAT(gen.RMATConfig{Scale: 10, AvgDegree: 8, Seed: 3}, func(u, v uint64) {
+		adj[u] = append(adj[u], v)
+	})
+	g2 := New(2, adj).GhostCount()
+	g8 := New(8, adj).GhostCount()
+	if g8 <= g2 {
+		t.Fatalf("ghosts: 2 machines %d, 8 machines %d — expected growth", g2, g8)
+	}
+	// Ghost replicas dwarf the real vertex count on a skewed graph.
+	e := New(8, adj)
+	if e.GhostCount() < e.VertexCount() {
+		t.Fatalf("ghosts %d < vertices %d: overhead not reproduced",
+			e.GhostCount(), e.VertexCount())
+	}
+}
+
+func TestRepeatedBFSIsolated(t *testing.T) {
+	adj := map[uint64][]uint64{1: {2}, 2: {3}, 3: nil, 4: {1}}
+	e := New(2, adj)
+	d1, _ := e.BFS(1)
+	d2, _ := e.BFS(4)
+	if d1[3] != 2 {
+		t.Fatalf("first run dist(3) = %d", d1[3])
+	}
+	if d2[3] != 3 || d2[1] != 1 {
+		t.Fatalf("second run: %v (state leaked between runs?)", d2)
+	}
+}

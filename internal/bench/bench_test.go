@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Columns: []string{"a", "long-column"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("xyz", 1500*time.Millisecond)
+	tab.AddRow(42, 250*time.Microsecond)
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T ==", "long-column", "2.50", "1.50s", "250µs", "xyz"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimed(t *testing.T) {
+	d := Timed(func() { time.Sleep(10 * time.Millisecond) })
+	if d < 10*time.Millisecond || d > time.Second {
+		t.Fatalf("Timed = %v", d)
+	}
+}
+
+func TestScaleFactor(t *testing.T) {
+	if (Scale{}).factor() != 1 || (Scale{Factor: -3}).factor() != 1 {
+		t.Fatal("zero/negative scale must clamp to 1")
+	}
+	if (Scale{Factor: 4}).factor() != 4 {
+		t.Fatal("factor not passed through")
+	}
+	// rmatScales shifts with the factor.
+	s1 := rmatScales(Scale{Factor: 1}, 10)
+	s4 := rmatScales(Scale{Factor: 4}, 10)
+	if s1[0] != 10 || s4[0] != 12 {
+		t.Fatalf("scales: %v %v", s1, s4)
+	}
+}
+
+// TestExperimentsSmoke runs the two cheapest figure harnesses end to end
+// and sanity-checks the table structure; the full sweep lives in the root
+// bench_test.go and cmd/trinity-bench.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness smoke test")
+	}
+	tab, err := ThreeHop(Scale{Factor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != 3 {
+		t.Fatalf("3hop table shape: %+v", tab.Rows)
+	}
+	tab, err = Fig14b(Scale{Factor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // machines 1,2,4,8
+		t.Fatalf("fig14b rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 5 { // machines + Q1,Q3,Q5,Q7
+			t.Fatalf("fig14b row shape: %v", row)
+		}
+	}
+}
+
+func TestRMATAdjacencyComplete(t *testing.T) {
+	adj := rmatAdjacency(8, 4, 1)
+	if len(adj) != 256 {
+		t.Fatalf("adjacency has %d vertices, want 256 (isolated ones included)", len(adj))
+	}
+	edges := 0
+	for _, out := range adj {
+		edges += len(out)
+	}
+	if edges != 256*4 {
+		t.Fatalf("edges = %d", edges)
+	}
+}

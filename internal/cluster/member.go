@@ -1,0 +1,449 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trinity/internal/msg"
+	"trinity/internal/tfs"
+)
+
+// Protocol IDs reserved for the cluster layer. User protocols must stay
+// below ProtoReservedBase.
+const (
+	ProtoReservedBase msg.ProtocolID = 0xFF00
+
+	protoHeartbeat   = ProtoReservedBase + 1 // async: slave -> leader
+	protoTableUpdate = ProtoReservedBase + 2 // async: leader -> all
+	protoReportFail  = ProtoReservedBase + 3 // sync: any -> leader
+	protoGetTable    = ProtoReservedBase + 4 // sync: any -> leader
+	protoPing        = ProtoReservedBase + 5 // sync: leader -> suspect
+)
+
+// TFS paths used by the cluster layer.
+const (
+	leaderFlagFile = "cluster/leader"
+	tableFile      = "cluster/addressing-table"
+)
+
+// Config configures a cluster member.
+type Config struct {
+	// HeartbeatInterval is how often slaves heartbeat the leader.
+	// Zero means 50ms (scaled down from production seconds).
+	HeartbeatInterval time.Duration
+	// FailureTimeout is how long the leader waits without a heartbeat
+	// before suspecting a machine. Zero means 4x the heartbeat interval.
+	FailureTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if c.FailureTimeout <= 0 {
+		c.FailureTimeout = 4 * c.HeartbeatInterval
+	}
+}
+
+// RecoveryHooks are callbacks the memory cloud installs so the cluster
+// layer can drive data recovery without depending on the storage layer.
+type RecoveryHooks struct {
+	// AcquireTrunks is invoked on a machine when the addressing table
+	// assigns it trunks it did not own before; the implementation reloads
+	// the trunk contents from TFS.
+	AcquireTrunks func(trunks []uint32)
+	// ReleaseTrunks is invoked when trunks move away from this machine
+	// (e.g. rebalancing toward a newly joined machine).
+	ReleaseTrunks func(trunks []uint32)
+}
+
+// Member is one machine's view of the cluster. The same type serves as
+// slave and (on at most one machine at a time) as leader.
+type Member struct {
+	id   msg.MachineID
+	node *msg.Node
+	fs   *tfs.FS
+	cfg  Config
+
+	table atomic.Pointer[Table]
+	hooks RecoveryHooks
+
+	mu        sync.Mutex
+	leaderID  msg.MachineID
+	isLeader  bool
+	lastSeen  map[msg.MachineID]time.Time // leader-side heartbeat registry
+	suspected map[msg.MachineID]bool
+	stopCh    chan struct{}
+	stopped   bool
+	wg        sync.WaitGroup
+
+	// Stats.
+	recoveries  atomic.Int64
+	tableSyncs  atomic.Int64
+	elections   atomic.Int64
+	failReports atomic.Int64
+}
+
+// NewMember wires a cluster member onto a messaging node and a shared TFS.
+// initial is the bootstrap table (identical on all machines); the member
+// with the lowest ID in the table wins the initial leader election.
+func NewMember(node *msg.Node, fs *tfs.FS, initial *Table, hooks RecoveryHooks, cfg Config) *Member {
+	cfg.fill()
+	m := &Member{
+		id:        node.ID(),
+		node:      node,
+		fs:        fs,
+		cfg:       cfg,
+		hooks:     hooks,
+		lastSeen:  make(map[msg.MachineID]time.Time),
+		suspected: make(map[msg.MachineID]bool),
+		stopCh:    make(chan struct{}),
+	}
+	m.table.Store(initial)
+	node.HandleAsync(protoHeartbeat, m.onHeartbeat)
+	node.HandleAsync(protoTableUpdate, m.onTableUpdate)
+	node.HandleSync(protoReportFail, m.onReportFailure)
+	node.HandleSync(protoGetTable, m.onGetTable)
+	node.HandleSync(protoPing, func(msg.MachineID, []byte) ([]byte, error) { return []byte{1}, nil })
+	return m
+}
+
+// Start begins heartbeating and, if this member can claim the leader flag,
+// leader duties. Call Stop to shut down.
+func (m *Member) Start() {
+	m.tryBecomeLeader(nil)
+	m.wg.Add(1)
+	go m.heartbeatLoop()
+}
+
+// Stop halts background loops.
+func (m *Member) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	close(m.stopCh)
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// Table returns the member's current replica of the addressing table.
+func (m *Member) Table() *Table { return m.table.Load() }
+
+// IsLeader reports whether this member currently holds leader duties.
+func (m *Member) IsLeader() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.isLeader
+}
+
+// Leader returns the member's current belief about the leader's identity.
+func (m *Member) Leader() msg.MachineID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.leaderID
+}
+
+// Stats reports cluster activity counters for tests and dashboards.
+type Stats struct {
+	Recoveries     int64
+	TableSyncs     int64
+	Elections      int64
+	FailureReports int64
+}
+
+// Stats returns a snapshot of the member's counters.
+func (m *Member) Stats() Stats {
+	return Stats{
+		Recoveries:     m.recoveries.Load(),
+		TableSyncs:     m.tableSyncs.Load(),
+		Elections:      m.elections.Load(),
+		FailureReports: m.failReports.Load(),
+	}
+}
+
+// encodeID encodes a machine ID for the leader flag file.
+func encodeID(id msg.MachineID) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(int32(id)))
+	return b[:]
+}
+
+// tryBecomeLeader attempts to claim the TFS leader flag. old is the flag
+// value we believe is current (nil at bootstrap). On success the member
+// persists the primary table replica and assumes leader duties; on CAS
+// failure it records the actual leader from the flag file.
+func (m *Member) tryBecomeLeader(old []byte) {
+	err := m.fs.CompareAndSwap(leaderFlagFile, old, encodeID(m.id))
+	if err == nil {
+		m.mu.Lock()
+		m.isLeader = true
+		m.leaderID = m.id
+		// Seed the failure detector with every known machine so one that
+		// dies before its first heartbeat is still noticed.
+		now := time.Now()
+		for _, id := range m.Table().Machines() {
+			if id != m.id {
+				if _, ok := m.lastSeen[id]; !ok {
+					m.lastSeen[id] = now
+				}
+			}
+		}
+		m.mu.Unlock()
+		m.elections.Add(1)
+		// Persist the primary replica before acting as leader (§6.2: "An
+		// update to the primary table must be applied to the persistent
+		// replica before committing").
+		m.fs.WriteFile(tableFile, m.Table().Encode())
+		return
+	}
+	if flag, rerr := m.fs.ReadFile(leaderFlagFile); rerr == nil && len(flag) == 4 {
+		m.mu.Lock()
+		m.leaderID = msg.MachineID(int32(binary.LittleEndian.Uint32(flag)))
+		m.isLeader = m.leaderID == m.id
+		m.mu.Unlock()
+	}
+}
+
+func (m *Member) heartbeatLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-ticker.C:
+			m.mu.Lock()
+			leader := m.leaderID
+			isLeader := m.isLeader
+			m.mu.Unlock()
+			if isLeader {
+				m.checkHeartbeats()
+				continue
+			}
+			err := m.node.Send(leader, protoHeartbeat, nil)
+			if err == nil {
+				// The packer may swallow a dead destination until the
+				// flush actually hits the transport.
+				err = m.node.Flush()
+			}
+			if err != nil {
+				// Confirm before racing to replace the leader.
+				if _, perr := m.node.Call(leader, protoPing, nil); perr != nil {
+					m.tryBecomeLeader(encodeID(leader))
+				}
+			}
+		}
+	}
+}
+
+// onHeartbeat records a slave's heartbeat (leader side).
+func (m *Member) onHeartbeat(from msg.MachineID, _ []byte) {
+	m.mu.Lock()
+	m.lastSeen[from] = time.Now()
+	delete(m.suspected, from)
+	m.mu.Unlock()
+}
+
+// checkHeartbeats is the leader's proactive failure detector.
+func (m *Member) checkHeartbeats() {
+	now := time.Now()
+	var expired []msg.MachineID
+	m.mu.Lock()
+	for id, seen := range m.lastSeen {
+		if now.Sub(seen) > m.cfg.FailureTimeout && !m.suspected[id] {
+			m.suspected[id] = true
+			expired = append(expired, id)
+		}
+	}
+	m.mu.Unlock()
+	for _, id := range expired {
+		m.confirmAndRecover(id)
+	}
+}
+
+// onReportFailure handles a slave's report that machine B is down
+// (§6.2: "machine A will inform the leader machine of the failure of
+// machine B"). The leader confirms by pinging the suspect itself.
+func (m *Member) onReportFailure(_ msg.MachineID, req []byte) ([]byte, error) {
+	if !m.IsLeader() {
+		return nil, errors.New("cluster: not the leader")
+	}
+	if len(req) != 4 {
+		return nil, errors.New("cluster: bad failure report")
+	}
+	m.failReports.Add(1)
+	suspect := msg.MachineID(int32(binary.LittleEndian.Uint32(req)))
+	m.confirmAndRecover(suspect)
+	return []byte{1}, nil
+}
+
+// confirmAndRecover pings the suspect and, if it is unreachable, runs the
+// recovery protocol: reassign its trunks, persist the table, broadcast.
+func (m *Member) confirmAndRecover(suspect msg.MachineID) {
+	if suspect == m.id {
+		return
+	}
+	if _, err := m.node.Call(suspect, protoPing, nil); err == nil {
+		return // false alarm
+	}
+	m.mu.Lock()
+	delete(m.lastSeen, suspect)
+	m.mu.Unlock()
+
+	old := m.Table()
+	survivors := make([]msg.MachineID, 0, len(old.Machines()))
+	for _, mm := range old.Machines() {
+		if mm != suspect {
+			survivors = append(survivors, mm)
+		}
+	}
+	nt, err := old.Reassign(suspect, survivors)
+	if err != nil {
+		return
+	}
+	if len(Diff(old, nt, suspect)) == 0 && len(old.TrunksOf(suspect)) == 0 {
+		return // nothing owned by the suspect
+	}
+	m.commitTable(nt)
+	m.recoveries.Add(1)
+}
+
+// AnnounceJoin adds a new machine to the cluster (leader only): some
+// trunks are relocated to it and the table is broadcast.
+func (m *Member) AnnounceJoin(joined msg.MachineID) error {
+	if !m.IsLeader() {
+		return errors.New("cluster: only the leader admits machines")
+	}
+	nt, moved := m.Table().Rebalance(joined)
+	if len(moved) == 0 {
+		return nil
+	}
+	m.commitTable(nt)
+	return nil
+}
+
+// commitTable persists a new table to TFS (primary replica first), applies
+// it locally, and broadcasts it to every machine in the table.
+func (m *Member) commitTable(nt *Table) {
+	m.fs.WriteFile(tableFile, nt.Encode())
+	m.applyTable(nt)
+	payload := nt.Encode()
+	for _, dst := range nt.Machines() {
+		if dst == m.id {
+			continue
+		}
+		// Best effort: "even if some slave machines cannot receive the
+		// broadcast message ... a machine will always sync up with the
+		// primary addressing table replica when it fails to load a data
+		// item" (§6.2).
+		m.node.Send(dst, protoTableUpdate, payload)
+	}
+	m.node.Flush()
+}
+
+// onTableUpdate installs a broadcast table (slave side).
+func (m *Member) onTableUpdate(_ msg.MachineID, payload []byte) {
+	nt, err := DecodeTable(payload)
+	if err != nil {
+		return
+	}
+	m.applyTable(nt)
+}
+
+// applyTable installs nt if it is newer than the current replica and fires
+// the recovery hooks for trunks acquired or released by this machine.
+func (m *Member) applyTable(nt *Table) {
+	for {
+		cur := m.table.Load()
+		if cur != nil && cur.Version >= nt.Version {
+			return
+		}
+		if m.table.CompareAndSwap(cur, nt) {
+			acquired := Diff(cur, nt, m.id)
+			released := released(cur, nt, m.id)
+			if len(acquired) > 0 && m.hooks.AcquireTrunks != nil {
+				m.hooks.AcquireTrunks(acquired)
+			}
+			if len(released) > 0 && m.hooks.ReleaseTrunks != nil {
+				m.hooks.ReleaseTrunks(released)
+			}
+			return
+		}
+	}
+}
+
+// released returns trunks owned by machine m in old but not in new.
+func released(old, new *Table, m msg.MachineID) []uint32 {
+	if old == nil {
+		return nil
+	}
+	var out []uint32
+	for i := range old.Slots {
+		if old.Slots[i] == m && new.Slots[i] != m {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// ReportFailure tells the leader that machine B looks dead. It is called
+// by the memory cloud when a data access fails. The call is synchronous:
+// when it returns nil, the leader has run recovery and the caller should
+// refresh its table and retry.
+func (m *Member) ReportFailure(b msg.MachineID) error {
+	if m.IsLeader() {
+		m.confirmAndRecover(b)
+		return nil
+	}
+	leader := m.Leader()
+	_, err := m.node.Call(leader, protoReportFail, encodeID(b))
+	if err != nil {
+		// The leader itself is down; elect and retry once.
+		m.tryBecomeLeader(encodeID(leader))
+		if m.IsLeader() {
+			m.confirmAndRecover(b)
+			return nil
+		}
+		_, err = m.node.Call(m.Leader(), protoReportFail, encodeID(b))
+	}
+	return err
+}
+
+// RefreshTable syncs this member's replica with the primary addressing
+// table. The persistent TFS copy is authoritative ("an update to the
+// primary table must be applied to the persistent replica before
+// committing"), so it is consulted first; if TFS is unreadable the leader
+// is asked directly.
+func (m *Member) RefreshTable() error {
+	m.tableSyncs.Add(1)
+	if payload, err := m.fs.ReadFile(tableFile); err == nil {
+		if nt, derr := DecodeTable(payload); derr == nil {
+			m.applyTable(nt)
+			return nil
+		}
+	}
+	payload, err := m.node.Call(m.Leader(), protoGetTable, nil)
+	if err != nil {
+		return fmt.Errorf("cluster: refresh: %w", err)
+	}
+	nt, err := DecodeTable(payload)
+	if err != nil {
+		return err
+	}
+	m.applyTable(nt)
+	return nil
+}
+
+// onGetTable serves the current table (leader side, but any member can
+// answer from its replica).
+func (m *Member) onGetTable(msg.MachineID, []byte) ([]byte, error) {
+	return m.Table().Encode(), nil
+}

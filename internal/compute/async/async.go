@@ -1,0 +1,302 @@
+// Package async implements Trinity's asynchronous computation mode: tasks
+// hop between machines with no supersteps and no barriers, and global
+// quiescence is detected with Safra's termination detection algorithm —
+// the paper uses exactly this ("Trinity calls Safra's termination
+// detection algorithm to check whether the system ceases", §6.2).
+//
+// The package also implements the §6.2 snapshot mechanism for
+// asynchronous fault tolerance: an interruption signal pauses every
+// machine after the task in hand, Safra's algorithm confirms the system
+// has ceased (no tasks executing, none in flight), and the engine writes
+// a consistent snapshot (user state plus undelivered tasks) to the
+// Trinity File System before resuming.
+//
+// Safra bookkeeping, in brief: each machine keeps a counter of
+// cross-machine tasks sent minus received and a color (black after
+// receiving a task). A token circulates the machine ring, accumulating
+// counters; it is forwarded only by passive machines, and forwarding
+// whitens the forwarder. When the initiator gets back a white token whose
+// accumulated count plus its own counter is zero while itself white and
+// passive, the system has terminated. All token handling runs on the
+// per-machine executor goroutine, so no lock is ever held across a
+// network send.
+package async
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"trinity/internal/memcloud"
+	"trinity/internal/msg"
+	"trinity/internal/tfs"
+)
+
+// Engine protocol IDs.
+const (
+	protoTask  msg.ProtocolID = 0x0501
+	protoToken msg.ProtocolID = 0x0502
+)
+
+// Handler processes one task on a machine. It may post follow-up tasks to
+// any machine through the context. Handlers on one machine run
+// sequentially (one executor per machine), so per-machine handler state
+// needs no locking.
+type Handler func(ctx *Ctx, task []byte)
+
+// Ctx lets a handler post follow-up tasks.
+type Ctx struct {
+	m *machine
+}
+
+// Machine returns the id of the machine executing the handler.
+func (c *Ctx) Machine() msg.MachineID { return c.m.id }
+
+// Post enqueues a task on the destination machine.
+func (c *Ctx) Post(to msg.MachineID, task []byte) {
+	c.m.post(to, task)
+}
+
+// Engine coordinates an asynchronous computation over the machines of a
+// memory cloud. Wait (and Snapshot) must not be called concurrently with
+// each other.
+type Engine struct {
+	machines []*machine
+	fs       *tfs.FS
+
+	termMu   sync.Mutex
+	termCond *sync.Cond
+	done     bool
+}
+
+// machine is the per-slave async runtime.
+type machine struct {
+	e       *Engine
+	index   int
+	id      msg.MachineID
+	node    *msg.Node
+	handler Handler
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   [][]byte
+	active  bool
+	paused  bool
+	stopped bool
+
+	// Safra state.
+	counter int64 // cross-machine tasks sent - received
+	black   bool
+	holding bool // received a token not yet handled
+	launch  bool // initiator only: emit a fresh token when passive
+	tokenQ  int64
+	tokenB  bool
+}
+
+// New builds an async engine over the cloud's machines.
+func New(cloud *memcloud.Cloud, handler Handler) *Engine {
+	e := &Engine{fs: cloud.Slave(0).FS()}
+	e.termCond = sync.NewCond(&e.termMu)
+	for i := 0; i < cloud.Slaves(); i++ {
+		m := &machine{
+			e:       e,
+			index:   i,
+			id:      cloud.Slave(i).ID(),
+			node:    cloud.Slave(i).Node(),
+			handler: handler,
+		}
+		m.cond = sync.NewCond(&m.mu)
+		m.node.HandleAsync(protoTask, m.onTask)
+		m.node.HandleAsync(protoToken, m.onToken)
+		e.machines = append(e.machines, m)
+	}
+	for _, m := range e.machines {
+		go m.run()
+	}
+	return e
+}
+
+// Post seeds a task onto a machine from outside any handler. The send is
+// accounted through machine 0 so Safra sees it.
+func (e *Engine) Post(to msg.MachineID, task []byte) {
+	e.machines[0].post(to, task)
+}
+
+// Wait blocks until Safra's algorithm detects global termination: every
+// machine passive and no tasks in flight. The engine is reusable after
+// Wait returns.
+func (e *Engine) Wait() {
+	e.termMu.Lock()
+	e.done = false
+	e.termMu.Unlock()
+	e.machines[0].startProbe()
+	e.termMu.Lock()
+	for !e.done {
+		e.termCond.Wait()
+	}
+	e.termMu.Unlock()
+}
+
+// Stop shuts the executors down. The engine cannot be reused.
+func (e *Engine) Stop() {
+	for _, m := range e.machines {
+		m.mu.Lock()
+		m.stopped = true
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// post routes a task, counting cross-machine sends for Safra.
+func (m *machine) post(to msg.MachineID, task []byte) {
+	if to == m.id {
+		m.mu.Lock()
+		m.queue = append(m.queue, append([]byte(nil), task...))
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Lock()
+	m.counter++
+	m.mu.Unlock()
+	m.node.Send(to, protoTask, task)
+	m.node.Flush()
+}
+
+// onTask receives a cross-machine task (transport goroutine).
+func (m *machine) onTask(_ msg.MachineID, task []byte) {
+	m.mu.Lock()
+	m.counter--
+	m.black = true // receiving blackens the machine
+	m.queue = append(m.queue, append([]byte(nil), task...))
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// onToken receives the circulating token (transport goroutine). The
+// executor does the actual forwarding.
+func (m *machine) onToken(_ msg.MachineID, b []byte) {
+	if len(b) != 9 {
+		return
+	}
+	m.mu.Lock()
+	m.holding = true
+	m.tokenQ = int64(binary.LittleEndian.Uint64(b[:8]))
+	m.tokenB = b[8] == 1
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// startProbe asks the initiator (machine 0) to launch a fresh white
+// token as soon as it is passive.
+func (m *machine) startProbe() {
+	m.mu.Lock()
+	m.launch = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// passiveLocked reports Safra passivity: not executing, and either no
+// pending work or paused (a paused machine cannot send).
+func (m *machine) passiveLocked() bool {
+	return !m.active && (len(m.queue) == 0 || m.paused)
+}
+
+// run is the machine's executor loop. It alternates between executing
+// tasks and, while passive, handling token duties.
+func (m *machine) run() {
+	for {
+		m.mu.Lock()
+		for !m.stopped {
+			if (m.holding || m.launch) && m.passiveLocked() {
+				break // token duty
+			}
+			if len(m.queue) > 0 && !m.paused {
+				break // run a task
+			}
+			m.cond.Wait()
+		}
+		if m.stopped {
+			m.mu.Unlock()
+			return
+		}
+		if (m.holding || m.launch) && m.passiveLocked() {
+			send, payload, next := m.tokenDutyLocked()
+			m.mu.Unlock()
+			if send {
+				m.node.Send(next, protoToken, payload)
+				m.node.Flush()
+			}
+			continue
+		}
+		task := m.queue[0]
+		m.queue = m.queue[1:]
+		m.active = true
+		m.mu.Unlock()
+
+		m.handler(&Ctx{m: m}, task)
+
+		m.mu.Lock()
+		m.active = false
+		m.cond.Broadcast() // wake snapshot waiters and token logic
+		m.mu.Unlock()
+	}
+}
+
+// tokenDutyLocked performs this machine's pending token work:
+//
+//   - initiator, round ended: declare termination if the token and the
+//     initiator are white and the global count is zero, else relaunch;
+//   - initiator, launch requested: emit a fresh white token;
+//   - other machines: forward the token with accumulated counter/color,
+//     whitening themselves.
+//
+// Called with m.mu held by the executor; the actual send happens after
+// the caller releases the lock.
+func (m *machine) tokenDutyLocked() (send bool, payload []byte, next msg.MachineID) {
+	n := len(m.e.machines)
+	nextID := m.e.machines[(m.index+1)%n].id
+	token := func(q int64, black bool) (bool, []byte, msg.MachineID) {
+		var buf [9]byte
+		binary.LittleEndian.PutUint64(buf[:8], uint64(q))
+		if black {
+			buf[8] = 1
+		}
+		return true, buf[:], nextID
+	}
+	if m.index != 0 {
+		// Forward with accumulated state; forwarding whitens.
+		q := m.tokenQ + m.counter
+		black := m.tokenB || m.black
+		m.holding = false
+		m.black = false
+		return token(q, black)
+	}
+	if m.holding {
+		// A round has completed at the initiator.
+		m.holding = false
+		terminated := !m.tokenB && !m.black && m.tokenQ+m.counter == 0
+		if terminated {
+			m.launch = false
+			m.e.termMu.Lock()
+			m.e.done = true
+			m.e.termCond.Broadcast()
+			m.e.termMu.Unlock()
+			return false, nil, 0
+		}
+		m.launch = true // inconclusive: go again
+	}
+	// Launch a fresh white token; launching whitens the initiator.
+	m.launch = false
+	m.black = false
+	if n == 1 {
+		// Single machine: the ring is this machine alone; termination is
+		// simply local passivity with a balanced counter (counter is
+		// always 0 with no peers).
+		m.e.termMu.Lock()
+		m.e.done = true
+		m.e.termCond.Broadcast()
+		m.e.termMu.Unlock()
+		return false, nil, 0
+	}
+	return token(0, false)
+}

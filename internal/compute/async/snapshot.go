@@ -1,0 +1,100 @@
+package async
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Snapshot implements the §6.2 interruption mechanism for asynchronous
+// fault tolerance: pause every machine after the task in hand, let
+// Safra's algorithm confirm the system has ceased (paused machines count
+// as passive and in-flight tasks drain into queues), then write each
+// machine's user state and undelivered task queue to TFS, and resume.
+func (e *Engine) Snapshot(name string, state func(machine int) []byte) error {
+	// Interruption signal: "all vertices will pause after finishing the
+	// job in hand".
+	for _, m := range e.machines {
+		m.mu.Lock()
+		m.paused = true
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+	// Safra confirms the system ceased: executors idle, network drained.
+	e.Wait()
+	// Write the snapshot: pending tasks plus user state per machine.
+	for i, m := range e.machines {
+		m.mu.Lock()
+		buf := binary.LittleEndian.AppendUint32(nil, uint32(len(m.queue)))
+		for _, task := range m.queue {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(task)))
+			buf = append(buf, task...)
+		}
+		m.mu.Unlock()
+		var userState []byte
+		if state != nil {
+			userState = state(i)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(userState)))
+		buf = append(buf, userState...)
+		if err := e.fs.WriteFile(fmt.Sprintf("%s/machine-%d", name, i), buf); err != nil {
+			return err
+		}
+	}
+	// Resume.
+	for _, m := range e.machines {
+		m.mu.Lock()
+		m.paused = false
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// errCorrupt reports a malformed snapshot file.
+var errCorrupt = errors.New("async: corrupt snapshot")
+
+// RestoreQueues reloads the pending task queues from a snapshot into the
+// machines and returns each machine's saved user state for the caller to
+// apply.
+func (e *Engine) RestoreQueues(name string) ([][]byte, error) {
+	states := make([][]byte, len(e.machines))
+	for i, m := range e.machines {
+		data, err := e.fs.ReadFile(fmt.Sprintf("%s/machine-%d", name, i))
+		if err != nil {
+			return nil, err
+		}
+		if len(data) < 4 {
+			return nil, errCorrupt
+		}
+		count := int(binary.LittleEndian.Uint32(data))
+		off := 4
+		var queue [][]byte
+		for j := 0; j < count; j++ {
+			if off+4 > len(data) {
+				return nil, errCorrupt
+			}
+			n := int(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+			if off+n > len(data) {
+				return nil, errCorrupt
+			}
+			queue = append(queue, append([]byte(nil), data[off:off+n]...))
+			off += n
+		}
+		if off+4 > len(data) {
+			return nil, errCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+n > len(data) {
+			return nil, errCorrupt
+		}
+		states[i] = append([]byte(nil), data[off:off+n]...)
+		m.mu.Lock()
+		m.queue = append(m.queue, queue...)
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+	return states, nil
+}

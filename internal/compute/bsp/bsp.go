@@ -1,0 +1,586 @@
+// Package bsp implements Trinity's vertex-centric offline computation
+// engine (paper §5.3): synchronous supersteps in the Pregel style, with
+// the restrictive-model optimizations of §5.4.
+//
+// In the restrictive model a vertex exchanges messages only with a fixed
+// set of vertices (its neighbors), which makes the communication pattern
+// predictable. The engine exploits this with two §5.4 mechanisms:
+//
+//   - Message combining: messages to the same destination vertex are
+//     merged on arrival when the program provides a Combine function.
+//
+//   - Hub-vertex buffering with action scripts: before the first
+//     superstep, each machine scans its local vertices' in-links, finds
+//     remote source vertices that feed many local targets (hubs), and
+//     sends the hub's owner an action script subscribing to that hub.
+//     During execution, a hub's broadcast value crosses the wire once per
+//     subscribed machine instead of once per edge; the receiving machine
+//     fans it out locally. For a scale-free graph, "even if we buffer
+//     messages from just 1% hub vertices, we have addressed 72.8% of
+//     message needs".
+//
+// Supersteps end with a marker-based barrier: per-sender FIFO ordering of
+// the transport guarantees that a StepDone marker arrives after all of the
+// sender's vertex messages.
+package bsp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"trinity/internal/graph"
+	"trinity/internal/msg"
+)
+
+// inboxShards is the sharding factor of the per-machine message inbox.
+const inboxShards = 64
+
+// inboxT is a sharded destination->messages map.
+type inboxT [inboxShards]map[uint64][]float64
+
+func newInbox() *inboxT {
+	var ib inboxT
+	for i := range ib {
+		ib[i] = make(map[uint64][]float64)
+	}
+	return &ib
+}
+
+func (ib *inboxT) get(dst uint64) []float64 { return ib[dst%inboxShards][dst] }
+
+// Engine protocol IDs (below tsl.ProtoUserBase, above the graph range).
+const (
+	protoVertexMsg msg.ProtocolID = 0x0301 + iota
+	protoHubMsg
+	protoStepDone
+	protoActionScript
+)
+
+// Message is the vertex-to-vertex message type: a 64-bit value, matching
+// the paper's workloads (ranks, levels, distances, component labels).
+type Message = float64
+
+// Program is a vertex program in the restrictive vertex-centric model.
+// Vertex values are float64 (sufficient for the paper's workloads:
+// PageRank ranks, BFS levels, SSSP distances, WCC component IDs); richer
+// state belongs in cells via the TSL accessors.
+type Program interface {
+	// Init returns the initial value of a vertex and whether it starts
+	// active.
+	Init(id uint64, outDegree int) (val float64, active bool)
+	// Compute processes the vertex for one superstep. It may send
+	// messages through ctx and returns the new value and whether the
+	// vertex votes to halt. Compute is invoked for a vertex when it is
+	// active or has pending messages.
+	Compute(ctx *Context, id uint64, val float64, msgs []float64) (newVal float64, halt bool)
+}
+
+// Combiner optionally merges two messages addressed to the same vertex
+// (e.g. sum for PageRank, min for SSSP). Nil disables combining.
+type Combiner func(a, b float64) float64
+
+// Options configures a run.
+type Options struct {
+	// MaxSupersteps bounds the run. Zero means 1<<30.
+	MaxSupersteps int
+	// Combine merges messages to the same destination vertex.
+	Combine Combiner
+	// HubThreshold enables hub-vertex buffering: a remote source feeding
+	// at least this many local targets is subscribed via an action
+	// script. Zero disables the optimization.
+	HubThreshold int
+	// CheckpointEvery writes vertex values to TFS every k supersteps
+	// ("for BSP based synchronous computation, we make check points every
+	// a few supersteps", §6.2). Zero disables checkpointing.
+	CheckpointEvery int
+	// CheckpointName names the checkpoint files on TFS.
+	CheckpointName string
+	// OnSuperstep, if non-nil, observes (superstep, active, sent) after
+	// every barrier.
+	OnSuperstep func(step int, active, sent int64)
+}
+
+// Context carries per-superstep operations for the vertices of one
+// compute goroutine. It is not safe to share across goroutines.
+type Context struct {
+	w    *worker
+	self uint64
+	step int
+	agg  map[string]float64
+}
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context) Superstep() int { return c.step }
+
+// Send delivers m to vertex dst at the next superstep.
+func (c *Context) Send(dst uint64, m float64) {
+	c.w.send(c.self, dst, m)
+}
+
+// SendToAllOut broadcasts m along all out-edges — the restrictive-model
+// pattern ("Outlinks.Foreach"). This path is hub-optimized: if remote
+// machines have subscribed to this vertex, they receive one copy each.
+func (c *Context) SendToAllOut(m float64) {
+	c.w.sendToAllOut(c.self, m)
+}
+
+// ForEachOut streams the current vertex's out-neighbors (zero-copy local
+// read), for programs that need per-edge targeted sends.
+func (c *Context) ForEachOut(fn func(dst uint64) bool) {
+	c.w.m.ForEachOutlink(c.self, fn)
+}
+
+// ForEachOutEdge streams the current vertex's out-edges with weights
+// (weight 1 when the graph is unweighted), for SSSP-style programs.
+func (c *Context) ForEachOutEdge(fn func(dst uint64, w int64) bool) {
+	c.w.m.ForEachOutEdge(c.self, fn)
+}
+
+// OutDegree returns the current vertex's out-degree.
+func (c *Context) OutDegree() int {
+	deg, _ := c.w.m.OutDegree(c.self)
+	return deg
+}
+
+// Aggregate adds v into the named global aggregator; the reduced sum is
+// visible to all vertices at the next superstep via ctx.Aggregated.
+func (c *Context) Aggregate(name string, v float64) {
+	c.agg[name] += v
+}
+
+// Aggregated returns the global sum of the named aggregator from the
+// previous superstep.
+func (c *Context) Aggregated(name string) float64 {
+	return c.w.e.aggGlobal[name]
+}
+
+// NumVertices returns the global vertex count.
+func (c *Context) NumVertices() int { return c.w.e.totalVertices }
+
+// Engine runs vertex programs over a distributed graph. One worker is
+// attached to every machine; Run drives them through synchronized
+// supersteps with machine 0 acting as coordinator.
+type Engine struct {
+	g       *graph.Graph
+	opts    Options
+	workers []*worker
+
+	totalVertices int
+	aggGlobal     map[string]float64
+}
+
+// worker is the per-machine execution state.
+type worker struct {
+	e  *Engine
+	m  *graph.Machine
+	id msg.MachineID
+
+	vertexIDs []uint64
+	values    map[uint64]float64
+	active    map[uint64]bool
+
+	// Inboxes are sharded 64 ways by destination hash so concurrent
+	// deliveries do not contend on one lock (and never race on one map).
+	inbox  *inboxT // messages for the CURRENT superstep
+	nextMu [inboxShards]sync.Mutex
+	next   *inboxT
+
+	// Hub optimization state.
+	hubSources     map[uint64][]uint64        // remote hub -> local targets
+	hubSubscribers map[uint64][]msg.MachineID // local hub -> subscribed machines
+	hubSubSet      map[uint64]map[msg.MachineID]bool
+
+	aggLocal map[string]float64
+
+	sentWire  atomic.Int64 // messages that crossed the wire this step
+	sentTotal atomic.Int64 // logical messages this step
+
+	doneMu   sync.Mutex
+	doneFrom map[msg.MachineID]bool
+	doneCond *sync.Cond
+	step     int
+}
+
+// New builds an engine over the graph. The graph must be fully loaded:
+// vertex sets are snapshotted now.
+func New(g *graph.Graph, opts Options) *Engine {
+	if opts.MaxSupersteps <= 0 {
+		opts.MaxSupersteps = 1 << 30
+	}
+	e := &Engine{g: g, opts: opts, aggGlobal: map[string]float64{}}
+	for i := 0; i < g.Machines(); i++ {
+		m := g.On(i)
+		w := &worker{
+			e:         e,
+			m:         m,
+			id:        m.Slave().ID(),
+			vertexIDs: m.LocalNodeIDs(),
+			values:    make(map[uint64]float64),
+			active:    make(map[uint64]bool),
+			inbox:     newInbox(),
+			next:      newInbox(),
+			aggLocal:  map[string]float64{},
+			doneFrom:  make(map[msg.MachineID]bool),
+		}
+		w.doneCond = sync.NewCond(&w.doneMu)
+		e.totalVertices += len(w.vertexIDs)
+		node := m.Slave().Node()
+		node.HandleAsync(protoVertexMsg, w.onVertexMsg)
+		node.HandleAsync(protoHubMsg, w.onHubMsg)
+		node.HandleAsync(protoStepDone, w.onStepDone)
+		node.HandleSync(protoActionScript, w.onActionScript)
+		e.workers = append(e.workers, w)
+	}
+	return e
+}
+
+// Run executes the program to convergence (all vertices halted and no
+// messages in flight) or MaxSupersteps, returning the number of
+// supersteps executed.
+func (e *Engine) Run(p Program) (int, error) {
+	e.initVertices(p)
+	if e.opts.HubThreshold > 0 {
+		e.setupHubSubscriptions()
+	}
+	step := 0
+	for ; step < e.opts.MaxSupersteps; step++ {
+		active, sent, err := e.superstep(p, step)
+		if err != nil {
+			return step, err
+		}
+		if e.opts.OnSuperstep != nil {
+			e.opts.OnSuperstep(step, active, sent)
+		}
+		if e.opts.CheckpointEvery > 0 && (step+1)%e.opts.CheckpointEvery == 0 {
+			if err := e.Checkpoint(fmt.Sprintf("%s/step-%d", e.checkpointName(), step)); err != nil {
+				return step, err
+			}
+		}
+		if active == 0 && sent == 0 {
+			return step + 1, nil
+		}
+	}
+	return step, nil
+}
+
+func (e *Engine) checkpointName() string {
+	if e.opts.CheckpointName != "" {
+		return "bsp/" + e.opts.CheckpointName
+	}
+	return "bsp/checkpoint"
+}
+
+// initVertices runs Program.Init on every vertex in parallel.
+func (e *Engine) initVertices(p Program) {
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for _, id := range w.vertexIDs {
+				deg, _ := w.m.OutDegree(id)
+				val, active := p.Init(id, deg)
+				w.values[id] = val
+				w.active[id] = active
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Values returns a merged snapshot of all vertex values. Intended for
+// result collection after Run.
+func (e *Engine) Values() map[uint64]float64 {
+	out := make(map[uint64]float64, e.totalVertices)
+	for _, w := range e.workers {
+		for id, v := range w.values {
+			out[id] = v
+		}
+	}
+	return out
+}
+
+// Value returns one vertex's value.
+func (e *Engine) Value(id uint64) (float64, bool) {
+	for _, w := range e.workers {
+		if v, ok := w.values[id]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// WireMessages returns the cumulative number of messages that actually
+// crossed the wire (hub-buffered fan-outs count once). The hub ablation
+// benchmark compares this against logical messages.
+func (e *Engine) WireMessages() int64 {
+	var total int64
+	for _, w := range e.workers {
+		total += w.sentWire.Load()
+	}
+	return total
+}
+
+// superstep drives one synchronized superstep across all machines.
+func (e *Engine) superstep(p Program, step int) (int64, int64, error) {
+	// Phase 1: rotate inboxes (prepared by the previous step).
+	for _, w := range e.workers {
+		w.inbox, w.next = w.next, newInbox()
+		w.step = step
+		w.sentTotal.Store(0)
+	}
+	// Phase 2: compute all machines in parallel.
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(e.workers))
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			if err := w.computePhase(p, step); err != nil {
+				errCh <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, 0, err
+	default:
+	}
+	// Phase 3: barrier — wait for all markers on every machine.
+	for _, w := range e.workers {
+		w.waitForMarkers(len(e.workers) - 1)
+	}
+	// Phase 4: reduce aggregators and counters on the coordinator.
+	agg := map[string]float64{}
+	var active, sent int64
+	for _, w := range e.workers {
+		for k, v := range w.aggLocal {
+			agg[k] += v
+		}
+		w.aggLocal = map[string]float64{}
+		for id, a := range w.active {
+			if a || len(w.next.get(id)) > 0 {
+				active++
+			}
+		}
+		sent += w.sentTotal.Load()
+	}
+	e.aggGlobal = agg
+	return active, sent, nil
+}
+
+// computePhase runs Compute over this machine's vertices, then flushes
+// and broadcasts the end-of-step marker.
+func (w *worker) computePhase(p Program, step int) error {
+	node := w.m.Slave().Node()
+	// Shard vertices across a small pool: vertex computation is
+	// embarrassingly parallel within a machine.
+	workers := runtime.NumCPU() / len(w.e.workers)
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	var aggMu sync.Mutex
+	shard := (len(w.vertexIDs) + workers - 1) / workers
+	for s := 0; s < len(w.vertexIDs); s += shard {
+		endIdx := s + shard
+		if endIdx > len(w.vertexIDs) {
+			endIdx = len(w.vertexIDs)
+		}
+		wg.Add(1)
+		go func(ids []uint64) {
+			defer wg.Done()
+			ctx := &Context{w: w, step: step, agg: map[string]float64{}}
+			for _, id := range ids {
+				msgs := w.inbox.get(id)
+				if !w.active[id] && len(msgs) == 0 {
+					continue
+				}
+				ctx.self = id
+				newVal, halt := p.Compute(ctx, id, w.values[id], msgs)
+				w.values[id] = newVal
+				w.active[id] = !halt
+			}
+			aggMu.Lock()
+			for k, v := range ctx.agg {
+				w.aggLocal[k] += v
+			}
+			aggMu.Unlock()
+		}(w.vertexIDs[s:endIdx])
+	}
+	wg.Wait()
+	if err := node.Flush(); err != nil && !errors.Is(err, msg.ErrUnreachable) {
+		return err
+	}
+	// Broadcast the end-of-step marker; FIFO ordering places it after all
+	// vertex messages from this machine.
+	for _, other := range w.e.workers {
+		if other.id != w.id {
+			node.Send(other.id, protoStepDone, []byte{byte(step)})
+		}
+	}
+	return node.Flush()
+}
+
+// waitForMarkers blocks until `want` peers have signalled end-of-step.
+func (w *worker) waitForMarkers(want int) {
+	w.doneMu.Lock()
+	for len(w.doneFrom) < want {
+		w.doneCond.Wait()
+	}
+	w.doneFrom = make(map[msg.MachineID]bool)
+	w.doneMu.Unlock()
+}
+
+func (w *worker) onStepDone(from msg.MachineID, _ []byte) {
+	w.doneMu.Lock()
+	w.doneFrom[from] = true
+	w.doneCond.Broadcast()
+	w.doneMu.Unlock()
+}
+
+// send routes one message; local destinations bypass the wire.
+func (w *worker) send(src, dst uint64, m float64) {
+	w.sentTotal.Add(1)
+	owner := w.m.Slave().Owner(dst)
+	if owner == w.id {
+		w.deliverLocal(dst, m)
+		return
+	}
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], dst)
+	binary.LittleEndian.PutUint64(buf[8:], mathFloat64bits(m))
+	w.sentWire.Add(1)
+	w.m.Slave().Node().Send(owner, protoVertexMsg, buf[:])
+}
+
+// sendToAllOut broadcasts along out-edges with hub-aware deduplication.
+func (w *worker) sendToAllOut(src uint64, m float64) {
+	subs := w.hubSubscribers[src]
+	subscribed := w.hubSubSet[src]
+	// One wire message per subscribed machine.
+	if len(subs) > 0 {
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[0:], src)
+		binary.LittleEndian.PutUint64(buf[8:], mathFloat64bits(m))
+		for _, dstMachine := range subs {
+			w.sentWire.Add(1)
+			w.m.Slave().Node().Send(dstMachine, protoHubMsg, buf[:])
+		}
+	}
+	w.m.ForEachOutlink(src, func(dst uint64) bool {
+		owner := w.m.Slave().Owner(dst)
+		if subscribed != nil && subscribed[owner] {
+			w.sentTotal.Add(1) // logical message, carried by the hub copy
+			return true
+		}
+		w.send(src, dst, m)
+		return true
+	})
+}
+
+// deliverLocal appends m to the next-step inbox, combining when enabled.
+func (w *worker) deliverLocal(dst uint64, m float64) {
+	shard := dst % inboxShards
+	mu := &w.nextMu[shard]
+	mu.Lock()
+	if w.e.opts.Combine != nil {
+		if prev, ok := w.next[shard][dst]; ok && len(prev) == 1 {
+			prev[0] = w.e.opts.Combine(prev[0], m)
+			mu.Unlock()
+			return
+		}
+	}
+	w.next[shard][dst] = append(w.next[shard][dst], m)
+	mu.Unlock()
+}
+
+func (w *worker) onVertexMsg(_ msg.MachineID, b []byte) {
+	if len(b) != 16 {
+		return
+	}
+	dst := binary.LittleEndian.Uint64(b[0:])
+	m := mathFloat64frombits(binary.LittleEndian.Uint64(b[8:]))
+	w.deliverLocal(dst, m)
+}
+
+// onHubMsg fans a hub vertex's broadcast out to all local targets.
+func (w *worker) onHubMsg(_ msg.MachineID, b []byte) {
+	if len(b) != 16 {
+		return
+	}
+	src := binary.LittleEndian.Uint64(b[0:])
+	m := mathFloat64frombits(binary.LittleEndian.Uint64(b[8:]))
+	for _, dst := range w.hubSources[src] {
+		w.deliverLocal(dst, m)
+	}
+}
+
+// setupHubSubscriptions implements the §5.4 action-script exchange.
+func (e *Engine) setupHubSubscriptions() {
+	for _, w := range e.workers {
+		w.hubSources = make(map[uint64][]uint64)
+		w.hubSubscribers = make(map[uint64][]msg.MachineID)
+		w.hubSubSet = make(map[uint64]map[msg.MachineID]bool)
+	}
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			// Count local targets per remote source using in-links.
+			counts := make(map[uint64][]uint64)
+			for _, id := range w.vertexIDs {
+				w.m.ForEachInlink(id, func(src uint64) bool {
+					if w.m.Slave().Owner(src) != w.id {
+						counts[src] = append(counts[src], id)
+					}
+					return true
+				})
+			}
+			// Subscribe to hubs via action scripts grouped by owner.
+			perOwner := make(map[msg.MachineID][]uint64)
+			for src, targets := range counts {
+				if len(targets) >= e.opts.HubThreshold {
+					w.hubSources[src] = targets
+					perOwner[w.m.Slave().Owner(src)] = append(perOwner[w.m.Slave().Owner(src)], src)
+				}
+			}
+			for owner, hubs := range perOwner {
+				script := make([]byte, 8*len(hubs))
+				for i, h := range hubs {
+					binary.LittleEndian.PutUint64(script[8*i:], h)
+				}
+				w.m.Slave().Node().Call(owner, protoActionScript, script)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// onActionScript records a peer's hub subscriptions ("each machine merges
+// the action scripts it receives from other machines", §5.4).
+func (w *worker) onActionScript(from msg.MachineID, script []byte) ([]byte, error) {
+	w.doneMu.Lock() // reuse as a small setup lock
+	defer w.doneMu.Unlock()
+	for off := 0; off+8 <= len(script); off += 8 {
+		hub := binary.LittleEndian.Uint64(script[off:])
+		if w.hubSubSet[hub] == nil {
+			w.hubSubSet[hub] = make(map[msg.MachineID]bool)
+		}
+		if !w.hubSubSet[hub][from] {
+			w.hubSubSet[hub][from] = true
+			w.hubSubscribers[hub] = append(w.hubSubscribers[hub], from)
+		}
+	}
+	return nil, nil
+}
+
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,63 @@
+package bsp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Checkpoint writes every vertex's (id, value, active) triple to the
+// Trinity File System under the given name, one file per machine. The
+// checkpoint is the §6.2 fault-recovery mechanism for synchronous
+// computation: after a failure, Restore rewinds all machines to the last
+// completed checkpoint and the run resumes from there.
+func (e *Engine) Checkpoint(name string) error {
+	fs := e.g.On(0).Slave().FS()
+	for i, w := range e.workers {
+		buf := make([]byte, 0, len(w.values)*17)
+		for id, v := range w.values {
+			var rec [17]byte
+			binary.LittleEndian.PutUint64(rec[0:], id)
+			binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(v))
+			if w.active[id] {
+				rec[16] = 1
+			}
+			buf = append(buf, rec[:]...)
+		}
+		if err := fs.WriteFile(fmt.Sprintf("%s/machine-%d", name, i), buf); err != nil {
+			return fmt.Errorf("bsp: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// Restore loads vertex values and activity from a checkpoint written by
+// Checkpoint. Vertices are matched by current ownership, so a restore
+// works even after trunks moved between machines.
+func (e *Engine) Restore(name string) error {
+	fs := e.g.On(0).Slave().FS()
+	// Index current owners.
+	ownerOf := make(map[uint64]*worker, e.totalVertices)
+	for _, w := range e.workers {
+		for _, id := range w.vertexIDs {
+			ownerOf[id] = w
+		}
+	}
+	for i := range e.workers {
+		data, err := fs.ReadFile(fmt.Sprintf("%s/machine-%d", name, i))
+		if err != nil {
+			return fmt.Errorf("bsp: restore: %w", err)
+		}
+		for off := 0; off+17 <= len(data); off += 17 {
+			id := binary.LittleEndian.Uint64(data[off:])
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+			w := ownerOf[id]
+			if w == nil {
+				continue // vertex no longer present
+			}
+			w.values[id] = v
+			w.active[id] = data[off+16] == 1
+		}
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+// Package traversal implements Trinity's online traversal-based query
+// processing (paper §5.1): low-latency graph exploration over the memory
+// cloud, the paradigm behind the "find any David within 3 hops" people
+// search.
+//
+// A query fans out level by level: the coordinator machine groups the
+// frontier by owner machine and issues one parallel expansion request per
+// machine; each machine explores its local vertices with zero-copy cell
+// access, evaluates the predicate, and returns matches plus the next
+// frontier fragment. No index is used — the performance comes from fast
+// random access and parallelism, exactly the paper's argument.
+package traversal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"trinity/internal/graph"
+	"trinity/internal/memcloud"
+	"trinity/internal/msg"
+)
+
+// protoExpand is the one-sided frontier-expansion protocol.
+const protoExpand msg.ProtocolID = 0x0401
+
+// Predicate filters visited nodes. The zero value matches nothing and is
+// used for pure reachability exploration.
+type Predicate struct {
+	// Mode selects the match rule.
+	Mode PredicateMode
+	// Label matches nodes whose Label equals this value (MatchLabel).
+	// People search interns the first name into the label, so "find
+	// Davids" is a label comparison, not a string scan.
+	Label int64
+	// Prefix matches nodes whose Name starts with this (MatchNamePrefix).
+	Prefix string
+}
+
+// PredicateMode enumerates predicate kinds.
+type PredicateMode uint8
+
+// Predicate modes.
+const (
+	MatchNone PredicateMode = iota
+	MatchLabel
+	MatchNamePrefix
+)
+
+// Result is the outcome of an exploration query.
+type Result struct {
+	// Matches are the nodes satisfying the predicate, in discovery order
+	// (level by level). The start node is tested too.
+	Matches []uint64
+	// Visited is the total number of distinct nodes reached (including
+	// the start).
+	Visited int
+	// Levels records the frontier size at each hop.
+	Levels []int
+}
+
+// Engine serves traversal queries over a graph. Construct one per
+// process; it registers its protocol on every machine.
+type Engine struct {
+	g *graph.Graph
+}
+
+// New builds a traversal engine and installs handlers on all machines.
+func New(g *graph.Graph) *Engine {
+	e := &Engine{g: g}
+	for i := 0; i < g.Machines(); i++ {
+		m := g.On(i)
+		mm := m
+		m.Slave().Node().HandleSync(protoExpand, func(from msg.MachineID, req []byte) ([]byte, error) {
+			return e.expandLocal(mm, req)
+		})
+	}
+	return e
+}
+
+// Explore runs a breadth-first exploration from start up to `hops` hops
+// away, collecting nodes that satisfy pred. The query is served by
+// machine `via` (any machine can coordinate, like a Trinity client
+// talking to any slave).
+func (e *Engine) Explore(via int, start uint64, hops int, pred Predicate) (*Result, error) {
+	coord := e.g.On(via)
+	if !coord.HasNode(start) {
+		return nil, fmt.Errorf("traversal: start node %d does not exist", start)
+	}
+	res := &Result{Visited: 1}
+	visited := map[uint64]bool{start: true}
+
+	frontier := []uint64{start}
+	for hop := 0; hop <= hops && len(frontier) > 0; hop++ {
+		// The final frontier is tested against the predicate but not
+		// expanded further.
+		expandMore := hop < hops
+		// Group the frontier by owner machine.
+		perOwner := make(map[msg.MachineID][]uint64)
+		for _, id := range frontier {
+			owner := coord.Slave().Owner(id)
+			perOwner[owner] = append(perOwner[owner], id)
+		}
+		// One parallel request per machine: each machine tests the
+		// predicate on its own vertices (zero-copy) and, unless this is
+		// the last hop, returns their out-neighbors.
+		type reply struct {
+			matches   []uint64
+			neighbors []uint64
+			err       error
+		}
+		replies := make(chan reply, len(perOwner))
+		for owner, ids := range perOwner {
+			go func(owner msg.MachineID, ids []uint64) {
+				m, n, err := e.expand(coord, owner, ids, pred, expandMore)
+				replies <- reply{m, n, err}
+			}(owner, ids)
+		}
+		var next []uint64
+		for range perOwner {
+			r := <-replies
+			if r.err != nil {
+				return nil, r.err
+			}
+			for _, id := range r.neighbors {
+				if !visited[id] {
+					visited[id] = true
+					next = append(next, id)
+				}
+			}
+			res.Matches = append(res.Matches, r.matches...)
+		}
+		if expandMore {
+			res.Levels = append(res.Levels, len(next))
+			res.Visited += len(next)
+		}
+		frontier = next
+	}
+	res.Matches = dedup(res.Matches)
+	return res, nil
+}
+
+// KHopNeighborhoodSize returns the number of distinct nodes within `hops`
+// hops of start — the §5.1 benchmark operation.
+func (e *Engine) KHopNeighborhoodSize(via int, start uint64, hops int) (int, error) {
+	res, err := e.Explore(via, start, hops, Predicate{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Visited, nil
+}
+
+// PeopleSearch finds nodes labeled with the interned first name within
+// `hops` hops of start — the paper's Facebook/Bing "David problem".
+func (e *Engine) PeopleSearch(via int, start uint64, firstNameLabel int64, hops int) ([]uint64, error) {
+	res, err := e.Explore(via, start, hops, Predicate{Mode: MatchLabel, Label: firstNameLabel})
+	if err != nil {
+		return nil, err
+	}
+	return res.Matches, nil
+}
+
+// expand sends one frontier fragment to its owner (or runs locally).
+func (e *Engine) expand(coord *graph.Machine, owner msg.MachineID, ids []uint64, pred Predicate, expandMore bool) (matches, neighbors []uint64, err error) {
+	req := encodeExpand(ids, pred, expandMore)
+	var resp []byte
+	if owner == coord.Slave().ID() {
+		resp, err = e.expandLocal(coord, req)
+	} else {
+		resp, err = coord.Slave().Node().Call(owner, protoExpand, req)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return decodeExpandResp(resp)
+}
+
+func matchNode(m *graph.Machine, id uint64, pred Predicate) (bool, error) {
+	switch pred.Mode {
+	case MatchLabel:
+		l, err := m.Label(id)
+		return err == nil && l == pred.Label, err
+	case MatchNamePrefix:
+		name, err := m.Name(id)
+		if err != nil {
+			return false, err
+		}
+		return len(name) >= len(pred.Prefix) && name[:len(pred.Prefix)] == pred.Prefix, nil
+	default:
+		return false, nil
+	}
+}
+
+// expandLocal serves a frontier fragment on the owner machine: every id
+// is local, so the predicate test is a zero-copy label or name read, and
+// out-links are streamed without copying the cell.
+func (e *Engine) expandLocal(m *graph.Machine, req []byte) ([]byte, error) {
+	ids, pred, expandMore, err := decodeExpand(req)
+	if err != nil {
+		return nil, err
+	}
+	var matches []uint64
+	if pred.Mode != MatchNone {
+		for _, id := range ids {
+			ok, err := matchNode(m, id, pred)
+			if err != nil {
+				continue
+			}
+			if ok {
+				matches = append(matches, id)
+			}
+		}
+	}
+	var neighbors []uint64
+	if expandMore {
+		seen := make(map[uint64]bool, len(ids)*8)
+		for _, id := range ids {
+			err := m.ForEachOutlink(id, func(dst uint64) bool {
+				if !seen[dst] {
+					seen[dst] = true
+					neighbors = append(neighbors, dst)
+				}
+				return true
+			})
+			if err != nil && !errors.Is(err, graph.ErrNoNode) && !errors.Is(err, memcloud.ErrNotFound) {
+				// Dangling edges (targets that were never created) are
+				// tolerated; anything else is a real failure.
+				return nil, err
+			}
+		}
+	}
+	return encodeExpandResp(matches, neighbors), nil
+}
+
+func dedup(ids []uint64) []uint64 {
+	if len(ids) < 2 {
+		return ids
+	}
+	seen := make(map[uint64]bool, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// --- wire encoding ---
+
+func encodeExpand(ids []uint64, pred Predicate, expandMore bool) []byte {
+	out := make([]byte, 0, 14+len(pred.Prefix)+4+8*len(ids))
+	if expandMore {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = append(out, byte(pred.Mode))
+	out = binary.LittleEndian.AppendUint64(out, uint64(pred.Label))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(pred.Prefix)))
+	out = append(out, pred.Prefix...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(ids)))
+	for _, id := range ids {
+		out = binary.LittleEndian.AppendUint64(out, id)
+	}
+	return out
+}
+
+func decodeExpand(b []byte) ([]uint64, Predicate, bool, error) {
+	var pred Predicate
+	if len(b) < 14 {
+		return nil, pred, false, errors.New("traversal: short expand request")
+	}
+	expandMore := b[0] == 1
+	pred.Mode = PredicateMode(b[1])
+	pred.Label = int64(binary.LittleEndian.Uint64(b[2:]))
+	plen := int(binary.LittleEndian.Uint32(b[10:]))
+	if 14+plen > len(b) {
+		return nil, pred, false, errors.New("traversal: bad prefix length")
+	}
+	pred.Prefix = string(b[14 : 14+plen])
+	off := 14 + plen
+	if off+4 > len(b) {
+		return nil, pred, false, errors.New("traversal: short expand request")
+	}
+	count := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if off+8*count > len(b) {
+		return nil, pred, false, errors.New("traversal: truncated id list")
+	}
+	ids := make([]uint64, count)
+	for i := range ids {
+		ids[i] = binary.LittleEndian.Uint64(b[off+8*i:])
+	}
+	return ids, pred, expandMore, nil
+}
+
+func encodeExpandResp(matches, neighbors []uint64) []byte {
+	out := make([]byte, 0, 8+8*(len(matches)+len(neighbors)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(matches)))
+	for _, id := range matches {
+		out = binary.LittleEndian.AppendUint64(out, id)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(neighbors)))
+	for _, id := range neighbors {
+		out = binary.LittleEndian.AppendUint64(out, id)
+	}
+	return out
+}
+
+func decodeExpandResp(b []byte) (matches, neighbors []uint64, err error) {
+	if len(b) < 8 {
+		return nil, nil, errors.New("traversal: short expand response")
+	}
+	mc := int(binary.LittleEndian.Uint32(b))
+	off := 4
+	if off+8*mc+4 > len(b) {
+		return nil, nil, errors.New("traversal: truncated matches")
+	}
+	matches = make([]uint64, mc)
+	for i := range matches {
+		matches[i] = binary.LittleEndian.Uint64(b[off+8*i:])
+	}
+	off += 8 * mc
+	nc := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if off+8*nc > len(b) {
+		return nil, nil, errors.New("traversal: truncated neighbors")
+	}
+	neighbors = make([]uint64, nc)
+	for i := range neighbors {
+		neighbors[i] = binary.LittleEndian.Uint64(b[off+8*i:])
+	}
+	return matches, neighbors, nil
+}

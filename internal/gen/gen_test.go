@@ -1,0 +1,218 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"trinity/internal/graph"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	collect := func() [][2]uint64 {
+		var out [][2]uint64
+		RMAT(RMATConfig{Scale: 8, AvgDegree: 4, Seed: 7}, func(u, v uint64) {
+			out = append(out, [2]uint64{u, v})
+		})
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != 4*256 {
+		t.Fatalf("edges = %d, want %d", len(a), 4*256)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RMAT not deterministic")
+		}
+	}
+}
+
+func TestRMATProperties(t *testing.T) {
+	n := uint64(1) << 10
+	degree := make([]int, n)
+	edges := 0
+	RMAT(RMATConfig{Scale: 10, AvgDegree: 8, Seed: 1}, func(u, v uint64) {
+		if u >= n || v >= n {
+			t.Fatalf("edge (%d,%d) out of range", u, v)
+		}
+		if u == v {
+			t.Fatal("self loop emitted")
+		}
+		degree[u]++
+		edges++
+	})
+	if edges != int(n)*8 {
+		t.Fatalf("edges = %d", edges)
+	}
+	// R-MAT skew: the max degree must far exceed the average.
+	max := 0
+	for _, d := range degree {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 8*4 {
+		t.Fatalf("R-MAT insufficiently skewed: max degree %d", max)
+	}
+}
+
+func TestPowerLawDegreeDistribution(t *testing.T) {
+	const n = 20000
+	const avg = 10
+	degree := make([]int, n)
+	edges := 0
+	PowerLaw(PowerLawConfig{Nodes: n, AvgDegree: avg, Gamma: 2.16, Seed: 3}, func(u, v uint64) {
+		degree[u]++
+		edges++
+		if u == v {
+			t.Fatal("self loop")
+		}
+	})
+	if edges != n*avg {
+		t.Fatalf("edges = %d", edges)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degree)))
+	// Hub structure: the top node must dwarf the average...
+	if degree[0] < avg*20 {
+		t.Fatalf("no hubs: top degree %d", degree[0])
+	}
+	// ...and the paper's 20/80 hub property should hold approximately:
+	// the top 20% of nodes send a large majority of edges.
+	top20 := 0
+	for _, d := range degree[:n/5] {
+		top20 += d
+	}
+	if frac := float64(top20) / float64(edges); frac < 0.6 {
+		t.Fatalf("top 20%% of nodes only source %.0f%% of edges", frac*100)
+	}
+}
+
+func TestPowerLawTailExponent(t *testing.T) {
+	// Log-log regression of the degree CCDF should give a slope telling
+	// of a heavy tail (roughly 1-γ for the CCDF; allow a wide band).
+	const n = 30000
+	degree := make(map[int]int)
+	PowerLaw(PowerLawConfig{Nodes: n, AvgDegree: 10, Seed: 5}, func(u, v uint64) {
+		degree[int(u)]++
+	})
+	counts := map[int]int{} // degree -> #nodes
+	for _, d := range degree {
+		counts[d]++
+	}
+	// Collect (log k, log count) for degrees with decent support.
+	var xs, ys []float64
+	for k, c := range counts {
+		if k >= 5 && c >= 5 {
+			xs = append(xs, math.Log(float64(k)))
+			ys = append(ys, math.Log(float64(c)))
+		}
+	}
+	if len(xs) < 5 {
+		t.Skip("not enough degree diversity to regress")
+	}
+	slope := regressSlope(xs, ys)
+	if slope > -1.0 || slope < -4.0 {
+		t.Fatalf("degree distribution slope %.2f outside heavy-tail band", slope)
+	}
+}
+
+func regressSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+func TestUniform(t *testing.T) {
+	const n = 5000
+	degree := make([]int, n)
+	Uniform(UniformConfig{Nodes: n, AvgDegree: 6, Seed: 2}, func(u, v uint64) {
+		degree[u]++
+		if u == v {
+			t.Fatal("self loop")
+		}
+	})
+	// Uniform degrees concentrate: nobody should have 10x the average.
+	for i, d := range degree {
+		if d > 60 {
+			t.Fatalf("node %d has degree %d in a uniform graph", i, d)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NameOf(5) != NameOf(5) {
+		t.Fatal("NameOf not deterministic")
+	}
+	if !strings.HasPrefix(NameOf(5), FirstNameOf(5)) {
+		t.Fatal("NameOf does not start with FirstNameOf")
+	}
+	// The pool must include David (the paper's query) and produce it.
+	foundDavid := false
+	for i := uint64(0); i < 1000; i++ {
+		if FirstNameOf(i) == "David" {
+			foundDavid = true
+			break
+		}
+	}
+	if !foundDavid {
+		t.Fatal("no Davids in the first 1000 people")
+	}
+}
+
+func TestBuildSocial(t *testing.T) {
+	b := graph.NewBuilder(false)
+	BuildSocial(SocialConfig{People: 2000, AvgDegree: 10, Seed: 1}, b)
+	if b.NodeCount() != 2000 {
+		t.Fatalf("people = %d", b.NodeCount())
+	}
+}
+
+func TestBuildersPopulateLabels(t *testing.T) {
+	b := graph.NewBuilder(true)
+	BuildRMAT(RMATConfig{Scale: 6, AvgDegree: 4, Seed: 1}, 10, b)
+	if b.NodeCount() != 64 {
+		t.Fatalf("nodes = %d", b.NodeCount())
+	}
+	b2 := graph.NewBuilder(true)
+	BuildUniform(UniformConfig{Nodes: 100, AvgDegree: 4, Seed: 1}, 5, b2)
+	if b2.NodeCount() != 100 {
+		t.Fatalf("nodes = %d", b2.NodeCount())
+	}
+}
+
+func TestBuildWordnetLike(t *testing.T) {
+	b := graph.NewBuilder(true)
+	BuildWordnetLike(1000, 1, b)
+	if b.NodeCount() != 1000 {
+		t.Fatalf("nodes = %d", b.NodeCount())
+	}
+}
+
+func TestBuildPatentLike(t *testing.T) {
+	b := graph.NewBuilder(true)
+	BuildPatentLike(1000, 1, b)
+	if b.NodeCount() != 1000 {
+		t.Fatalf("nodes = %d", b.NodeCount())
+	}
+}
+
+func BenchmarkRMATGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		count := 0
+		RMAT(RMATConfig{Scale: 14, AvgDegree: 8, Seed: uint64(i)}, func(u, v uint64) { count++ })
+	}
+}
+
+func BenchmarkPowerLawGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		count := 0
+		PowerLaw(PowerLawConfig{Nodes: 16384, AvgDegree: 8, Seed: uint64(i)}, func(u, v uint64) { count++ })
+	}
+}

@@ -1,0 +1,403 @@
+package graph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"trinity/internal/hash"
+	"trinity/internal/memcloud"
+	"trinity/internal/msg"
+)
+
+// ErrNoNode reports that a node cell does not exist.
+var ErrNoNode = errors.New("graph: no such node")
+
+// Graph protocol IDs (engine-internal, below tsl.ProtoUserBase).
+const (
+	protoAddEdge msg.ProtocolID = 0x0201 + iota
+	protoAddInlink
+	protoGetNode
+	protoDegrees
+)
+
+// Graph is a distributed graph over a memory cloud. One Machine engine
+// runs per slave; any machine can serve any operation, with remote hops
+// handled by one-sided protocols.
+type Graph struct {
+	Directed bool
+	machines []*Machine
+}
+
+// Machine is the graph engine bound to one memory-cloud slave.
+type Machine struct {
+	g *Graph
+	s *memcloud.Slave
+	// stripes serialize read-modify-write mutations of local node cells;
+	// plain reads stay lock-free (trunk spin locks suffice).
+	stripes [128]sync.Mutex
+}
+
+// New attaches a graph engine to every slave of the cloud.
+func New(cloud *memcloud.Cloud, directed bool) *Graph {
+	g := &Graph{Directed: directed}
+	for i := 0; i < cloud.Slaves(); i++ {
+		m := &Machine{g: g, s: cloud.Slave(i)}
+		node := m.s.Node()
+		node.HandleSync(protoAddEdge, m.onAddEdge)
+		node.HandleSync(protoAddInlink, m.onAddInlink)
+		node.HandleSync(protoGetNode, m.onGetNode)
+		node.HandleSync(protoDegrees, m.onDegrees)
+		g.machines = append(g.machines, m)
+	}
+	return g
+}
+
+// Machines returns the number of machines in the graph's cluster.
+func (g *Graph) Machines() int { return len(g.machines) }
+
+// On returns the graph engine of machine i. Computation engines (BSP,
+// traversal) work against a specific machine's local view.
+func (g *Graph) On(i int) *Machine { return g.machines[i] }
+
+// Slave returns the memory-cloud slave behind machine i.
+func (m *Machine) Slave() *memcloud.Slave { return m.s }
+
+func (m *Machine) stripe(id uint64) *sync.Mutex {
+	return &m.stripes[hash.Mix64(id)&127]
+}
+
+// AddNode creates a node cell. It can be called from any machine.
+func (m *Machine) AddNode(n *Node) error {
+	return m.s.Add(n.ID, EncodeNode(n))
+}
+
+// PutNode creates or replaces a node cell.
+func (m *Machine) PutNode(n *Node) error {
+	return m.s.Put(n.ID, EncodeNode(n))
+}
+
+// GetNode fetches and decodes a node from wherever it lives.
+func (m *Machine) GetNode(id uint64) (*Node, error) {
+	blob, err := m.s.Get(id)
+	if err != nil {
+		if errors.Is(err, memcloud.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %d", ErrNoNode, id)
+		}
+		return nil, err
+	}
+	return DecodeNode(id, blob)
+}
+
+// HasNode reports whether the node exists.
+func (m *Machine) HasNode(id uint64) bool {
+	ok, err := m.s.Contains(id)
+	return err == nil && ok
+}
+
+// AddEdge adds the edge src -> dst (or an undirected edge when the graph
+// is undirected). Both endpoint cells must exist. The mutation executes on
+// the owner machine of each endpoint, serialized by its write stripes.
+func (m *Machine) AddEdge(src, dst uint64) error {
+	if err := m.mutateEndpoint(src, dst, false); err != nil {
+		return err
+	}
+	if m.g.Directed {
+		return m.mutateEndpoint(dst, src, true)
+	}
+	return m.mutateEndpoint(dst, src, false)
+}
+
+// mutateEndpoint appends `other` to node's outlinks (inlink=false) or
+// inlinks (inlink=true), routing to the node's owner.
+func (m *Machine) mutateEndpoint(node, other uint64, inlink bool) error {
+	owner := m.s.Owner(node)
+	if owner == m.s.ID() {
+		return m.addLinkLocal(node, other, inlink)
+	}
+	proto := protoAddEdge
+	if inlink {
+		proto = protoAddInlink
+	}
+	req := make([]byte, 16)
+	binary.LittleEndian.PutUint64(req, node)
+	binary.LittleEndian.PutUint64(req[8:], other)
+	_, err := m.s.Node().Call(owner, proto, req)
+	if err != nil && errors.Is(mapRemote(err), ErrNoNode) {
+		return fmt.Errorf("%w: %d", ErrNoNode, node)
+	}
+	return err
+}
+
+// mapRemote recognizes ErrNoNode after it crossed the wire as text.
+func mapRemote(err error) error {
+	if err != nil && (errors.Is(err, ErrNoNode) || strings.Contains(err.Error(), "no such node")) {
+		return ErrNoNode
+	}
+	return err
+}
+
+// addLinkLocal performs the read-modify-write on a local node cell.
+func (m *Machine) addLinkLocal(node, other uint64, inlink bool) error {
+	mu := m.stripe(node)
+	mu.Lock()
+	defer mu.Unlock()
+	blob, err := m.s.Get(node)
+	if err != nil {
+		if errors.Is(err, memcloud.ErrNotFound) {
+			return fmt.Errorf("%w: %d", ErrNoNode, node)
+		}
+		return err
+	}
+	n, err := DecodeNode(node, blob)
+	if err != nil {
+		return err
+	}
+	if inlink {
+		n.Inlinks = append(n.Inlinks, other)
+	} else {
+		n.Outlinks = append(n.Outlinks, other)
+	}
+	return m.s.Put(node, EncodeNode(n))
+}
+
+func (m *Machine) onAddEdge(_ msg.MachineID, req []byte) ([]byte, error) {
+	if len(req) != 16 {
+		return nil, errors.New("graph: bad AddEdge request")
+	}
+	node := binary.LittleEndian.Uint64(req)
+	other := binary.LittleEndian.Uint64(req[8:])
+	return nil, m.addLinkLocal(node, other, false)
+}
+
+func (m *Machine) onAddInlink(_ msg.MachineID, req []byte) ([]byte, error) {
+	if len(req) != 16 {
+		return nil, errors.New("graph: bad AddInlink request")
+	}
+	node := binary.LittleEndian.Uint64(req)
+	other := binary.LittleEndian.Uint64(req[8:])
+	return nil, m.addLinkLocal(node, other, true)
+}
+
+func (m *Machine) onGetNode(_ msg.MachineID, req []byte) ([]byte, error) {
+	if len(req) != 8 {
+		return nil, errors.New("graph: bad GetNode request")
+	}
+	blob, err := m.s.Get(binary.LittleEndian.Uint64(req))
+	return blob, err
+}
+
+// Outlinks returns the node's out-neighbors (copy).
+func (m *Machine) Outlinks(id uint64) ([]uint64, error) {
+	return m.links(id, listOutlinks)
+}
+
+// Inlinks returns the node's in-neighbors (copy). For undirected graphs
+// the inlink list is empty: neighbors live in Outlinks on both endpoints.
+func (m *Machine) Inlinks(id uint64) ([]uint64, error) {
+	return m.links(id, listInlinks)
+}
+
+func (m *Machine) links(id uint64, list int) ([]uint64, error) {
+	var out []uint64
+	collect := func(b []byte) error {
+		off, count, err := blobListAt(b, list)
+		if err != nil {
+			return err
+		}
+		out = make([]uint64, count)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint64(b[off+8*i:])
+		}
+		return nil
+	}
+	if m.s.Owner(id) == m.s.ID() {
+		err := m.s.View(id, collect)
+		if errors.Is(err, memcloud.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %d", ErrNoNode, id)
+		}
+		return out, err
+	}
+	blob, err := m.s.Get(id)
+	if err != nil {
+		if errors.Is(err, memcloud.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %d", ErrNoNode, id)
+		}
+		return nil, err
+	}
+	return out, collect(blob)
+}
+
+// ForEachOutlink streams a LOCAL node's out-neighbors zero-copy — the
+// GetOutlinks/Foreach pattern of the paper's API sketch and the hot path
+// of every traversal. Remote nodes return ErrWrongOwner.
+func (m *Machine) ForEachOutlink(id uint64, fn func(v uint64) bool) error {
+	return m.s.View(id, func(b []byte) error {
+		return forEachListEntry(b, listOutlinks, fn)
+	})
+}
+
+// ForEachOutEdge streams a LOCAL node's out-edges with weights. When the
+// node carries no Weights list every edge reports weight 1.
+func (m *Machine) ForEachOutEdge(id uint64, fn func(dst uint64, w int64) bool) error {
+	return m.s.View(id, func(b []byte) error {
+		wOff, wCount, err := blobListAt(b, listWeights)
+		if err != nil {
+			return err
+		}
+		oOff, oCount, err := blobListAt(b, listOutlinks)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < oCount; i++ {
+			w := int64(1)
+			if i < wCount {
+				w = int64(binary.LittleEndian.Uint64(b[wOff+8*i:]))
+			}
+			if !fn(binary.LittleEndian.Uint64(b[oOff+8*i:]), w) {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// ForEachInlink streams a LOCAL node's in-neighbors zero-copy.
+func (m *Machine) ForEachInlink(id uint64, fn func(v uint64) bool) error {
+	return m.s.View(id, func(b []byte) error {
+		return forEachListEntry(b, listInlinks, fn)
+	})
+}
+
+// onDegrees serves the 16-byte degree summary of a local node; remote
+// degree queries use this instead of shipping a whole (possibly hub-sized)
+// cell across the wire.
+func (m *Machine) onDegrees(_ msg.MachineID, req []byte) ([]byte, error) {
+	if len(req) != 8 {
+		return nil, errors.New("graph: bad Degrees request")
+	}
+	id := binary.LittleEndian.Uint64(req)
+	var resp [8]byte
+	err := m.s.View(id, func(b []byte) error {
+		_, out, err := blobListAt(b, listOutlinks)
+		if err != nil {
+			return err
+		}
+		_, in, err := blobListAt(b, listInlinks)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(resp[0:], uint32(out))
+		binary.LittleEndian.PutUint32(resp[4:], uint32(in))
+		return nil
+	})
+	return resp[:], err
+}
+
+// degrees returns (outDegree, inDegree) for a node anywhere in the cloud.
+func (m *Machine) degrees(id uint64) (int, int, error) {
+	owner := m.s.Owner(id)
+	if owner == m.s.ID() {
+		out, in := -1, -1
+		err := m.s.View(id, func(b []byte) error {
+			_, o, err := blobListAt(b, listOutlinks)
+			if err != nil {
+				return err
+			}
+			_, i, err := blobListAt(b, listInlinks)
+			if err != nil {
+				return err
+			}
+			out, in = o, i
+			return nil
+		})
+		return out, in, err
+	}
+	var req [8]byte
+	binary.LittleEndian.PutUint64(req[:], id)
+	resp, err := m.s.Node().Call(owner, protoDegrees, req[:])
+	if err != nil || len(resp) != 8 {
+		if err == nil {
+			err = errors.New("graph: short Degrees response")
+		}
+		return 0, 0, err
+	}
+	return int(binary.LittleEndian.Uint32(resp[0:])), int(binary.LittleEndian.Uint32(resp[4:])), nil
+}
+
+// OutDegree returns the node's out-degree without copying links.
+func (m *Machine) OutDegree(id uint64) (int, error) {
+	out, _, err := m.degrees(id)
+	return out, err
+}
+
+// InDegree returns the node's in-degree without copying links.
+func (m *Machine) InDegree(id uint64) (int, error) {
+	_, in, err := m.degrees(id)
+	return in, err
+}
+
+// Label returns the node's label.
+func (m *Machine) Label(id uint64) (int64, error) {
+	var label int64
+	read := func(b []byte) error {
+		if len(b) < 8 {
+			return errors.New("graph: short node blob")
+		}
+		label = blobLabel(b)
+		return nil
+	}
+	if m.s.Owner(id) == m.s.ID() {
+		return label, m.s.View(id, read)
+	}
+	blob, err := m.s.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	return label, read(blob)
+}
+
+// Name returns the node's name.
+func (m *Machine) Name(id uint64) (string, error) {
+	n, err := m.GetNode(id)
+	if err != nil {
+		return "", err
+	}
+	return n.Name, nil
+}
+
+// LocalNodeIDs returns the IDs of all nodes stored on this machine.
+func (m *Machine) LocalNodeIDs() []uint64 {
+	return m.s.LocalKeys()
+}
+
+// ForEachLocalNode iterates the machine's local nodes zero-copy. The blob
+// passed to fn must not be retained.
+func (m *Machine) ForEachLocalNode(fn func(id uint64, blob []byte) bool) {
+	m.s.ForEachLocal(fn)
+}
+
+// NodeCount returns the total node count across all machines.
+func (g *Graph) NodeCount() int {
+	total := 0
+	for _, m := range g.machines {
+		total += len(m.LocalNodeIDs())
+	}
+	return total
+}
+
+// EdgeCount returns the total directed edge count (out-edges summed).
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, m := range g.machines {
+		m.ForEachLocalNode(func(_ uint64, blob []byte) bool {
+			if _, count, err := blobListAt(blob, listOutlinks); err == nil {
+				total += count
+			}
+			return true
+		})
+	}
+	return total
+}

@@ -1,0 +1,862 @@
+// Package memcloud implements Trinity's memory cloud (paper §3): a
+// globally addressable, distributed in-memory key-value store built from
+// 2^p memory trunks spread over a cluster of machines.
+//
+// Addressing follows the paper exactly: a 64-bit key is hashed to a p-bit
+// trunk number i; the shared addressing table maps trunk i to a machine;
+// the key is hashed again inside that machine's trunk hash table to find
+// the cell. Every machine keeps a replica of the addressing table, and a
+// machine that fails to reach a data owner reports the failure to the
+// leader, waits for the table to be updated, and retries (§6.2).
+//
+// Fault-tolerant persistence comes from backing trunks up to the Trinity
+// File System; optional buffered logging (RAMCloud-style, §6.2) makes
+// individual writes durable between backups.
+package memcloud
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trinity/internal/cluster"
+	"trinity/internal/hash"
+	"trinity/internal/msg"
+	"trinity/internal/tfs"
+	"trinity/internal/trunk"
+)
+
+// Errors returned by memory cloud operations.
+var (
+	// ErrNotFound reports that no cell with the key exists.
+	ErrNotFound = errors.New("memcloud: cell not found")
+	// ErrExists reports that AddCell found the key already present.
+	ErrExists = errors.New("memcloud: cell already exists")
+	// ErrWrongOwner reports that a machine received a request for a trunk
+	// it does not own (the caller's table was stale).
+	ErrWrongOwner = errors.New("memcloud: not the owner of this trunk")
+	// ErrRetriesExhausted reports that an operation kept failing across
+	// table refreshes.
+	ErrRetriesExhausted = errors.New("memcloud: retries exhausted")
+)
+
+// Protocol IDs used by the memory cloud (all below the cluster-reserved
+// range).
+const (
+	protoGetCell msg.ProtocolID = 0x0101 + iota
+	protoPutCell
+	protoAddCell
+	protoRemoveCell
+	protoAppendCell
+	protoContains
+)
+
+// Config configures a memory cloud.
+type Config struct {
+	// Machines is the number of slaves in the simulated cluster.
+	Machines int
+	// P is the trunk-count exponent: the cloud has 2^P trunks. It should
+	// satisfy 2^P > Machines (several trunks per machine, the paper's
+	// trunk-level parallelism). Zero picks a value giving each machine at
+	// least 4 trunks.
+	P uint
+	// TrunkCapacity is the per-trunk buffer size. Zero means 4 MiB
+	// (scaled down from the paper's 2 GB for laptop-scale simulated
+	// clusters; raise it for large resident graphs).
+	TrunkCapacity int64
+	// TrunkPageSize is the trunk commit granularity. Zero means the
+	// trunk default (64 KiB).
+	TrunkPageSize int64
+	// Reservation is the trunk expansion reservation policy.
+	Reservation trunk.ReservationPolicy
+	// BufferedLogging enables RAMCloud-style durable logging of every
+	// mutation to TFS between backups.
+	BufferedLogging bool
+	// DefragInterval starts a background defragmentation daemon per slave
+	// that sweeps its trunks on this period (§6.1's defragmentation
+	// daemon). Zero disables the daemon; explicit Defragment calls and
+	// the allocate-retry path still compact on demand.
+	DefragInterval time.Duration
+	// Msg configures the per-machine messaging runtime.
+	Msg msg.Options
+	// Cluster configures heartbeats and failure detection.
+	Cluster cluster.Config
+	// Datanodes is the TFS datanode count. Zero means 3.
+	Datanodes int
+}
+
+func (c *Config) fill() {
+	if c.Machines <= 0 {
+		c.Machines = 1
+	}
+	if c.P == 0 {
+		c.P = 2
+		for 1<<c.P < 4*c.Machines {
+			c.P++
+		}
+	}
+	if c.TrunkCapacity <= 0 {
+		c.TrunkCapacity = 4 << 20
+	}
+	if c.Msg.CallTimeout == 0 {
+		c.Msg.CallTimeout = 5 * time.Second
+	}
+}
+
+// Stats aggregates cloud activity.
+type Stats struct {
+	LocalOps   int64 // operations served from a local trunk
+	RemoteOps  int64 // operations forwarded to a remote machine
+	Retries    int64 // retries after table refreshes
+	Recoveries int64 // trunks reloaded from TFS
+}
+
+// Cloud is a whole simulated Trinity cluster: the shared TFS, the
+// in-process network, and all slaves. Production deployments run one
+// Slave per physical machine; the Cloud type exists so tests, benchmarks
+// and examples can stand up a cluster in one call.
+type Cloud struct {
+	cfg    Config
+	fs     *tfs.FS
+	bus    *msg.Bus
+	slaves []*Slave
+}
+
+// New boots a memory cloud with cfg.Machines slaves on an in-process bus.
+func New(cfg Config) *Cloud {
+	cfg.fill()
+	c := &Cloud{
+		cfg: cfg,
+		fs:  tfs.New(tfs.Options{Datanodes: cfg.Datanodes}),
+		bus: msg.NewBus(),
+	}
+	machines := make([]msg.MachineID, cfg.Machines)
+	for i := range machines {
+		machines[i] = msg.MachineID(i)
+	}
+	initial := cluster.NewTable(cfg.P, machines)
+	for i := 0; i < cfg.Machines; i++ {
+		node := msg.NewNode(c.bus.Endpoint(machines[i]), cfg.Msg)
+		c.slaves = append(c.slaves, newSlave(node, c.fs, initial, cfg))
+	}
+	for _, s := range c.slaves {
+		s.member.Start()
+	}
+	return c
+}
+
+// Slave returns the i-th slave; any slave can serve as a client access
+// point.
+func (c *Cloud) Slave(i int) *Slave { return c.slaves[i] }
+
+// Slaves returns the number of slaves.
+func (c *Cloud) Slaves() int { return len(c.slaves) }
+
+// FS returns the cloud's Trinity File System.
+func (c *Cloud) FS() *tfs.FS { return c.fs }
+
+// Backup dumps every live trunk to TFS. Returns the first error.
+func (c *Cloud) Backup() error {
+	for _, s := range c.slaves {
+		if s.alive.Load() {
+			if err := s.BackupTrunks(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AddMachine joins a new machine to the running cloud: a fresh slave is
+// wired to the network, existing trunks are backed up, and the leader
+// relocates a share of trunks to the newcomer ("when new machines join
+// the memory cloud, we relocate some memory trunks to those new machines
+// and update the addressing table accordingly", §3). The call returns
+// when the newcomer has taken ownership of its trunks.
+func (c *Cloud) AddMachine() (*Slave, error) {
+	id := msg.MachineID(len(c.slaves))
+	node := msg.NewNode(c.bus.Endpoint(id), c.cfg.Msg)
+	// The joiner bootstraps from the current table (in which it owns
+	// nothing yet).
+	current := c.slaves[0].member.Table()
+	s := newSlave(node, c.fs, current, c.cfg)
+	c.slaves = append(c.slaves, s)
+	s.member.Start()
+
+	// Persist all trunks so relocated ones can be reloaded by the joiner.
+	if err := c.Backup(); err != nil {
+		return nil, err
+	}
+	var leader *Slave
+	for _, sl := range c.slaves[:len(c.slaves)-1] {
+		if sl.alive.Load() && sl.member.IsLeader() {
+			leader = sl
+			break
+		}
+	}
+	if leader == nil {
+		return nil, errors.New("memcloud: no leader to admit the new machine")
+	}
+	if err := leader.member.AnnounceJoin(id); err != nil {
+		return nil, err
+	}
+	// Wait for the joiner's replica to include its trunks and for the
+	// recovery hook to install them.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		trunks := s.member.Table().TrunksOf(id)
+		s.mu.RLock()
+		installed := len(s.trunks)
+		s.mu.RUnlock()
+		if len(trunks) > 0 && installed >= len(trunks) {
+			return s, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, errors.New("memcloud: join did not complete")
+}
+
+// KillMachine simulates the crash of machine id: its slave stops serving,
+// its endpoint drops off the network. Recovery is driven by the usual
+// failure-report path the next time someone touches its data.
+func (c *Cloud) KillMachine(id msg.MachineID) {
+	s := c.slaves[int(id)]
+	if !s.alive.Swap(false) {
+		return
+	}
+	if s.defrag != nil {
+		s.defrag.Stop()
+	}
+	s.member.Stop()
+	s.node.Close()
+	c.bus.Disconnect(id)
+}
+
+// Close shuts down the whole cloud.
+func (c *Cloud) Close() {
+	for _, s := range c.slaves {
+		if s.alive.Swap(false) {
+			if s.defrag != nil {
+				s.defrag.Stop()
+			}
+			s.member.Stop()
+			s.node.Close()
+		}
+	}
+}
+
+// Stats sums activity over all slaves.
+func (c *Cloud) Stats() Stats {
+	var total Stats
+	for _, s := range c.slaves {
+		total.LocalOps += s.localOps.Load()
+		total.RemoteOps += s.remoteOps.Load()
+		total.Retries += s.retries.Load()
+		total.Recoveries += s.recoveries.Load()
+	}
+	return total
+}
+
+// MemoryUsage returns the total committed trunk bytes across the cloud —
+// the number reported in the paper's Figure 13 memory comparison.
+func (c *Cloud) MemoryUsage() int64 {
+	var total int64
+	for _, s := range c.slaves {
+		if !s.alive.Load() {
+			continue
+		}
+		s.mu.RLock()
+		for _, t := range s.trunks {
+			total += t.Stats().CommittedBytes
+		}
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// Slave is one machine of the memory cloud: it stores the trunks assigned
+// to it by the addressing table, serves remote cell operations, and acts
+// as a client access point for local applications.
+type Slave struct {
+	id     msg.MachineID
+	node   *msg.Node
+	member *cluster.Member
+	fs     *tfs.FS
+	cfg    Config
+	alive  atomic.Bool
+	defrag *trunk.Daemon
+
+	mu     sync.RWMutex
+	trunks map[uint32]*trunk.Trunk
+
+	localOps   atomic.Int64
+	remoteOps  atomic.Int64
+	retries    atomic.Int64
+	recoveries atomic.Int64
+}
+
+func newSlave(node *msg.Node, fs *tfs.FS, initial *cluster.Table, cfg Config) *Slave {
+	s := &Slave{
+		id:     node.ID(),
+		node:   node,
+		fs:     fs,
+		cfg:    cfg,
+		trunks: make(map[uint32]*trunk.Trunk),
+	}
+	s.alive.Store(true)
+	for _, tid := range initial.TrunksOf(s.id) {
+		s.trunks[tid] = s.newTrunk()
+	}
+	hooks := cluster.RecoveryHooks{
+		AcquireTrunks: s.acquireTrunks,
+		ReleaseTrunks: s.releaseTrunks,
+	}
+	s.member = cluster.NewMember(node, fs, initial, hooks, cfg.Cluster)
+	node.HandleSync(protoGetCell, s.onGet)
+	node.HandleSync(protoPutCell, s.onPut)
+	node.HandleSync(protoAddCell, s.onAdd)
+	node.HandleSync(protoRemoveCell, s.onRemove)
+	node.HandleSync(protoAppendCell, s.onAppend)
+	node.HandleSync(protoContains, s.onContains)
+	if cfg.DefragInterval > 0 {
+		s.defrag = trunk.NewDaemon(cfg.DefragInterval)
+		s.mu.RLock()
+		for _, t := range s.trunks {
+			s.defrag.Watch(t)
+		}
+		s.mu.RUnlock()
+		s.defrag.Start()
+	}
+	return s
+}
+
+func (s *Slave) newTrunk() *trunk.Trunk {
+	return trunk.New(trunk.Options{
+		Capacity:    s.cfg.TrunkCapacity,
+		PageSize:    s.cfg.TrunkPageSize,
+		Reservation: s.cfg.Reservation,
+	})
+}
+
+// ID returns the slave's machine ID.
+func (s *Slave) ID() msg.MachineID { return s.id }
+
+// Node exposes the slave's messaging runtime so higher layers (the graph
+// engine, BSP, traversal) can register their own TSL protocols.
+func (s *Slave) Node() *msg.Node { return s.node }
+
+// Member exposes the slave's cluster membership.
+func (s *Slave) Member() *cluster.Member { return s.member }
+
+// FS exposes the shared Trinity File System (for checkpoints, snapshots,
+// and other higher-layer persistence).
+func (s *Slave) FS() *tfs.FS { return s.fs }
+
+// trunkFor returns the trunk number a key belongs to.
+func (s *Slave) trunkFor(key uint64) uint32 {
+	return hash.TrunkHash(key, s.member.Table().P)
+}
+
+// Owner returns the machine currently hosting the key.
+func (s *Slave) Owner(key uint64) msg.MachineID {
+	return s.member.Table().Machine(s.trunkFor(key))
+}
+
+// localTrunk returns the local trunk for the number, or nil.
+func (s *Slave) localTrunk(tid uint32) *trunk.Trunk {
+	s.mu.RLock()
+	t := s.trunks[tid]
+	s.mu.RUnlock()
+	return t
+}
+
+// LocalKeys returns the keys of all cells stored on this machine.
+// Computation engines use it to enumerate local vertices.
+func (s *Slave) LocalKeys() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var keys []uint64
+	for _, t := range s.trunks {
+		keys = append(keys, t.Keys()...)
+	}
+	return keys
+}
+
+// ForEachLocal iterates over all local cells (zero-copy payloads; do not
+// retain). Iteration order is unspecified.
+func (s *Slave) ForEachLocal(fn func(key uint64, payload []byte) bool) {
+	s.mu.RLock()
+	trunks := make([]*trunk.Trunk, 0, len(s.trunks))
+	for _, t := range s.trunks {
+		trunks = append(trunks, t)
+	}
+	s.mu.RUnlock()
+	for _, t := range trunks {
+		stop := false
+		t.ForEach(func(k uint64, p []byte) bool {
+			if !fn(k, p) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// --- wire encoding helpers ---
+
+func encodeKey(key uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], key)
+	return b[:]
+}
+
+func encodeKV(key uint64, val []byte) []byte {
+	out := make([]byte, 8+len(val))
+	binary.LittleEndian.PutUint64(out, key)
+	copy(out[8:], val)
+	return out
+}
+
+func decodeKV(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, errors.New("memcloud: short request")
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+// mapTrunkErr converts trunk errors to stable memcloud errors that
+// survive the wire (remote errors arrive as strings).
+func mapTrunkErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, trunk.ErrNotFound):
+		return ErrNotFound
+	case errors.Is(err, trunk.ErrExists):
+		return ErrExists
+	default:
+		return err
+	}
+}
+
+// remoteErr maps an error string that crossed the wire back to a sentinel.
+func remoteErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	es := err.Error()
+	switch {
+	case bytes.Contains([]byte(es), []byte(ErrNotFound.Error())):
+		return ErrNotFound
+	case bytes.Contains([]byte(es), []byte(ErrExists.Error())):
+		return ErrExists
+	case bytes.Contains([]byte(es), []byte(ErrWrongOwner.Error())):
+		return ErrWrongOwner
+	default:
+		return err
+	}
+}
+
+// --- server-side handlers ---
+
+func (s *Slave) serveTrunk(key uint64) (*trunk.Trunk, error) {
+	tid := s.trunkFor(key)
+	t := s.localTrunk(tid)
+	if t == nil {
+		return nil, fmt.Errorf("%w: trunk %d on machine %d", ErrWrongOwner, tid, s.id)
+	}
+	return t, nil
+}
+
+func (s *Slave) onGet(_ msg.MachineID, req []byte) ([]byte, error) {
+	key, _, err := decodeKV(req)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.serveTrunk(key)
+	if err != nil {
+		return nil, err
+	}
+	val, err := t.Get(key)
+	return val, mapTrunkErr(err)
+}
+
+func (s *Slave) onPut(_ msg.MachineID, req []byte) ([]byte, error) {
+	key, val, err := decodeKV(req)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.serveTrunk(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := mapTrunkErr(t.Put(key, val)); err != nil {
+		return nil, err
+	}
+	s.logMutation(opPut, key, val)
+	return nil, nil
+}
+
+func (s *Slave) onAdd(_ msg.MachineID, req []byte) ([]byte, error) {
+	key, val, err := decodeKV(req)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.serveTrunk(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := mapTrunkErr(t.Add(key, val)); err != nil {
+		return nil, err
+	}
+	s.logMutation(opPut, key, val)
+	return nil, nil
+}
+
+func (s *Slave) onRemove(_ msg.MachineID, req []byte) ([]byte, error) {
+	key, _, err := decodeKV(req)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.serveTrunk(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := mapTrunkErr(t.Remove(key)); err != nil {
+		return nil, err
+	}
+	s.logMutation(opRemove, key, nil)
+	return nil, nil
+}
+
+func (s *Slave) onAppend(_ msg.MachineID, req []byte) ([]byte, error) {
+	key, val, err := decodeKV(req)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.serveTrunk(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := mapTrunkErr(t.Append(key, val)); err != nil {
+		return nil, err
+	}
+	s.logMutation(opAppend, key, val)
+	return nil, nil
+}
+
+func (s *Slave) onContains(_ msg.MachineID, req []byte) ([]byte, error) {
+	key, _, err := decodeKV(req)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.serveTrunk(key)
+	if err != nil {
+		return nil, err
+	}
+	if t.Contains(key) {
+		return []byte{1}, nil
+	}
+	return []byte{0}, nil
+}
+
+// --- client-side operations ---
+
+const maxRetries = 3
+
+// withOwner runs op against the key's owner, retrying through the §6.2
+// protocol on failure: report to leader, wait for the table update,
+// retry.
+func (s *Slave) withOwner(key uint64, local func(*trunk.Trunk) error, remote func(owner msg.MachineID) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if attempt > 0 {
+			s.retries.Add(1)
+		}
+		tid := s.trunkFor(key)
+		owner := s.member.Table().Machine(tid)
+		if owner == s.id {
+			if t := s.localTrunk(tid); t != nil {
+				s.localOps.Add(1)
+				return mapTrunkErr(local(t))
+			}
+			// The table says we own it but recovery hasn't delivered the
+			// trunk yet; refresh and retry.
+			s.member.RefreshTable()
+			lastErr = ErrWrongOwner
+			continue
+		}
+		s.remoteOps.Add(1)
+		err := remote(owner)
+		if err == nil {
+			return nil
+		}
+		err = remoteErr(err)
+		if errors.Is(err, ErrNotFound) || errors.Is(err, ErrExists) {
+			return err
+		}
+		lastErr = err
+		if errors.Is(err, msg.ErrUnreachable) || errors.Is(err, msg.ErrTimeout) {
+			// Failure-report protocol: tell the leader, wait for the
+			// addressing table to change, try again.
+			s.member.ReportFailure(owner)
+			s.member.RefreshTable()
+			continue
+		}
+		if errors.Is(err, ErrWrongOwner) {
+			s.member.RefreshTable()
+			continue
+		}
+		return err
+	}
+	return fmt.Errorf("%w: key %#x: %v", ErrRetriesExhausted, key, lastErr)
+}
+
+// Get returns the cell's value.
+func (s *Slave) Get(key uint64) ([]byte, error) {
+	var out []byte
+	err := s.withOwner(key,
+		func(t *trunk.Trunk) error {
+			v, err := t.Get(key)
+			out = v
+			return err
+		},
+		func(owner msg.MachineID) error {
+			v, err := s.node.Call(owner, protoGetCell, encodeKey(key))
+			out = v
+			return err
+		})
+	return out, err
+}
+
+// Put inserts or overwrites a cell.
+func (s *Slave) Put(key uint64, val []byte) error {
+	return s.withOwner(key,
+		func(t *trunk.Trunk) error {
+			if err := t.Put(key, val); err != nil {
+				return err
+			}
+			s.logMutation(opPut, key, val)
+			return nil
+		},
+		func(owner msg.MachineID) error {
+			_, err := s.node.Call(owner, protoPutCell, encodeKV(key, val))
+			return err
+		})
+}
+
+// Add inserts a new cell, failing with ErrExists if present.
+func (s *Slave) Add(key uint64, val []byte) error {
+	return s.withOwner(key,
+		func(t *trunk.Trunk) error {
+			if err := t.Add(key, val); err != nil {
+				return err
+			}
+			s.logMutation(opPut, key, val)
+			return nil
+		},
+		func(owner msg.MachineID) error {
+			_, err := s.node.Call(owner, protoAddCell, encodeKV(key, val))
+			return err
+		})
+}
+
+// Remove deletes a cell.
+func (s *Slave) Remove(key uint64) error {
+	return s.withOwner(key,
+		func(t *trunk.Trunk) error {
+			if err := t.Remove(key); err != nil {
+				return err
+			}
+			s.logMutation(opRemove, key, nil)
+			return nil
+		},
+		func(owner msg.MachineID) error {
+			_, err := s.node.Call(owner, protoRemoveCell, encodeKey(key))
+			return err
+		})
+}
+
+// Append extends a cell's value (adjacency-list growth).
+func (s *Slave) Append(key uint64, extra []byte) error {
+	return s.withOwner(key,
+		func(t *trunk.Trunk) error {
+			if err := t.Append(key, extra); err != nil {
+				return err
+			}
+			s.logMutation(opAppend, key, extra)
+			return nil
+		},
+		func(owner msg.MachineID) error {
+			_, err := s.node.Call(owner, protoAppendCell, encodeKV(key, extra))
+			return err
+		})
+}
+
+// Contains reports whether the cell exists anywhere in the cloud.
+func (s *Slave) Contains(key uint64) (bool, error) {
+	var found bool
+	err := s.withOwner(key,
+		func(t *trunk.Trunk) error {
+			found = t.Contains(key)
+			return nil
+		},
+		func(owner msg.MachineID) error {
+			resp, err := s.node.Call(owner, protoContains, encodeKey(key))
+			if err == nil {
+				found = len(resp) == 1 && resp[0] == 1
+			}
+			return err
+		})
+	return found, err
+}
+
+// View runs fn over a zero-copy, spin-locked view of a LOCAL cell. It
+// fails with ErrWrongOwner for cells on other machines: zero-copy access
+// cannot cross machine boundaries (use Get instead).
+func (s *Slave) View(key uint64, fn func(payload []byte) error) error {
+	t, err := s.serveTrunk(key)
+	if err != nil {
+		return err
+	}
+	s.localOps.Add(1)
+	return mapTrunkErr(t.View(key, fn))
+}
+
+// Lock pins a LOCAL cell and returns its guard.
+func (s *Slave) Lock(key uint64) (*trunk.Guard, error) {
+	t, err := s.serveTrunk(key)
+	if err != nil {
+		return nil, err
+	}
+	g, err := t.Lock(key)
+	return g, mapTrunkErr(err)
+}
+
+// --- persistence & recovery ---
+
+func trunkFile(tid uint32) string { return fmt.Sprintf("trunks/%d", tid) }
+func walFile(tid uint32) string   { return fmt.Sprintf("wal/%d", tid) }
+
+// BackupTrunks dumps every local trunk to TFS and truncates its log.
+func (s *Slave) BackupTrunks() error {
+	s.mu.RLock()
+	trunks := make(map[uint32]*trunk.Trunk, len(s.trunks))
+	for id, t := range s.trunks {
+		trunks[id] = t
+	}
+	s.mu.RUnlock()
+	for tid, t := range trunks {
+		var buf bytes.Buffer
+		if err := t.DumpTo(&buf); err != nil {
+			return err
+		}
+		if err := s.fs.WriteFile(trunkFile(tid), buf.Bytes()); err != nil {
+			return err
+		}
+		if s.cfg.BufferedLogging {
+			s.fs.WriteFile(walFile(tid), nil)
+		}
+	}
+	return nil
+}
+
+// acquireTrunks is the recovery hook: reload trunks from TFS after the
+// addressing table assigned them to this machine.
+func (s *Slave) acquireTrunks(tids []uint32) {
+	for _, tid := range tids {
+		t := s.newTrunk()
+		if data, err := s.fs.ReadFile(trunkFile(tid)); err == nil {
+			if err := t.LoadFrom(bytes.NewReader(data)); err != nil {
+				t = s.newTrunk() // corrupt dump: start empty
+			}
+		}
+		if s.cfg.BufferedLogging {
+			if log, err := s.fs.ReadFile(walFile(tid)); err == nil {
+				replayLog(t, log)
+			}
+		}
+		s.mu.Lock()
+		_, exists := s.trunks[tid]
+		if !exists {
+			s.trunks[tid] = t
+			s.recoveries.Add(1)
+		}
+		s.mu.Unlock()
+		if !exists && s.defrag != nil {
+			s.defrag.Watch(t)
+		}
+	}
+}
+
+// releaseTrunks backs up and drops trunks that moved to another machine.
+func (s *Slave) releaseTrunks(tids []uint32) {
+	for _, tid := range tids {
+		s.mu.Lock()
+		t := s.trunks[tid]
+		delete(s.trunks, tid)
+		s.mu.Unlock()
+		if t != nil {
+			var buf bytes.Buffer
+			if t.DumpTo(&buf) == nil {
+				s.fs.WriteFile(trunkFile(tid), buf.Bytes())
+			}
+		}
+	}
+}
+
+// --- buffered logging (RAMCloud-style, §6.2) ---
+
+const (
+	opPut byte = iota + 1
+	opRemove
+	opAppend
+)
+
+// logMutation appends a mutation record to the trunk's TFS log. "The key
+// idea is to log operations to remote memory buffers before committing
+// them to the local memory" — TFS plays the remote buffer here.
+func (s *Slave) logMutation(op byte, key uint64, val []byte) {
+	if !s.cfg.BufferedLogging {
+		return
+	}
+	rec := make([]byte, 13+len(val))
+	rec[0] = op
+	binary.LittleEndian.PutUint64(rec[1:], key)
+	binary.LittleEndian.PutUint32(rec[9:], uint32(len(val)))
+	copy(rec[13:], val)
+	s.fs.AppendFile(walFile(s.trunkFor(key)), rec)
+}
+
+// replayLog applies a mutation log to a trunk.
+func replayLog(t *trunk.Trunk, log []byte) {
+	for len(log) >= 13 {
+		op := log[0]
+		key := binary.LittleEndian.Uint64(log[1:])
+		n := int(binary.LittleEndian.Uint32(log[9:]))
+		log = log[13:]
+		if n > len(log) {
+			return // truncated tail
+		}
+		val := log[:n]
+		log = log[n:]
+		switch op {
+		case opPut:
+			t.Put(key, val)
+		case opRemove:
+			t.Remove(key)
+		case opAppend:
+			if err := t.Append(key, val); errors.Is(err, trunk.ErrNotFound) {
+				t.Put(key, val)
+			}
+		}
+	}
+}

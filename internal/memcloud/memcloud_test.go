@@ -1,0 +1,638 @@
+package memcloud
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trinity/internal/hash"
+	"trinity/internal/msg"
+)
+
+func testConfig(machines int) Config {
+	return Config{
+		Machines: machines,
+		Msg: msg.Options{
+			FlushInterval: time.Millisecond,
+			CallTimeout:   time.Second,
+		},
+	}
+}
+
+func newCloud(t *testing.T, machines int) *Cloud {
+	t.Helper()
+	c := New(testConfig(machines))
+	t.Cleanup(c.Close)
+	return c
+}
+
+func val(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestPutGetSingleMachine(t *testing.T) {
+	c := newCloud(t, 1)
+	s := c.Slave(0)
+	if err := s.Put(1, val(32, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val(32, 1)) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestPutGetAcrossMachines(t *testing.T) {
+	c := newCloud(t, 4)
+	// Write via slave 0, read via every other slave; keys spread over all
+	// machines by the trunk hash.
+	s0 := c.Slave(0)
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		if err := s0.Put(i, val(24, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for m := 0; m < 4; m++ {
+		s := c.Slave(m)
+		for i := uint64(0); i < n; i += 17 {
+			got, err := s.Get(i)
+			if err != nil {
+				t.Fatalf("machine %d key %d: %v", m, i, err)
+			}
+			if !bytes.Equal(got, val(24, byte(i))) {
+				t.Fatalf("machine %d key %d: corrupt", m, i)
+			}
+		}
+	}
+	// Both local and remote paths must have been exercised.
+	st := c.Stats()
+	if st.LocalOps == 0 || st.RemoteOps == 0 {
+		t.Fatalf("ops not split across paths: %+v", st)
+	}
+}
+
+func TestKeysSpreadAcrossMachines(t *testing.T) {
+	c := newCloud(t, 4)
+	s := c.Slave(0)
+	counts := map[msg.MachineID]int{}
+	for i := uint64(0); i < 1000; i++ {
+		counts[s.Owner(i)]++
+	}
+	for m := msg.MachineID(0); m < 4; m++ {
+		if counts[m] < 100 {
+			t.Fatalf("machine %d owns only %d/1000 keys", m, counts[m])
+		}
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	c := newCloud(t, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Slave(i).Get(12345); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("slave %d: Get missing = %v, want ErrNotFound", i, err)
+		}
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	c := newCloud(t, 2)
+	s := c.Slave(0)
+	// Pick one local and one remote key.
+	var localKey, remoteKey uint64
+	for k := uint64(0); k < 100; k++ {
+		if s.Owner(k) == s.ID() {
+			localKey = k
+		} else {
+			remoteKey = k
+		}
+	}
+	for _, k := range []uint64{localKey, remoteKey} {
+		if err := s.Add(k, val(8, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(k, val(8, 2)); !errors.Is(err, ErrExists) {
+			t.Fatalf("key %d: duplicate Add = %v, want ErrExists", k, err)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := newCloud(t, 3)
+	s := c.Slave(0)
+	for i := uint64(0); i < 50; i++ {
+		s.Put(i, val(16, byte(i)))
+	}
+	for i := uint64(0); i < 50; i += 2 {
+		if err := s.Remove(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 50; i++ {
+		_, err := s.Get(i)
+		if i%2 == 0 && !errors.Is(err, ErrNotFound) {
+			t.Fatalf("key %d should be gone: %v", i, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("key %d lost: %v", i, err)
+		}
+	}
+	if err := s.Remove(999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Remove missing = %v", err)
+	}
+}
+
+func TestAppendAcrossMachines(t *testing.T) {
+	c := newCloud(t, 3)
+	s := c.Slave(0)
+	for i := uint64(0); i < 30; i++ {
+		if err := s.Put(i, val(8, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		want := val(8, byte(i))
+		for j := 0; j < 5; j++ {
+			extra := val(8, byte(j+100))
+			if err := s.Append(i, extra); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, extra...)
+		}
+		got, err := s.Get(i)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("key %d append chain corrupt: %v", i, err)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	c := newCloud(t, 2)
+	s := c.Slave(0)
+	s.Put(7, val(4, 1))
+	for i := 0; i < 2; i++ {
+		found, err := c.Slave(i).Contains(7)
+		if err != nil || !found {
+			t.Fatalf("slave %d: Contains(7) = %v, %v", i, found, err)
+		}
+		found, err = c.Slave(i).Contains(8)
+		if err != nil || found {
+			t.Fatalf("slave %d: Contains(8) = %v, %v", i, found, err)
+		}
+	}
+}
+
+func TestViewLocalOnly(t *testing.T) {
+	c := newCloud(t, 2)
+	s := c.Slave(0)
+	var localKey, remoteKey uint64
+	for k := uint64(0); k < 100; k++ {
+		if s.Owner(k) == s.ID() {
+			localKey = k
+		} else {
+			remoteKey = k
+		}
+	}
+	s.Put(localKey, val(8, 1))
+	s.Put(remoteKey, val(8, 2))
+	err := s.View(localKey, func(p []byte) error {
+		p[0] = 0xAA
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(localKey)
+	if got[0] != 0xAA {
+		t.Fatal("local view write lost")
+	}
+	if err := s.View(remoteKey, func([]byte) error { return nil }); !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("remote View = %v, want ErrWrongOwner", err)
+	}
+}
+
+func TestLockGuard(t *testing.T) {
+	c := newCloud(t, 1)
+	s := c.Slave(0)
+	s.Put(5, val(8, 0))
+	g, err := s.Lock(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Bytes()[0] = 9
+	g.Unlock()
+	got, _ := s.Get(5)
+	if got[0] != 9 {
+		t.Fatal("guard write lost")
+	}
+}
+
+func TestMachineFailureRecovery(t *testing.T) {
+	c := newCloud(t, 4)
+	s0 := c.Slave(0)
+	const n = 300
+	for i := uint64(0); i < n; i++ {
+		if err := s0.Put(i, val(20, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Persist everything, then crash a non-leader machine.
+	if err := c.Backup(); err != nil {
+		t.Fatal(err)
+	}
+	victim := msg.MachineID(3)
+	c.KillMachine(victim)
+
+	// Every key must still be readable: keys owned by the victim trigger
+	// the failure-report protocol, table reassignment, and TFS reload.
+	for i := uint64(0); i < n; i++ {
+		got, err := s0.Get(i)
+		if err != nil {
+			t.Fatalf("key %d after crash: %v", i, err)
+		}
+		if !bytes.Equal(got, val(20, byte(i))) {
+			t.Fatalf("key %d corrupted after recovery", i)
+		}
+	}
+	if st := c.Stats(); st.Recoveries == 0 {
+		t.Fatal("no trunks were recovered")
+	}
+}
+
+func TestWritesAfterRecovery(t *testing.T) {
+	c := newCloud(t, 3)
+	s0 := c.Slave(0)
+	for i := uint64(0); i < 100; i++ {
+		s0.Put(i, val(10, byte(i)))
+	}
+	c.Backup()
+	c.KillMachine(2)
+	// New writes to keys previously owned by the dead machine must land
+	// on the new owners.
+	for i := uint64(100); i < 200; i++ {
+		if err := s0.Put(i, val(10, byte(i))); err != nil {
+			t.Fatalf("post-crash write %d: %v", i, err)
+		}
+	}
+	for i := uint64(100); i < 200; i++ {
+		got, err := s0.Get(i)
+		if err != nil || !bytes.Equal(got, val(10, byte(i))) {
+			t.Fatalf("post-crash read %d: %v", i, err)
+		}
+	}
+}
+
+func TestBufferedLoggingRecoversUnbackedWrites(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.BufferedLogging = true
+	c := New(cfg)
+	defer c.Close()
+	s0 := c.Slave(0)
+	for i := uint64(0); i < 60; i++ {
+		if err := s0.Put(i, val(12, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// NO backup: writes live only in memory plus the TFS log.
+	c.KillMachine(2)
+	for i := uint64(0); i < 60; i++ {
+		got, err := s0.Get(i)
+		if err != nil {
+			t.Fatalf("key %d lost without backup: %v (buffered logging broken)", i, err)
+		}
+		if !bytes.Equal(got, val(12, byte(i))) {
+			t.Fatalf("key %d corrupted", i)
+		}
+	}
+}
+
+func TestWithoutLoggingUnbackedWritesAreLost(t *testing.T) {
+	// Control for the test above: without buffered logging and without a
+	// backup, the dead machine's cells are gone. This documents the
+	// durability contract rather than a bug.
+	c := newCloud(t, 3)
+	s0 := c.Slave(0)
+	var victimKeys []uint64
+	for i := uint64(0); i < 60; i++ {
+		s0.Put(i, val(12, byte(i)))
+		if s0.Owner(i) == 2 {
+			victimKeys = append(victimKeys, i)
+		}
+	}
+	if len(victimKeys) == 0 {
+		t.Skip("no keys landed on the victim")
+	}
+	c.KillMachine(2)
+	lost := 0
+	for _, k := range victimKeys {
+		if _, err := s0.Get(k); errors.Is(err, ErrNotFound) {
+			lost++
+		}
+	}
+	if lost != len(victimKeys) {
+		t.Fatalf("%d/%d unbacked cells survived, expected all lost", len(victimKeys)-lost, len(victimKeys))
+	}
+}
+
+func TestDefragDaemonRunsInBackground(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.DefragInterval = 2 * time.Millisecond
+	c := New(cfg)
+	defer c.Close()
+	s := c.Slave(0)
+	// Create and delete cells so gaps accumulate, then wait for the
+	// daemon to reclaim them.
+	for i := uint64(0); i < 500; i++ {
+		if err := s.Put(i, val(64, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 500; i += 2 {
+		s.Remove(i)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		gaps := int64(0)
+		for _, sl := range []*Slave{c.Slave(0), c.Slave(1)} {
+			sl.mu.RLock()
+			for _, tr := range sl.trunks {
+				gaps += tr.Stats().GapBytes
+			}
+			sl.mu.RUnlock()
+		}
+		if gaps == 0 {
+			// Survivors intact after daemon compaction.
+			for i := uint64(1); i < 500; i += 2 {
+				got, err := s.Get(i)
+				if err != nil || !bytes.Equal(got, val(64, byte(i))) {
+					t.Fatalf("cell %d corrupted by daemon: %v", i, err)
+				}
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("defragmentation daemon never reclaimed the gaps")
+}
+
+func TestAddMachineJoinsAndServes(t *testing.T) {
+	c := newCloud(t, 3)
+	s0 := c.Slave(0)
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		if err := s0.Put(i, val(16, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	joiner, err := c.AddMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The joiner owns a fair share of trunks.
+	owned := joiner.Member().Table().TrunksOf(joiner.ID())
+	if len(owned) == 0 {
+		t.Fatal("joiner owns no trunks")
+	}
+	// All data is still readable — from old machines and from the joiner.
+	for i := uint64(0); i < n; i++ {
+		for _, via := range []*Slave{s0, joiner} {
+			got, err := via.Get(i)
+			if err != nil {
+				t.Fatalf("key %d via machine %d after join: %v", i, via.ID(), err)
+			}
+			if !bytes.Equal(got, val(16, byte(i))) {
+				t.Fatalf("key %d corrupted after join", i)
+			}
+		}
+	}
+	// New writes land on the joiner for its trunks.
+	wrote := 0
+	for i := uint64(n); i < n+200; i++ {
+		if err := s0.Put(i, val(8, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		if s0.Owner(i) == joiner.ID() {
+			wrote++
+		}
+	}
+	if wrote == 0 {
+		t.Fatal("no new keys map to the joiner")
+	}
+	if len(joiner.LocalKeys()) == 0 {
+		t.Fatal("joiner stores nothing")
+	}
+}
+
+func TestLocalKeysAndForEach(t *testing.T) {
+	c := newCloud(t, 3)
+	s0 := c.Slave(0)
+	const n = 120
+	for i := uint64(0); i < n; i++ {
+		s0.Put(i, val(8, byte(i)))
+	}
+	total := 0
+	seen := map[uint64]bool{}
+	for m := 0; m < 3; m++ {
+		keys := c.Slave(m).LocalKeys()
+		total += len(keys)
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatalf("key %d stored on two machines", k)
+			}
+			seen[k] = true
+		}
+	}
+	if total != n {
+		t.Fatalf("LocalKeys total = %d, want %d", total, n)
+	}
+	count := 0
+	c.Slave(1).ForEachLocal(func(k uint64, p []byte) bool {
+		if p[0] != byte(k) {
+			t.Errorf("key %d corrupt in ForEachLocal", k)
+		}
+		count++
+		return true
+	})
+	if count != len(c.Slave(1).LocalKeys()) {
+		t.Fatalf("ForEachLocal visited %d, want %d", count, len(c.Slave(1).LocalKeys()))
+	}
+	// Early stop.
+	count = 0
+	c.Slave(0).ForEachLocal(func(uint64, []byte) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("ForEachLocal early stop visited %d", count)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c := newCloud(t, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := c.Slave(w % 4)
+			rng := hash.NewRNG(uint64(w))
+			base := uint64(w) << 20
+			for i := 0; i < 200; i++ {
+				key := base + uint64(rng.Intn(50))
+				switch rng.Intn(3) {
+				case 0:
+					if err := s.Put(key, val(16, byte(key))); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := s.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if err := s.Remove(key); err != nil && !errors.Is(err, ErrNotFound) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestCloudModelProperty(t *testing.T) {
+	// Property: a multi-machine cloud behaves like one map[uint64][]byte
+	// regardless of which slave serves each operation.
+	c := newCloud(t, 3)
+	f := func(seed uint64) bool {
+		model := map[uint64][]byte{}
+		rng := hash.NewRNG(seed)
+		base := seed << 24
+		for i := 0; i < 150; i++ {
+			s := c.Slave(rng.Intn(3))
+			key := base + uint64(rng.Intn(40))
+			switch rng.Intn(3) {
+			case 0:
+				v := val(rng.Intn(64), byte(rng.Next()))
+				if s.Put(key, v) != nil {
+					return false
+				}
+				model[key] = v
+			case 1:
+				got, err := s.Get(key)
+				want, ok := model[key]
+				if ok != (err == nil) {
+					return false
+				}
+				if ok && !bytes.Equal(got, want) {
+					return false
+				}
+			case 2:
+				err := s.Remove(key)
+				if _, ok := model[key]; ok != (err == nil) {
+					return false
+				}
+				delete(model, key)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryUsageReflectsData(t *testing.T) {
+	c := newCloud(t, 2)
+	before := c.MemoryUsage()
+	s := c.Slave(0)
+	for i := uint64(0); i < 5000; i++ {
+		s.Put(i, val(64, byte(i)))
+	}
+	after := c.MemoryUsage()
+	if after <= before {
+		t.Fatalf("memory usage did not grow: %d -> %d", before, after)
+	}
+}
+
+func TestStatsRetriesOnStaleTable(t *testing.T) {
+	c := newCloud(t, 4)
+	s0 := c.Slave(0)
+	for i := uint64(0); i < 100; i++ {
+		s0.Put(i, val(8, byte(i)))
+	}
+	c.Backup()
+	c.KillMachine(3)
+	for i := uint64(0); i < 100; i++ {
+		s0.Get(i)
+	}
+	if st := c.Stats(); st.Retries == 0 {
+		t.Fatal("expected retries through the failure protocol")
+	}
+}
+
+func ExampleCloud() {
+	cloud := New(Config{Machines: 2})
+	defer cloud.Close()
+	s := cloud.Slave(0)
+	s.Put(42, []byte("a cell in the memory cloud"))
+	v, _ := s.Get(42)
+	fmt.Println(string(v))
+	// Output: a cell in the memory cloud
+}
+
+func BenchmarkCloudPutLocal(b *testing.B) {
+	c := New(testConfig(1))
+	defer c.Close()
+	s := c.Slave(0)
+	v := val(64, 1)
+	const keys = 50_000 // bounded so any b.N fits in the trunks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(uint64(i%keys), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCloudGetLocal(b *testing.B) {
+	c := New(testConfig(1))
+	defer c.Close()
+	s := c.Slave(0)
+	v := val(64, 1)
+	const n = 100_000
+	for i := uint64(0); i < n; i++ {
+		s.Put(i, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(uint64(i % n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCloudGetDistributed(b *testing.B) {
+	c := New(testConfig(4))
+	defer c.Close()
+	s := c.Slave(0)
+	v := val(64, 1)
+	const n = 10_000
+	for i := uint64(0); i < n; i++ {
+		s.Put(i, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(uint64(i % n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

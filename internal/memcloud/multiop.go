@@ -1,0 +1,92 @@
+package memcloud
+
+import (
+	"fmt"
+	"sort"
+
+	"trinity/internal/trunk"
+)
+
+// MultiOp primitives (paper §4.4): Trinity guarantees atomicity only for
+// single-cell operations, but notes that "light-weight atomic operation
+// primitives that span multiple cells, such as MultiOp primitives and
+// mini-transaction primitives, [can be implemented] on top of the atomic
+// cell operation primitives". This file does exactly that for cells that
+// are co-located on one machine: all cells are spin-locked in globally
+// consistent (sorted) order — so concurrent MultiOps cannot deadlock —
+// and the callback sees and mutates every payload under the locks.
+
+// MultiView runs fn with zero-copy views of several LOCAL cells, all
+// pinned simultaneously. fn may mutate the payloads in place (sizes are
+// fixed while pinned). Keys may repeat; each cell is locked once. All
+// keys must be owned by this machine: cross-machine transactions are out
+// of scope, exactly as in the paper.
+func (s *Slave) MultiView(keys []uint64, fn func(payloads [][]byte) error) error {
+	if len(keys) == 0 {
+		return fn(nil)
+	}
+	// Sort and deduplicate to get the global locking order.
+	order := append([]uint64(nil), keys...)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	uniq := order[:1]
+	for _, k := range order[1:] {
+		if k != uniq[len(uniq)-1] {
+			uniq = append(uniq, k)
+		}
+	}
+	// Validate ownership before taking any locks.
+	for _, k := range uniq {
+		if s.Owner(k) != s.id {
+			return fmt.Errorf("%w: cell %#x in MultiView", ErrWrongOwner, k)
+		}
+	}
+	guards := make(map[uint64]*trunk.Guard, len(uniq))
+	release := func() {
+		// Unlock in reverse order.
+		for i := len(uniq) - 1; i >= 0; i-- {
+			if g := guards[uniq[i]]; g != nil {
+				g.Unlock()
+			}
+		}
+	}
+	for _, k := range uniq {
+		g, err := s.Lock(k)
+		if err != nil {
+			release()
+			return err
+		}
+		guards[k] = g
+	}
+	defer release()
+	payloads := make([][]byte, len(keys))
+	for i, k := range keys {
+		payloads[i] = guards[k].Bytes()
+	}
+	s.localOps.Add(int64(len(uniq)))
+	return fn(payloads)
+}
+
+// CompareAndSwapCell atomically replaces a LOCAL cell's payload with new
+// if its current contents equal old. Sizes of old and new must match (a
+// pinned cell cannot change size); use Put for resizing writes.
+func (s *Slave) CompareAndSwapCell(key uint64, old, new []byte) (bool, error) {
+	if len(old) != len(new) {
+		return false, fmt.Errorf("memcloud: CompareAndSwapCell sizes differ (%d vs %d)", len(old), len(new))
+	}
+	swapped := false
+	err := s.MultiView([]uint64{key}, func(payloads [][]byte) error {
+		p := payloads[0]
+		if len(p) != len(old) {
+			return nil
+		}
+		for i := range p {
+			if p[i] != old[i] {
+				return nil
+			}
+		}
+		copy(p, new)
+		swapped = true
+		return nil
+	})
+	return swapped, err
+}

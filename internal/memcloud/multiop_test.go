@@ -1,0 +1,227 @@
+package memcloud
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"trinity/internal/hash"
+	"trinity/internal/msg"
+)
+
+// localKeysOn returns n keys owned by the given slave.
+func localKeysOn(s *Slave, n int) []uint64 {
+	var out []uint64
+	for k := uint64(0); len(out) < n; k++ {
+		if s.Owner(k) == s.ID() {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestMultiViewAtomicTransfer(t *testing.T) {
+	// The classic bank-transfer invariant: concurrent transfers between
+	// accounts must never lose money. Each account is a LOCAL cell with a
+	// uint64 balance.
+	c := newCloud(t, 2)
+	s := c.Slave(0)
+	keys := localKeysOn(s, 4)
+	const initial = 1000
+	for _, k := range keys {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], initial)
+		if err := s.Put(k, buf[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := hash.NewRNG(uint64(w))
+			for i := 0; i < 300; i++ {
+				from := keys[rng.Intn(len(keys))]
+				to := keys[rng.Intn(len(keys))]
+				if from == to {
+					continue
+				}
+				amount := uint64(rng.Intn(10))
+				err := s.MultiView([]uint64{from, to}, func(p [][]byte) error {
+					fb := binary.LittleEndian.Uint64(p[0])
+					tb := binary.LittleEndian.Uint64(p[1])
+					if fb < amount {
+						return nil
+					}
+					binary.LittleEndian.PutUint64(p[0], fb-amount)
+					binary.LittleEndian.PutUint64(p[1], tb+amount)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, k := range keys {
+		v, err := s.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += binary.LittleEndian.Uint64(v)
+	}
+	if total != initial*uint64(len(keys)) {
+		t.Fatalf("money not conserved: %d != %d", total, initial*len(keys))
+	}
+}
+
+func TestMultiViewDuplicateKeys(t *testing.T) {
+	c := newCloud(t, 1)
+	s := c.Slave(0)
+	s.Put(5, []byte{1})
+	err := s.MultiView([]uint64{5, 5, 5}, func(p [][]byte) error {
+		if len(p) != 3 {
+			t.Fatalf("payloads = %d", len(p))
+		}
+		// All three views alias the same pinned cell.
+		p[0][0] = 9
+		if p[2][0] != 9 {
+			t.Fatal("duplicate views do not alias")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiViewRejectsRemote(t *testing.T) {
+	c := newCloud(t, 2)
+	s := c.Slave(0)
+	var remote uint64
+	for k := uint64(0); ; k++ {
+		if s.Owner(k) != s.ID() {
+			remote = k
+			break
+		}
+	}
+	c.Slave(1).Put(remote, []byte{1})
+	err := s.MultiView([]uint64{remote}, func([][]byte) error { return nil })
+	if !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("remote MultiView = %v, want ErrWrongOwner", err)
+	}
+}
+
+func TestMultiViewMissingCell(t *testing.T) {
+	c := newCloud(t, 1)
+	s := c.Slave(0)
+	s.Put(1, []byte{1})
+	err := s.MultiView([]uint64{1, 999}, func([][]byte) error { return nil })
+	if err == nil {
+		t.Fatal("missing cell accepted")
+	}
+	// The held lock on cell 1 must have been released: a second op works.
+	if err := s.Put(1, []byte{2}); err != nil {
+		t.Fatalf("cell 1 still locked: %v", err)
+	}
+}
+
+func TestMultiViewEmpty(t *testing.T) {
+	c := newCloud(t, 1)
+	called := false
+	if err := c.Slave(0).MultiView(nil, func(p [][]byte) error {
+		called = p == nil
+		return nil
+	}); err != nil || !called {
+		t.Fatalf("empty MultiView: %v", err)
+	}
+}
+
+func TestCompareAndSwapCell(t *testing.T) {
+	c := newCloud(t, 1)
+	s := c.Slave(0)
+	key := localKeysOn(s, 1)[0]
+	s.Put(key, []byte{1, 2, 3})
+	ok, err := s.CompareAndSwapCell(key, []byte{1, 2, 3}, []byte{4, 5, 6})
+	if err != nil || !ok {
+		t.Fatalf("CAS failed: %v %v", ok, err)
+	}
+	v, _ := s.Get(key)
+	if v[0] != 4 {
+		t.Fatal("CAS did not write")
+	}
+	ok, err = s.CompareAndSwapCell(key, []byte{1, 2, 3}, []byte{7, 8, 9})
+	if err != nil || ok {
+		t.Fatalf("stale CAS succeeded: %v %v", ok, err)
+	}
+	if _, err := s.CompareAndSwapCell(key, []byte{1}, []byte{1, 2}); err == nil {
+		t.Fatal("size-mismatched CAS accepted")
+	}
+}
+
+func TestProxyRoutesOperations(t *testing.T) {
+	c := newCloud(t, 3)
+	p := c.NewProxy()
+	defer p.Close()
+	for i := uint64(0); i < 60; i++ {
+		if err := p.Put(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 60; i++ {
+		v, err := p.Get(i)
+		if err != nil || len(v) != 1 || v[0] != byte(i) {
+			t.Fatalf("proxy Get(%d) = %v, %v", i, v, err)
+		}
+	}
+	if _, err := p.Get(999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("proxy Get missing = %v", err)
+	}
+	// The proxy owns no data.
+	owned := 0
+	for i := 0; i < 3; i++ {
+		owned += len(c.Slave(i).LocalKeys())
+	}
+	if owned != 60 {
+		t.Fatalf("slaves own %d cells, want 60", owned)
+	}
+}
+
+func TestProxyScatterGather(t *testing.T) {
+	c := newCloud(t, 4)
+	// Register a tiny aggregation protocol on each slave: report local
+	// cell count.
+	const protoCount msg.ProtocolID = 0x0900
+	for i := 0; i < 4; i++ {
+		s := c.Slave(i)
+		ss := s
+		s.Node().HandleSync(protoCount, func(msg.MachineID, []byte) ([]byte, error) {
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], uint32(len(ss.LocalKeys())))
+			return buf[:], nil
+		})
+	}
+	for i := uint64(0); i < 100; i++ {
+		c.Slave(0).Put(i, []byte{1})
+	}
+	p := c.NewProxy()
+	defer p.Close()
+	total := 0
+	machines := 0
+	err := p.ScatterGather(protoCount, nil, func(_ msg.MachineID, reply []byte) error {
+		total += int(binary.LittleEndian.Uint32(reply))
+		machines++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if machines != 4 || total != 100 {
+		t.Fatalf("aggregated %d cells from %d machines", total, machines)
+	}
+}

@@ -1,0 +1,384 @@
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProtocolID identifies a message protocol, as declared in a TSL
+// `protocol` block and assigned by the TSL compiler.
+type ProtocolID uint16
+
+// SyncHandler serves a synchronous (request-response) protocol. The
+// returned bytes are sent back to the caller; a non-nil error is
+// propagated to the caller as a call failure.
+type SyncHandler func(from MachineID, request []byte) ([]byte, error)
+
+// AsyncHandler serves an asynchronous (one-way) protocol. msg must not be
+// retained after the handler returns. Async handlers run inline on the
+// transport's delivery goroutine: they must not block indefinitely and
+// must not perform blocking sends themselves (enqueue work for another
+// goroutine instead, as the BSP and async engines do) — otherwise two
+// machines flooding each other could deadlock on full delivery queues.
+type AsyncHandler func(from MachineID, msg []byte)
+
+// frame kinds on the wire.
+const (
+	kindSyncReq byte = iota + 1
+	kindSyncResp
+	kindSyncErr
+	kindAsync
+	kindBatch
+)
+
+// wire header: kind(1) proto(2) corr(8); batch items: proto(2) len(4).
+const (
+	frameHeader = 11
+	batchItem   = 6
+)
+
+// Stats counts messaging activity. The ratio MessagesSent/FramesSent shows
+// the effect of message packing.
+type Stats struct {
+	MessagesSent  int64 // logical messages submitted
+	FramesSent    int64 // physical frames on the transport
+	BytesSent     int64
+	SyncCalls     int64
+	AsyncReceived int64
+	BatchesRecv   int64
+}
+
+// Options configures a Node.
+type Options struct {
+	// BatchBytes is the packing buffer size per destination: an async
+	// batch is flushed when it would exceed this. Zero means 64 KiB.
+	BatchBytes int
+	// FlushInterval bounds how long a small async message can linger in
+	// the packing buffer. Zero means 2ms. Negative disables the
+	// background flusher (tests and BSP flush explicitly).
+	FlushInterval time.Duration
+	// CallTimeout bounds synchronous calls. Zero means 10s.
+	CallTimeout time.Duration
+	// NoPacking disables message packing entirely: every async message
+	// travels in its own frame. Used by the packing ablation benchmark.
+	NoPacking bool
+}
+
+// Node is a machine's messaging runtime: it owns a transport endpoint,
+// dispatches incoming frames to registered protocol handlers, correlates
+// synchronous responses, and packs small asynchronous messages.
+type Node struct {
+	tr   Transport
+	opts Options
+
+	mu    sync.RWMutex
+	sync  map[ProtocolID]SyncHandler
+	async map[ProtocolID]AsyncHandler
+
+	nextCorr uint64
+	callsMu  sync.Mutex
+	calls    map[uint64]chan callResult
+
+	packMu  sync.Mutex
+	packers map[MachineID]*packer
+	flushCh chan struct{}
+	closed  atomic.Bool
+
+	stats struct {
+		messagesSent  atomic.Int64
+		framesSent    atomic.Int64
+		bytesSent     atomic.Int64
+		syncCalls     atomic.Int64
+		asyncReceived atomic.Int64
+		batchesRecv   atomic.Int64
+	}
+}
+
+type callResult struct {
+	payload []byte
+	err     error
+}
+
+type packer struct {
+	buf   []byte
+	count int
+}
+
+// NewNode creates a messaging runtime on the given transport endpoint and
+// installs itself as the endpoint's receiver.
+func NewNode(tr Transport, opts Options) *Node {
+	if opts.BatchBytes <= 0 {
+		opts.BatchBytes = 64 << 10
+	}
+	if opts.FlushInterval == 0 {
+		opts.FlushInterval = 2 * time.Millisecond
+	}
+	if opts.CallTimeout <= 0 {
+		opts.CallTimeout = 10 * time.Second
+	}
+	n := &Node{
+		tr:      tr,
+		opts:    opts,
+		sync:    make(map[ProtocolID]SyncHandler),
+		async:   make(map[ProtocolID]AsyncHandler),
+		calls:   make(map[uint64]chan callResult),
+		packers: make(map[MachineID]*packer),
+		flushCh: make(chan struct{}),
+	}
+	tr.SetReceiver(n.receive)
+	if opts.FlushInterval > 0 && !opts.NoPacking {
+		go n.flushLoop()
+	}
+	return n
+}
+
+// ID returns the local machine ID.
+func (n *Node) ID() MachineID { return n.tr.Local() }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		MessagesSent:  n.stats.messagesSent.Load(),
+		FramesSent:    n.stats.framesSent.Load(),
+		BytesSent:     n.stats.bytesSent.Load(),
+		SyncCalls:     n.stats.syncCalls.Load(),
+		AsyncReceived: n.stats.asyncReceived.Load(),
+		BatchesRecv:   n.stats.batchesRecv.Load(),
+	}
+}
+
+// HandleSync registers the handler for a synchronous protocol. Protocols
+// must be registered before any peer calls them.
+func (n *Node) HandleSync(p ProtocolID, h SyncHandler) {
+	n.mu.Lock()
+	n.sync[p] = h
+	n.mu.Unlock()
+}
+
+// HandleAsync registers the handler for an asynchronous protocol.
+func (n *Node) HandleAsync(p ProtocolID, h AsyncHandler) {
+	n.mu.Lock()
+	n.async[p] = h
+	n.mu.Unlock()
+}
+
+// Call performs a synchronous request-response exchange, like invoking a
+// local method on a remote machine (the TSL "Syn" protocol type).
+func (n *Node) Call(to MachineID, p ProtocolID, request []byte) ([]byte, error) {
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	corr := atomic.AddUint64(&n.nextCorr, 1)
+	ch := make(chan callResult, 1)
+	n.callsMu.Lock()
+	n.calls[corr] = ch
+	n.callsMu.Unlock()
+	defer func() {
+		n.callsMu.Lock()
+		delete(n.calls, corr)
+		n.callsMu.Unlock()
+	}()
+
+	frame := make([]byte, frameHeader+len(request))
+	frame[0] = kindSyncReq
+	binary.LittleEndian.PutUint16(frame[1:], uint16(p))
+	binary.LittleEndian.PutUint64(frame[3:], corr)
+	copy(frame[frameHeader:], request)
+	n.stats.syncCalls.Add(1)
+	n.stats.messagesSent.Add(1)
+	if err := n.sendFrame(to, frame); err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		return res.payload, res.err
+	case <-time.After(n.opts.CallTimeout):
+		return nil, fmt.Errorf("%w: protocol %d to machine %d", ErrTimeout, p, to)
+	}
+}
+
+// Send submits an asynchronous one-way message. Small messages to the same
+// destination are packed into a single transfer; call Flush to force
+// delivery (BSP supersteps flush at the end of every step).
+func (n *Node) Send(to MachineID, p ProtocolID, msg []byte) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	n.stats.messagesSent.Add(1)
+	if n.opts.NoPacking {
+		frame := make([]byte, frameHeader+len(msg))
+		frame[0] = kindAsync
+		binary.LittleEndian.PutUint16(frame[1:], uint16(p))
+		copy(frame[frameHeader:], msg)
+		return n.sendFrame(to, frame)
+	}
+	n.packMu.Lock()
+	pk, ok := n.packers[to]
+	if !ok {
+		// Start small and let append grow toward BatchBytes: most packer
+		// lifetimes end at a timer flush with only a few messages, so
+		// reserving the full batch up front wastes an allocation storm.
+		pk = &packer{buf: append(make([]byte, 0, 512), kindBatch)}
+		n.packers[to] = pk
+	}
+	var item [batchItem]byte
+	binary.LittleEndian.PutUint16(item[0:], uint16(p))
+	binary.LittleEndian.PutUint32(item[2:], uint32(len(msg)))
+	pk.buf = append(pk.buf, item[:]...)
+	pk.buf = append(pk.buf, msg...)
+	pk.count++
+	var flush []byte
+	if len(pk.buf) >= n.opts.BatchBytes {
+		flush = pk.buf
+		delete(n.packers, to)
+	}
+	n.packMu.Unlock()
+	if flush != nil {
+		return n.sendFrame(to, flush)
+	}
+	return nil
+}
+
+// Flush forces out all pending packed messages. It returns the first send
+// error encountered, if any.
+func (n *Node) Flush() error {
+	n.packMu.Lock()
+	pending := n.packers
+	n.packers = make(map[MachineID]*packer)
+	n.packMu.Unlock()
+	var firstErr error
+	for to, pk := range pending {
+		if err := n.sendFrame(to, pk.buf); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (n *Node) flushLoop() {
+	ticker := time.NewTicker(n.opts.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.flushCh:
+			return
+		case <-ticker.C:
+			n.Flush()
+		}
+	}
+}
+
+// Close flushes pending messages and shuts the node down.
+func (n *Node) Close() error {
+	if n.closed.Swap(true) {
+		return nil
+	}
+	if n.opts.FlushInterval > 0 && !n.opts.NoPacking {
+		close(n.flushCh)
+	}
+	n.Flush()
+	return n.tr.Close()
+}
+
+func (n *Node) sendFrame(to MachineID, frame []byte) error {
+	n.stats.framesSent.Add(1)
+	n.stats.bytesSent.Add(int64(len(frame)))
+	return n.tr.Send(to, frame)
+}
+
+// receive dispatches one incoming frame. It runs on the transport's
+// delivery goroutine; sync handlers are dispatched to fresh goroutines so
+// a slow handler cannot stall the pipe, while async messages within a
+// batch run in order (the BSP engine relies on per-sender ordering).
+func (n *Node) receive(from MachineID, frame []byte) {
+	if len(frame) == 0 {
+		return
+	}
+	switch frame[0] {
+	case kindSyncReq:
+		if len(frame) < frameHeader {
+			return
+		}
+		p := ProtocolID(binary.LittleEndian.Uint16(frame[1:]))
+		corr := binary.LittleEndian.Uint64(frame[3:])
+		n.mu.RLock()
+		h := n.sync[p]
+		n.mu.RUnlock()
+		go n.serveSync(from, p, corr, h, frame[frameHeader:])
+	case kindSyncResp, kindSyncErr:
+		if len(frame) < frameHeader {
+			return
+		}
+		corr := binary.LittleEndian.Uint64(frame[3:])
+		n.callsMu.Lock()
+		ch := n.calls[corr]
+		n.callsMu.Unlock()
+		if ch != nil {
+			res := callResult{}
+			if frame[0] == kindSyncErr {
+				res.err = fmt.Errorf("msg: remote error: %s", frame[frameHeader:])
+			} else {
+				res.payload = frame[frameHeader:]
+			}
+			select {
+			case ch <- res:
+			default: // caller already timed out
+			}
+		}
+	case kindAsync:
+		if len(frame) < frameHeader {
+			return
+		}
+		p := ProtocolID(binary.LittleEndian.Uint16(frame[1:]))
+		n.dispatchAsync(from, p, frame[frameHeader:])
+	case kindBatch:
+		n.stats.batchesRecv.Add(1)
+		body := frame[1:]
+		for len(body) >= batchItem {
+			p := ProtocolID(binary.LittleEndian.Uint16(body[0:]))
+			size := int(binary.LittleEndian.Uint32(body[2:]))
+			body = body[batchItem:]
+			if size > len(body) {
+				return // malformed; drop the rest
+			}
+			n.dispatchAsync(from, p, body[:size])
+			body = body[size:]
+		}
+	}
+}
+
+func (n *Node) serveSync(from MachineID, p ProtocolID, corr uint64, h SyncHandler, req []byte) {
+	var resp []byte
+	var err error
+	if h == nil {
+		err = fmt.Errorf("%w: %d", ErrNoHandler, p)
+	} else {
+		resp, err = h(from, req)
+	}
+	kind := kindSyncResp
+	if err != nil {
+		kind = kindSyncErr
+		resp = []byte(err.Error())
+	}
+	out := make([]byte, frameHeader+len(resp))
+	out[0] = kind
+	binary.LittleEndian.PutUint16(out[1:], uint16(p))
+	binary.LittleEndian.PutUint64(out[3:], corr)
+	copy(out[frameHeader:], resp)
+	// Best effort: if the caller's machine died, the reply is dropped and
+	// the caller times out.
+	_ = n.sendFrame(from, out)
+}
+
+func (n *Node) dispatchAsync(from MachineID, p ProtocolID, msg []byte) {
+	n.mu.RLock()
+	h := n.async[p]
+	n.mu.RUnlock()
+	if h != nil {
+		n.stats.asyncReceived.Add(1)
+		h(from, msg)
+	}
+}

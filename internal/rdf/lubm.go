@@ -1,0 +1,168 @@
+package rdf
+
+import (
+	"fmt"
+
+	"trinity/internal/hash"
+)
+
+// LUBM vocabulary subset (the Lehigh University Benchmark ontology).
+const (
+	TypeUniversity = "ub:University"
+	TypeDepartment = "ub:Department"
+	TypeProfessor  = "ub:FullProfessor"
+	TypeStudent    = "ub:GraduateStudent"
+	TypeCourse     = "ub:Course"
+
+	PredSubOrganizationOf = "ub:subOrganizationOf"
+	PredWorksFor          = "ub:worksFor"
+	PredMemberOf          = "ub:memberOf"
+	PredAdvisor           = "ub:advisor"
+	PredTakesCourse       = "ub:takesCourse"
+	PredTeacherOf         = "ub:teacherOf"
+	PredDegreeFrom        = "ub:undergraduateDegreeFrom"
+)
+
+// LUBMConfig scales the generated university dataset.
+type LUBMConfig struct {
+	// Universities is the university count (LUBM's scale factor).
+	Universities int
+	// DeptsPerUniv, ProfsPerDept, StudentsPerProf, CoursesPerDept default
+	// to LUBM-like ratios when zero.
+	DeptsPerUniv    int
+	ProfsPerDept    int
+	StudentsPerProf int
+	CoursesPerDept  int
+	// Seed drives the pseudo-random associations.
+	Seed uint64
+}
+
+func (c *LUBMConfig) fill() {
+	if c.Universities <= 0 {
+		c.Universities = 1
+	}
+	if c.DeptsPerUniv <= 0 {
+		c.DeptsPerUniv = 5
+	}
+	if c.ProfsPerDept <= 0 {
+		c.ProfsPerDept = 7
+	}
+	if c.StudentsPerProf <= 0 {
+		c.StudentsPerProf = 4
+	}
+	if c.CoursesPerDept <= 0 {
+		c.CoursesPerDept = 10
+	}
+}
+
+// GenerateLUBM populates the store with a university-domain dataset in
+// the style of the Lehigh University Benchmark: universities contain
+// departments; departments employ professors and offer courses;
+// professors teach courses and advise students; students are department
+// members, take courses, and hold degrees from other universities.
+// It returns the number of triples loaded.
+func GenerateLUBM(s *Store, cfg LUBMConfig) (int, error) {
+	cfg.fill()
+	rng := hash.NewRNG(cfg.Seed)
+	b := s.NewBuilder()
+	triples := 0
+	triple := func(su, p, o string) {
+		b.AddTriple(su, p, o)
+		triples++
+	}
+	univ := func(u int) string { return fmt.Sprintf("http://univ%d", u) }
+	for u := 0; u < cfg.Universities; u++ {
+		b.AddEntity(univ(u), TypeUniversity)
+	}
+	for u := 0; u < cfg.Universities; u++ {
+		for d := 0; d < cfg.DeptsPerUniv; d++ {
+			dept := fmt.Sprintf("%s/dept%d", univ(u), d)
+			b.AddEntity(dept, TypeDepartment)
+			triple(dept, PredSubOrganizationOf, univ(u))
+			var courses []string
+			for c := 0; c < cfg.CoursesPerDept; c++ {
+				course := fmt.Sprintf("%s/course%d", dept, c)
+				b.AddEntity(course, TypeCourse)
+				courses = append(courses, course)
+			}
+			for p := 0; p < cfg.ProfsPerDept; p++ {
+				prof := fmt.Sprintf("%s/prof%d", dept, p)
+				b.AddEntity(prof, TypeProfessor)
+				triple(prof, PredWorksFor, dept)
+				// Each professor teaches 1-2 courses.
+				nTeach := 1 + rng.Intn(2)
+				for t := 0; t < nTeach; t++ {
+					triple(prof, PredTeacherOf, courses[rng.Intn(len(courses))])
+				}
+				for st := 0; st < cfg.StudentsPerProf; st++ {
+					student := fmt.Sprintf("%s/student%d", prof, st)
+					b.AddEntity(student, TypeStudent)
+					triple(student, PredAdvisor, prof)
+					triple(student, PredMemberOf, dept)
+					// 1-3 courses from the same department.
+					nTake := 1 + rng.Intn(3)
+					for t := 0; t < nTake; t++ {
+						triple(student, PredTakesCourse, courses[rng.Intn(len(courses))])
+					}
+					// Undergraduate degree from a random university.
+					triple(student, PredDegreeFrom, univ(rng.Intn(cfg.Universities)))
+				}
+			}
+		}
+	}
+	return triples, b.Flush()
+}
+
+// The four benchmark queries of Figure 14(b), phrased over the generated
+// schema. Their shapes track LUBM's published queries: a selective lookup
+// (Q1), a one-hop star (Q3), a two-predicate join (Q5), and a triangle-
+// shaped three-way join (Q7).
+
+// QueryStudentsTakingCourse is Q1: students taking a given course.
+func QueryStudentsTakingCourse(course string) *Query {
+	return &Query{
+		Patterns: []TriplePattern{{S: V("x"), Pred: PredTakesCourse, O: I(course)}},
+		Types:    map[string]string{"x": TypeStudent},
+		Select:   []string{"x"},
+	}
+}
+
+// QueryProfessorsOfUniversity is Q3: professors working for any
+// department of a given university.
+func QueryProfessorsOfUniversity(university string) *Query {
+	return &Query{
+		Patterns: []TriplePattern{
+			{S: V("d"), Pred: PredSubOrganizationOf, O: I(university)},
+			{S: V("p"), Pred: PredWorksFor, O: V("d")},
+		},
+		Types:  map[string]string{"d": TypeDepartment, "p": TypeProfessor},
+		Select: []string{"p", "d"},
+	}
+}
+
+// QueryMembersWithDegreeFrom is Q5: department members holding a degree
+// from a given university.
+func QueryMembersWithDegreeFrom(dept, university string) *Query {
+	return &Query{
+		Patterns: []TriplePattern{
+			{S: V("x"), Pred: PredMemberOf, O: I(dept)},
+			{S: V("x"), Pred: PredDegreeFrom, O: I(university)},
+		},
+		Types:  map[string]string{"x": TypeStudent},
+		Select: []string{"x"},
+	}
+}
+
+// QueryStudentsOfTeacher is Q7: students taking any course taught by a
+// given professor, with their advisor relationship closing a triangle
+// when the advisor is that professor.
+func QueryStudentsOfTeacher(prof string) *Query {
+	return &Query{
+		Patterns: []TriplePattern{
+			{S: I(prof), Pred: PredTeacherOf, O: V("c")},
+			{S: V("x"), Pred: PredTakesCourse, O: V("c")},
+		},
+		Types:  map[string]string{"c": TypeCourse, "x": TypeStudent},
+		Select: []string{"x", "c"},
+	}
+}

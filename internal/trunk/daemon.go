@@ -1,0 +1,89 @@
+package trunk
+
+import (
+	"sync"
+	"time"
+)
+
+// Daemon runs periodic defragmentation passes over a set of trunks,
+// mirroring the paper's defragmentation daemon. A pass over a trunk is
+// skipped when the trunk reports nothing to reclaim, so an idle daemon is
+// nearly free.
+type Daemon struct {
+	interval time.Duration
+
+	mu     sync.Mutex
+	trunks []*Trunk
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewDaemon creates a daemon that wakes every interval. It does not start
+// until Start is called.
+func NewDaemon(interval time.Duration, trunks ...*Trunk) *Daemon {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	return &Daemon{interval: interval, trunks: trunks}
+}
+
+// Watch adds a trunk to the daemon's rotation.
+func (d *Daemon) Watch(t *Trunk) {
+	d.mu.Lock()
+	d.trunks = append(d.trunks, t)
+	d.mu.Unlock()
+}
+
+// Start launches the background loop. It is a no-op if already running.
+func (d *Daemon) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stop != nil {
+		return
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go d.loop(d.stop, d.done)
+}
+
+// Stop halts the background loop and waits for the in-flight pass, if any,
+// to finish. It is a no-op if the daemon is not running.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	stop, done := d.stop, d.done
+	d.stop, d.done = nil, nil
+	d.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// RunOnce performs a single pass over all watched trunks and returns the
+// total bytes reclaimed.
+func (d *Daemon) RunOnce() int64 {
+	d.mu.Lock()
+	trunks := make([]*Trunk, len(d.trunks))
+	copy(trunks, d.trunks)
+	d.mu.Unlock()
+	var total int64
+	for _, t := range trunks {
+		total += t.Defragment()
+	}
+	return total
+}
+
+func (d *Daemon) loop(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(d.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			d.RunOnce()
+		}
+	}
+}

@@ -1,0 +1,858 @@
+// Package trunk implements a Trinity memory trunk: a fixed-capacity blob
+// arena with circular memory management (paper §6.1).
+//
+// A trunk owns one large byte buffer. Key-value pairs (cells) are appended
+// sequentially at the append head; removing or relocating a cell leaves a
+// gap, and a defragmentation pass slides live cells toward the append head
+// so the committed tail can advance and release whole pages. The head and
+// tail chase each other around the buffer in an endless circular movement,
+// exactly as Figure 11 of the paper describes.
+//
+// Storing cells as raw blobs in a single buffer is the load-bearing design
+// decision of Trinity: a trunk is one object from the garbage collector's
+// point of view no matter how many cells it holds, which is what lets the
+// engine keep billions of cells resident without per-object overhead
+// (contrast with the runtime-object baselines in internal/baseline).
+//
+// Concurrency follows the paper: trunk-level parallelism is the primary
+// mechanism ("each machine hosts multiple memory trunks ... parallelism
+// without any overhead of locking"), so structural operations on one trunk
+// are serialized by a single trunk mutex. In addition, every cell carries a
+// spin lock used for concurrency control and physical memory pinning: a
+// pinned cell is never moved by the defragmentation daemon, and accessors
+// hold the pin while exposing a zero-copy view of the blob.
+package trunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by trunk operations.
+var (
+	// ErrFull reports that the trunk cannot satisfy an allocation even
+	// after considering the wrap-around region. Callers typically run a
+	// defragmentation pass and retry, or spill to another trunk.
+	ErrFull = errors.New("trunk: out of memory")
+	// ErrNotFound reports that no cell with the given key exists.
+	ErrNotFound = errors.New("trunk: cell not found")
+	// ErrExists reports that Add was called for a key that already exists.
+	ErrExists = errors.New("trunk: cell already exists")
+	// ErrCorrupt reports a malformed dump during LoadFrom.
+	ErrCorrupt = errors.New("trunk: corrupt dump")
+)
+
+const (
+	// headerSize is the per-record overhead inside the buffer:
+	// key (8 bytes) + payload size (4) + reservation size (4).
+	// This matches the 16-byte per-cell overhead in the paper's memory
+	// model (§5.4: S = |V|(16+k+l+m) + 8|E|).
+	headerSize = 16
+
+	// wrapKey marks a filler record that tells a sequential scan to jump
+	// back to offset 0. It is not a legal cell key: real keys are mixed
+	// 64-bit IDs and the trunk rejects this value on insert.
+	wrapKey = ^uint64(0)
+
+	// DefaultCapacity is the default trunk size. The paper reserves 2 GB
+	// of virtual address space per trunk; the simulated cluster uses a
+	// smaller default so many trunks fit comfortably in one process.
+	DefaultCapacity = 64 << 20
+
+	// DefaultPageSize is the commit/decommit granularity.
+	DefaultPageSize = 64 << 10
+)
+
+// ReservationPolicy decides how many extra bytes to reserve when a cell of
+// oldSize bytes must grow by growth bytes. Reservations are short-lived:
+// the next defragmentation pass releases whatever remains unused (§6.1).
+type ReservationPolicy func(oldSize, growth int) int
+
+// DefaultReservation doubles the requested growth (the paper's example:
+// "if the current key-value pair needs to expand by 16 bytes, we allocate
+// 32 bytes instead"), capped at 4 KiB to bound waste on huge cells.
+func DefaultReservation(oldSize, growth int) int {
+	r := growth
+	if r > 4096 {
+		r = 4096
+	}
+	return r
+}
+
+// NoReservation disables reservations; every expansion relocates. Used by
+// the §6.1 ablation benchmark.
+func NoReservation(oldSize, growth int) int { return 0 }
+
+// Options configures a trunk.
+type Options struct {
+	// Capacity is the size of the reserved buffer in bytes.
+	// Zero means DefaultCapacity.
+	Capacity int64
+	// PageSize is the commit granularity. Zero means DefaultPageSize.
+	PageSize int64
+	// Reservation is the expansion reservation policy.
+	// Nil means DefaultReservation.
+	Reservation ReservationPolicy
+}
+
+// Stats is a snapshot of trunk health and activity counters.
+type Stats struct {
+	Capacity       int64 // reserved buffer size
+	CommittedBytes int64 // bytes in committed pages
+	UsedBytes      int64 // bytes between committed tail and append head
+	LiveBytes      int64 // headers + payloads of live cells
+	GapBytes       int64 // dead bytes awaiting defragmentation
+	ReservedBytes  int64 // live but unused reservation bytes
+	Cells          int64 // number of live cells
+
+	Allocs        int64 // successful allocations
+	Relocations   int64 // cells moved because in-place growth failed
+	InPlaceGrowth int64 // expansions satisfied by a reservation
+	PageCommits   int64 // pages committed
+	PageDecommits int64 // pages decommitted
+	DefragPasses  int64 // completed defragmentation passes
+	CellsMoved    int64 // cells copied by defragmentation
+	BytesMoved    int64 // bytes copied by defragmentation
+	DefragSkips   int64 // passes cut short by a pinned cell
+}
+
+// Utilization is the fraction of committed memory holding live data.
+func (s Stats) Utilization() float64 {
+	if s.CommittedBytes == 0 {
+		return 1
+	}
+	return float64(s.LiveBytes) / float64(s.CommittedBytes)
+}
+
+// entry is the trunk hash table's view of one cell. The pointer identity
+// of an entry is stable for the cell's lifetime, so the spin-lock word can
+// be manipulated with atomics while the table itself is guarded by the
+// trunk mutex.
+type entry struct {
+	lock     uint32 // spin lock; also pins the cell against defragmentation
+	dead     uint32 // set (under lock) when the cell is removed
+	offset   int64
+	size     int32
+	reserved int32
+}
+
+func (e *entry) tryLock() bool {
+	return atomic.CompareAndSwapUint32(&e.lock, 0, 1)
+}
+
+func (e *entry) spinLock() {
+	for !e.tryLock() {
+		runtime.Gosched()
+	}
+}
+
+func (e *entry) unlock() {
+	atomic.StoreUint32(&e.lock, 0)
+}
+
+// Trunk is a single memory trunk. All methods are safe for concurrent use.
+type Trunk struct {
+	mu  sync.RWMutex
+	buf []byte
+
+	index map[uint64]*entry
+
+	// Circular region state. The live region runs from tail to head
+	// (wrapping at capacity). used disambiguates the full and empty
+	// states when head == tail.
+	head int64
+	tail int64
+	used int64
+
+	pageSize  int64
+	committed []bool // page commit bitmap
+	reserve   ReservationPolicy
+
+	liveBytes     int64
+	gapBytes      int64
+	reservedBytes int64
+
+	stats Stats
+
+	scratch []byte // defragmentation copy buffer
+}
+
+// New creates an empty trunk.
+func New(opts Options) *Trunk {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	if opts.PageSize <= 0 {
+		opts.PageSize = DefaultPageSize
+	}
+	if opts.Capacity < opts.PageSize {
+		opts.Capacity = opts.PageSize
+	}
+	if opts.Reservation == nil {
+		opts.Reservation = DefaultReservation
+	}
+	pages := (opts.Capacity + opts.PageSize - 1) / opts.PageSize
+	return &Trunk{
+		buf:       make([]byte, opts.Capacity),
+		index:     make(map[uint64]*entry),
+		pageSize:  opts.PageSize,
+		committed: make([]bool, pages),
+		reserve:   opts.Reservation,
+	}
+}
+
+// Capacity returns the trunk's reserved size in bytes.
+func (t *Trunk) Capacity() int64 { return int64(len(t.buf)) }
+
+// Count returns the number of live cells.
+func (t *Trunk) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.index)
+}
+
+// Stats returns a snapshot of the trunk's counters.
+func (t *Trunk) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := t.stats
+	s.Capacity = int64(len(t.buf))
+	s.UsedBytes = t.used
+	s.LiveBytes = t.liveBytes
+	s.GapBytes = t.gapBytes
+	s.ReservedBytes = t.reservedBytes
+	s.Cells = int64(len(t.index))
+	var cb int64
+	for _, c := range t.committed {
+		if c {
+			cb += t.pageSize
+		}
+	}
+	s.CommittedBytes = cb
+	return s
+}
+
+// writeHeader writes a record header at off.
+func (t *Trunk) writeHeader(off int64, key uint64, size, reserved int32) {
+	binary.LittleEndian.PutUint64(t.buf[off:], key)
+	binary.LittleEndian.PutUint32(t.buf[off+8:], uint32(size))
+	binary.LittleEndian.PutUint32(t.buf[off+12:], uint32(reserved))
+}
+
+func (t *Trunk) readHeader(off int64) (key uint64, size, reserved int32) {
+	key = binary.LittleEndian.Uint64(t.buf[off:])
+	size = int32(binary.LittleEndian.Uint32(t.buf[off+8:]))
+	reserved = int32(binary.LittleEndian.Uint32(t.buf[off+12:]))
+	return
+}
+
+// commitRange marks every page overlapping [off, off+n) committed.
+// Called with t.mu held.
+func (t *Trunk) commitRange(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	first := off / t.pageSize
+	last := (off + n - 1) / t.pageSize
+	for p := first; p <= last; p++ {
+		if !t.committed[p] {
+			t.committed[p] = true
+			t.stats.PageCommits++
+		}
+	}
+}
+
+// decommitDead releases pages that no longer overlap the live region.
+// Called with t.mu held after the tail advances.
+func (t *Trunk) decommitDead() {
+	if t.used == 0 {
+		for p := range t.committed {
+			if t.committed[p] {
+				t.committed[p] = false
+				t.stats.PageDecommits++
+			}
+		}
+		return
+	}
+	cap := int64(len(t.buf))
+	inLive := func(pos int64) bool {
+		if t.tail < t.head {
+			return pos >= t.tail && pos < t.head
+		}
+		if t.tail > t.head {
+			return pos >= t.tail || pos < t.head
+		}
+		return true // full
+	}
+	for p := range t.committed {
+		if !t.committed[p] {
+			continue
+		}
+		start := int64(p) * t.pageSize
+		end := start + t.pageSize
+		if end > cap {
+			end = cap
+		}
+		// A page stays committed if any byte of it is in the live region.
+		live := inLive(start) || inLive(end-1)
+		if !live && t.tail >= start && t.tail < end {
+			live = true // page containing the tail pointer itself
+		}
+		if !live && t.head >= start && t.head < end {
+			live = true // page the next allocation will touch
+		}
+		if !live {
+			t.committed[p] = false
+			t.stats.PageDecommits++
+		}
+	}
+}
+
+// alloc finds space for a record of `need` bytes (header included),
+// writing a wrap filler if the end of the buffer must be skipped.
+// Returns the record offset. Called with t.mu held.
+func (t *Trunk) alloc(need int64) (int64, error) {
+	cap := int64(len(t.buf))
+	if need > cap {
+		return 0, ErrFull
+	}
+	if t.used == 0 {
+		// Empty trunk: restart at the origin so page usage is dense.
+		t.head, t.tail = 0, 0
+	}
+	wrapped := t.head < t.tail || (t.head == t.tail && t.used > 0)
+	if !wrapped {
+		if cap-t.head >= need {
+			off := t.head
+			t.commitRange(off, need)
+			t.head += need
+			if t.head == cap {
+				t.head = 0
+			}
+			t.used += need
+			return off, nil
+		}
+		// Not enough room before the end; try wrapping to the front.
+		if t.tail >= need {
+			fill := cap - t.head
+			if fill >= headerSize {
+				t.commitRange(t.head, headerSize)
+				t.writeHeader(t.head, wrapKey, int32(fill-headerSize), 0)
+			}
+			// Bytes too small for a header are skipped implicitly by
+			// the scanner.
+			t.used += fill
+			t.gapBytes += fill
+			t.head = 0
+			off := int64(0)
+			t.commitRange(off, need)
+			t.head = need
+			t.used += need
+			return off, nil
+		}
+		return 0, ErrFull
+	}
+	// Wrapped: free space is the contiguous run [head, tail).
+	if t.tail-t.head >= need {
+		off := t.head
+		t.commitRange(off, need)
+		t.head += need
+		t.used += need
+		return off, nil
+	}
+	return 0, ErrFull
+}
+
+// Add inserts a new cell. It fails with ErrExists if the key is present
+// and ErrFull if space cannot be found even after a defragmentation pass.
+func (t *Trunk) Add(key uint64, payload []byte) error {
+	if key == wrapKey {
+		return fmt.Errorf("trunk: key %#x is reserved", key)
+	}
+	t.mu.Lock()
+	if _, ok := t.index[key]; ok {
+		t.mu.Unlock()
+		return ErrExists
+	}
+	err := t.addLocked(key, payload)
+	t.mu.Unlock()
+	if errors.Is(err, ErrFull) {
+		// One defragmentation pass may coalesce enough space.
+		if t.Defragment() > 0 {
+			t.mu.Lock()
+			err = t.addLocked(key, payload)
+			t.mu.Unlock()
+		}
+	}
+	return err
+}
+
+func (t *Trunk) addLocked(key uint64, payload []byte) error {
+	need := int64(headerSize + len(payload))
+	off, err := t.alloc(need)
+	if err != nil {
+		return err
+	}
+	t.writeHeader(off, key, int32(len(payload)), 0)
+	copy(t.buf[off+headerSize:], payload)
+	t.index[key] = &entry{offset: off, size: int32(len(payload))}
+	t.liveBytes += need
+	t.stats.Allocs++
+	return nil
+}
+
+// Put inserts or overwrites a cell.
+func (t *Trunk) Put(key uint64, payload []byte) error {
+	if key == wrapKey {
+		return fmt.Errorf("trunk: key %#x is reserved", key)
+	}
+	t.mu.Lock()
+	e, ok := t.index[key]
+	if !ok {
+		err := t.addLocked(key, payload)
+		t.mu.Unlock()
+		if errors.Is(err, ErrFull) && t.Defragment() > 0 {
+			t.mu.Lock()
+			err = t.addLocked(key, payload)
+			t.mu.Unlock()
+		}
+		return err
+	}
+	err := t.rewriteLocked(key, e, payload)
+	t.mu.Unlock()
+	if errors.Is(err, ErrFull) && t.Defragment() > 0 {
+		t.mu.Lock()
+		if e2, ok := t.index[key]; ok {
+			err = t.rewriteLocked(key, e2, payload)
+		} else {
+			err = t.addLocked(key, payload)
+		}
+		t.mu.Unlock()
+	}
+	return err
+}
+
+// rewriteLocked replaces an existing cell's payload, reusing its slot when
+// the new payload fits in size+reservation, otherwise relocating.
+// Called with t.mu held.
+func (t *Trunk) rewriteLocked(key uint64, e *entry, payload []byte) error {
+	e.spinLock()
+	defer e.unlock()
+	newSize := int32(len(payload))
+	if newSize <= e.size+e.reserved {
+		// In-place: the slot keeps its total span; the delta moves
+		// between size and reservation.
+		span := e.size + e.reserved
+		copy(t.buf[e.offset+headerSize:], payload)
+		delta := int64(newSize - e.size)
+		t.liveBytes += delta
+		t.reservedBytes -= delta
+		e.size = newSize
+		e.reserved = span - newSize
+		t.writeHeader(e.offset, key, e.size, e.reserved)
+		return nil
+	}
+	return t.relocateLocked(key, e, payload, int32(t.reserve(int(e.size), int(newSize-e.size))))
+}
+
+// relocateLocked moves a cell to a freshly allocated slot with the given
+// reservation, abandoning the old slot as a gap. Called with t.mu and the
+// entry lock held.
+func (t *Trunk) relocateLocked(key uint64, e *entry, payload []byte, reserved int32) error {
+	need := int64(headerSize) + int64(len(payload)) + int64(reserved)
+	off, err := t.alloc(need)
+	if err != nil && reserved > 0 {
+		// Tight on space: retry without the luxury reservation.
+		reserved = 0
+		need = int64(headerSize) + int64(len(payload))
+		off, err = t.alloc(need)
+	}
+	if err != nil {
+		return err
+	}
+	oldSpan := int64(headerSize) + int64(e.size) + int64(e.reserved)
+	t.gapBytes += oldSpan
+	t.reservedBytes -= int64(e.reserved)
+	t.liveBytes -= int64(headerSize) + int64(e.size)
+
+	t.writeHeader(off, key, int32(len(payload)), reserved)
+	copy(t.buf[off+headerSize:], payload)
+	e.offset = off
+	e.size = int32(len(payload))
+	e.reserved = reserved
+	t.liveBytes += int64(headerSize) + int64(len(payload))
+	t.reservedBytes += int64(reserved)
+	t.stats.Allocs++
+	t.stats.Relocations++
+	return nil
+}
+
+// Append extends a cell's payload with extra bytes. If the cell's
+// short-lived reservation can absorb the growth the operation is in-place;
+// otherwise the cell is relocated with a fresh reservation.
+func (t *Trunk) Append(key uint64, extra []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.index[key]
+	if !ok {
+		return ErrNotFound
+	}
+	e.spinLock()
+	defer e.unlock()
+	growth := int32(len(extra))
+	if growth <= e.reserved {
+		copy(t.buf[e.offset+headerSize+int64(e.size):], extra)
+		e.size += growth
+		e.reserved -= growth
+		t.writeHeader(e.offset, key, e.size, e.reserved)
+		t.liveBytes += int64(growth)
+		t.reservedBytes -= int64(growth)
+		t.stats.InPlaceGrowth++
+		return nil
+	}
+	// Relocate with room for the new bytes plus a fresh reservation.
+	payload := make([]byte, int(e.size)+len(extra))
+	copy(payload, t.buf[e.offset+headerSize:e.offset+headerSize+int64(e.size)])
+	copy(payload[e.size:], extra)
+	return t.relocateLocked(key, e, payload, int32(t.reserve(int(e.size), len(extra))))
+}
+
+// Get copies the cell's payload into a fresh slice.
+func (t *Trunk) Get(key uint64) ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	e.spinLock()
+	out := make([]byte, e.size)
+	copy(out, t.buf[e.offset+headerSize:])
+	e.unlock()
+	return out, nil
+}
+
+// Size returns the payload size of a cell without copying it.
+func (t *Trunk) Size(key uint64) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.index[key]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return int(e.size), nil
+}
+
+// Contains reports whether the key exists.
+func (t *Trunk) Contains(key uint64) bool {
+	t.mu.RLock()
+	_, ok := t.index[key]
+	t.mu.RUnlock()
+	return ok
+}
+
+// View invokes fn with a zero-copy slice of the cell's payload. The cell's
+// spin lock is held for the duration, pinning it against defragmentation
+// and concurrent mutation; fn may read and write the slice in place but
+// must not retain it. This is the mechanism behind TSL cell accessors.
+func (t *Trunk) View(key uint64, fn func(payload []byte) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.index[key]
+	if !ok {
+		return ErrNotFound
+	}
+	e.spinLock()
+	defer e.unlock()
+	return fn(t.buf[e.offset+headerSize : e.offset+headerSize+int64(e.size)])
+}
+
+// Remove deletes a cell, leaving a gap for the defragmentation daemon.
+func (t *Trunk) Remove(key uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.index[key]
+	if !ok {
+		return ErrNotFound
+	}
+	e.spinLock()
+	atomic.StoreUint32(&e.dead, 1)
+	span := int64(headerSize) + int64(e.size) + int64(e.reserved)
+	t.gapBytes += span
+	t.liveBytes -= int64(headerSize) + int64(e.size)
+	t.reservedBytes -= int64(e.reserved)
+	delete(t.index, key)
+	e.unlock()
+	return nil
+}
+
+// ForEach calls fn for every live cell until fn returns false. The
+// iteration order is unspecified. fn receives a zero-copy payload slice it
+// must not retain. The trunk is read-locked for the whole scan.
+func (t *Trunk) ForEach(fn func(key uint64, payload []byte) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for key, e := range t.index {
+		e.spinLock()
+		ok := fn(key, t.buf[e.offset+headerSize:e.offset+headerSize+int64(e.size)])
+		e.unlock()
+		if !ok {
+			return
+		}
+	}
+}
+
+// Keys returns the live keys in unspecified order.
+func (t *Trunk) Keys() []uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	keys := make([]uint64, 0, len(t.index))
+	for k := range t.index {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Defragment performs one pass of the defragmentation daemon: it scans the
+// committed region from the tail, drops dead records and wrap fillers,
+// re-appends live records at the head (trimming their now-expired
+// reservations), and advances the committed tail so dead pages can be
+// decommitted. The pass stops early if it reaches a cell that is pinned by
+// a concurrent accessor. It returns the number of bytes reclaimed.
+func (t *Trunk) Defragment() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.gapBytes == 0 && t.reservedBytes == 0 {
+		return 0
+	}
+	reclaimed := int64(0)
+	toScan := t.used
+	cap := int64(len(t.buf))
+	for toScan > 0 && (t.gapBytes > 0 || t.reservedBytes > 0) {
+		// Implicit wrap: not enough room at the end for even a header.
+		if cap-t.tail < headerSize {
+			skip := cap - t.tail
+			t.tail = 0
+			t.used -= skip
+			t.gapBytes -= skip
+			toScan -= skip
+			reclaimed += skip
+			continue
+		}
+		key, size, reserved := t.readHeader(t.tail)
+		span := int64(headerSize) + int64(size) + int64(reserved)
+		if key == wrapKey {
+			t.tail = 0
+			t.used -= span
+			t.gapBytes -= span
+			toScan -= span
+			reclaimed += span
+			continue
+		}
+		e, ok := t.index[key]
+		if !ok || e.offset != t.tail {
+			// Dead record (removed, overwritten, or relocated).
+			t.advanceTail(span)
+			t.gapBytes -= span
+			toScan -= span
+			reclaimed += span
+			continue
+		}
+		// Live record: move it to the head unless it is pinned.
+		if !e.tryLock() {
+			t.stats.DefragSkips++
+			break
+		}
+		payload := t.scratchCopy(t.buf[t.tail+headerSize : t.tail+headerSize+int64(size)])
+		t.advanceTail(span)
+		toScan -= span
+		t.liveBytes -= int64(headerSize) + int64(size)
+		t.reservedBytes -= int64(reserved)
+		reclaimed += int64(reserved)
+		off, err := t.alloc(int64(headerSize) + int64(size))
+		if err != nil {
+			// Cannot happen in practice: we just freed at least `span`
+			// bytes, which covers the reservation-free copy. Restore a
+			// consistent state defensively.
+			t.liveBytes += int64(headerSize) + int64(size)
+			t.reservedBytes += int64(reserved)
+			e.unlock()
+			break
+		}
+		t.writeHeader(off, key, size, 0)
+		copy(t.buf[off+headerSize:], payload)
+		e.offset = off
+		e.reserved = 0
+		t.liveBytes += int64(headerSize) + int64(size)
+		t.stats.CellsMoved++
+		t.stats.BytesMoved += int64(size)
+		e.unlock()
+	}
+	t.decommitDead()
+	t.stats.DefragPasses++
+	return reclaimed
+}
+
+// advanceTail moves the committed tail forward by span, handling the exact
+// end-of-buffer case. Called with t.mu held.
+func (t *Trunk) advanceTail(span int64) {
+	t.tail += span
+	if t.tail >= int64(len(t.buf)) {
+		t.tail -= int64(len(t.buf))
+	}
+	t.used -= span
+}
+
+func (t *Trunk) scratchCopy(b []byte) []byte {
+	if cap(t.scratch) < len(b) {
+		t.scratch = make([]byte, len(b)*2)
+	}
+	s := t.scratch[:len(b)]
+	copy(s, b)
+	return s
+}
+
+// Guard is a held cell spin lock. While a guard is held the cell is
+// pinned: the defragmentation daemon will not move it and concurrent
+// writers to the same cell block. A guard is released exactly once with
+// Unlock. Guards are not reentrant: calling any trunk method on the same
+// key while holding its guard deadlocks, so all access while pinned goes
+// through the guard itself.
+type Guard struct {
+	t *Trunk
+	e *entry
+}
+
+// Lock acquires the cell's spin lock, pinning it in memory, and returns a
+// guard. Returns ErrNotFound if the key does not exist.
+func (t *Trunk) Lock(key uint64) (*Guard, error) {
+	for {
+		t.mu.RLock()
+		e, ok := t.index[key]
+		t.mu.RUnlock()
+		if !ok {
+			return nil, ErrNotFound
+		}
+		e.spinLock()
+		if atomic.LoadUint32(&e.dead) == 1 {
+			// Removed between lookup and lock; the key may have been
+			// re-added with a fresh entry, so retry the lookup.
+			e.unlock()
+			continue
+		}
+		return &Guard{t: t, e: e}, nil
+	}
+}
+
+// Bytes returns a zero-copy view of the pinned cell's payload. The slice
+// is valid until Unlock and may be read and written in place. The entry's
+// offset and size cannot change while the guard is held (relocation
+// requires the cell lock), and the trunk buffer itself never reallocates,
+// so no further locking is needed.
+func (g *Guard) Bytes() []byte {
+	off := g.e.offset + headerSize
+	return g.t.buf[off : off+int64(g.e.size)]
+}
+
+// Unlock releases the guard. It must be called exactly once.
+func (g *Guard) Unlock() {
+	g.e.unlock()
+	g.e = nil
+}
+
+// dump format constants.
+const (
+	dumpMagic   = 0x54524e4b // "TRNK"
+	dumpVersion = 1
+)
+
+// DumpTo serializes all live cells to w in a compact, checksummed format.
+// It is used by the Trinity File System backup path and by checkpointing.
+func (t *Trunk) DumpTo(w io.Writer) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], dumpMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], dumpVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(t.index)))
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	if _, err := w.Write(hdr[:16]); err != nil {
+		return err
+	}
+	var rec [12]byte
+	for key, e := range t.index {
+		binary.LittleEndian.PutUint64(rec[0:], key)
+		binary.LittleEndian.PutUint32(rec[8:], uint32(e.size))
+		if _, err := mw.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := mw.Write(t.buf[e.offset+headerSize : e.offset+headerSize+int64(e.size)]); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint32(hdr[0:], crc.Sum32())
+	_, err := w.Write(hdr[:4])
+	return err
+}
+
+// LoadFrom restores cells from a dump produced by DumpTo, replacing the
+// trunk's current contents.
+func (t *Trunk) LoadFrom(r io.Reader) error {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != dumpMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != dumpVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:])
+
+	t.mu.Lock()
+	t.index = make(map[uint64]*entry, count)
+	t.head, t.tail, t.used = 0, 0, 0
+	t.liveBytes, t.gapBytes, t.reservedBytes = 0, 0, 0
+	t.mu.Unlock()
+
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+	var rec [12]byte
+	var payload []byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(tr, rec[:]); err != nil {
+			return fmt.Errorf("%w: truncated record %d: %v", ErrCorrupt, i, err)
+		}
+		key := binary.LittleEndian.Uint64(rec[0:])
+		size := binary.LittleEndian.Uint32(rec[8:])
+		if int64(size) > int64(len(t.buf)) {
+			return fmt.Errorf("%w: record %d size %d exceeds capacity", ErrCorrupt, i, size)
+		}
+		if cap(payload) < int(size) {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
+		if _, err := io.ReadFull(tr, payload); err != nil {
+			return fmt.Errorf("%w: truncated payload %d: %v", ErrCorrupt, i, err)
+		}
+		if err := t.Add(key, payload); err != nil {
+			return err
+		}
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return fmt.Errorf("%w: missing checksum: %v", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != crc.Sum32() {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return nil
+}

@@ -1,0 +1,865 @@
+package trunk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"trinity/internal/hash"
+)
+
+func newSmall(t *testing.T) *Trunk {
+	t.Helper()
+	return New(Options{Capacity: 1 << 16, PageSize: 1 << 10})
+}
+
+func payload(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestAddGetRoundTrip(t *testing.T) {
+	tr := newSmall(t)
+	want := payload(100, 7)
+	if err := tr.Add(1, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Get = %v, want %v", got[:8], want[:8])
+	}
+	if tr.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", tr.Count())
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	tr := newSmall(t)
+	if err := tr.Add(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(1, []byte("b")); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Add = %v, want ErrExists", err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	tr := newSmall(t)
+	if _, err := tr.Get(42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	tr := newSmall(t)
+	if err := tr.Add(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty cell returned %d bytes", len(got))
+	}
+}
+
+func TestReservedKeyRejected(t *testing.T) {
+	tr := newSmall(t)
+	if err := tr.Add(^uint64(0), []byte("x")); err == nil {
+		t.Fatal("reserved wrap key accepted")
+	}
+	if err := tr.Put(^uint64(0), []byte("x")); err == nil {
+		t.Fatal("reserved wrap key accepted by Put")
+	}
+}
+
+func TestPutOverwriteSameSize(t *testing.T) {
+	tr := newSmall(t)
+	if err := tr.Put(1, payload(64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	allocsBefore := tr.Stats().Allocs
+	if err := tr.Put(1, payload(64, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().Allocs != allocsBefore {
+		t.Fatal("same-size overwrite should not allocate")
+	}
+	got, _ := tr.Get(1)
+	if !bytes.Equal(got, payload(64, 9)) {
+		t.Fatal("overwrite not visible")
+	}
+}
+
+func TestPutShrinkLeavesReservation(t *testing.T) {
+	tr := newSmall(t)
+	if err := tr.Put(1, payload(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put(1, payload(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.ReservedBytes != 90 {
+		t.Fatalf("ReservedBytes = %d, want 90 (shrink keeps slot)", s.ReservedBytes)
+	}
+	// Growing back into the freed space must be in-place.
+	relocs := s.Relocations
+	if err := tr.Put(1, payload(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().Relocations != relocs {
+		t.Fatal("grow-into-reservation should not relocate")
+	}
+	got, _ := tr.Get(1)
+	if !bytes.Equal(got, payload(100, 3)) {
+		t.Fatal("payload mismatch after shrink/grow cycle")
+	}
+}
+
+func TestPutGrowRelocates(t *testing.T) {
+	tr := newSmall(t)
+	if err := tr.Put(1, payload(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put(1, payload(500, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Relocations != 1 {
+		t.Fatalf("Relocations = %d, want 1", s.Relocations)
+	}
+	if s.GapBytes == 0 {
+		t.Fatal("relocation should leave a gap")
+	}
+	got, _ := tr.Get(1)
+	if !bytes.Equal(got, payload(500, 2)) {
+		t.Fatal("payload mismatch after relocation")
+	}
+}
+
+func TestAppendUsesReservation(t *testing.T) {
+	tr := New(Options{Capacity: 1 << 16, PageSize: 1 << 10,
+		Reservation: func(old, growth int) int { return 64 }})
+	if err := tr.Add(1, payload(16, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// First append relocates (fresh cells have no reservation) and leaves
+	// a 64-byte reservation behind.
+	if err := tr.Append(1, payload(16, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Relocations != 1 {
+		t.Fatalf("Relocations = %d, want 1", s.Relocations)
+	}
+	// Subsequent small appends must be absorbed in place.
+	for i := 0; i < 4; i++ {
+		if err := tr.Append(1, payload(16, byte(3+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = tr.Stats()
+	if s.Relocations != 1 {
+		t.Fatalf("Relocations = %d after reserved appends, want 1", s.Relocations)
+	}
+	if s.InPlaceGrowth != 4 {
+		t.Fatalf("InPlaceGrowth = %d, want 4", s.InPlaceGrowth)
+	}
+	got, _ := tr.Get(1)
+	if len(got) != 16*6 {
+		t.Fatalf("payload length = %d, want 96", len(got))
+	}
+	want := payload(16, 1)
+	for i := 1; i < 6; i++ {
+		want = append(want, payload(16, byte(i+1))...)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("appended payload corrupted")
+	}
+}
+
+func TestAppendMissing(t *testing.T) {
+	tr := newSmall(t)
+	if err := tr.Append(9, []byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Append missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tr := newSmall(t)
+	if err := tr.Add(1, payload(50, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Get(1); !errors.Is(err, ErrNotFound) {
+		t.Fatal("cell still visible after Remove")
+	}
+	if err := tr.Remove(1); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double Remove should fail")
+	}
+	s := tr.Stats()
+	if s.GapBytes != headerSize+50 {
+		t.Fatalf("GapBytes = %d, want %d", s.GapBytes, headerSize+50)
+	}
+	if s.LiveBytes != 0 {
+		t.Fatalf("LiveBytes = %d, want 0", s.LiveBytes)
+	}
+}
+
+func TestReAddAfterRemove(t *testing.T) {
+	tr := newSmall(t)
+	for i := 0; i < 10; i++ {
+		if err := tr.Add(1, payload(20, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := tr.Get(1)
+		if !bytes.Equal(got, payload(20, byte(i))) {
+			t.Fatalf("round %d payload mismatch", i)
+		}
+		if err := tr.Remove(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestViewZeroCopyWrite(t *testing.T) {
+	tr := newSmall(t)
+	if err := tr.Add(1, payload(8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	err := tr.View(1, func(p []byte) error {
+		p[0] = 0xFF
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tr.Get(1)
+	if got[0] != 0xFF {
+		t.Fatal("in-place write via View not visible")
+	}
+}
+
+func TestViewErrorPropagates(t *testing.T) {
+	tr := newSmall(t)
+	tr.Add(1, []byte("x"))
+	sentinel := errors.New("boom")
+	if err := tr.View(1, func([]byte) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("View error = %v, want sentinel", err)
+	}
+	if err := tr.View(2, func([]byte) error { return nil }); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("View missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestGuardPinsAgainstDefrag(t *testing.T) {
+	tr := newSmall(t)
+	tr.Add(1, payload(100, 1)) // becomes a leading gap
+	tr.Add(2, payload(100, 2)) // pinned
+	tr.Add(3, payload(100, 3)) // becomes a trailing gap
+	tr.Remove(1)
+	tr.Remove(3)
+	g, err := tr.Lock(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := g.Bytes()
+	// The pass frees the leading gap but must stop at the pinned cell
+	// even though a gap remains beyond it.
+	tr.Defragment()
+	if tr.Stats().DefragSkips != 1 {
+		t.Fatalf("DefragSkips = %d, want 1", tr.Stats().DefragSkips)
+	}
+	if tr.Stats().GapBytes == 0 {
+		t.Fatal("trailing gap should survive a pass blocked by a pin")
+	}
+	if !bytes.Equal(view, payload(100, 2)) {
+		t.Fatal("pinned view corrupted by defragmentation")
+	}
+	g.Unlock()
+	// Unpinned, the cell can now move and the trailing gap is reclaimed.
+	tr.Defragment()
+	if tr.Stats().CellsMoved == 0 {
+		t.Fatal("expected cell movement after unpin")
+	}
+	if tr.Stats().GapBytes != 0 {
+		t.Fatal("gaps remain after unpinned defragmentation")
+	}
+	got, _ := tr.Get(2)
+	if !bytes.Equal(got, payload(100, 2)) {
+		t.Fatal("payload corrupted by post-unpin defragmentation")
+	}
+}
+
+func TestLockMissing(t *testing.T) {
+	tr := newSmall(t)
+	if _, err := tr.Lock(5); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lock missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestGuardBlocksConcurrentWriter(t *testing.T) {
+	tr := newSmall(t)
+	tr.Add(1, payload(8, 0))
+	g, _ := tr.Lock(1)
+	done := make(chan struct{})
+	go func() {
+		// This writer must not complete until the guard is released.
+		if err := tr.Put(1, payload(8, 9)); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("writer completed while cell was locked")
+	default:
+	}
+	g.Bytes()[0] = 42
+	g.Unlock()
+	<-done
+	got, _ := tr.Get(1)
+	if !bytes.Equal(got, payload(8, 9)) {
+		t.Fatal("writer's update lost")
+	}
+}
+
+func TestDefragmentReclaimsGaps(t *testing.T) {
+	tr := newSmall(t)
+	for i := uint64(0); i < 100; i++ {
+		if err := tr.Add(i, payload(50, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		tr.Remove(i)
+	}
+	gaps := tr.Stats().GapBytes
+	if gaps == 0 {
+		t.Fatal("expected gaps")
+	}
+	reclaimed := tr.Defragment()
+	if reclaimed < gaps {
+		t.Fatalf("reclaimed %d < gaps %d", reclaimed, gaps)
+	}
+	s := tr.Stats()
+	if s.GapBytes != 0 {
+		t.Fatalf("GapBytes = %d after defrag, want 0", s.GapBytes)
+	}
+	// Survivors intact.
+	for i := uint64(1); i < 100; i += 2 {
+		got, err := tr.Get(i)
+		if err != nil {
+			t.Fatalf("cell %d lost: %v", i, err)
+		}
+		if !bytes.Equal(got, payload(50, byte(i))) {
+			t.Fatalf("cell %d corrupted", i)
+		}
+	}
+}
+
+func TestDefragmentNoWorkIsFree(t *testing.T) {
+	tr := newSmall(t)
+	tr.Add(1, payload(10, 1))
+	passes := tr.Stats().DefragPasses
+	if got := tr.Defragment(); got != 0 {
+		t.Fatalf("Defragment on clean trunk reclaimed %d", got)
+	}
+	if tr.Stats().DefragPasses != passes {
+		t.Fatal("clean trunk should skip the pass entirely")
+	}
+}
+
+func TestDefragmentTrimsReservations(t *testing.T) {
+	tr := newSmall(t)
+	tr.Add(1, payload(16, 1))
+	tr.Append(1, payload(16, 2)) // relocation leaves a reservation
+	if tr.Stats().ReservedBytes == 0 {
+		t.Fatal("expected a live reservation")
+	}
+	tr.Defragment()
+	if r := tr.Stats().ReservedBytes; r != 0 {
+		t.Fatalf("ReservedBytes = %d after defrag, want 0 (short-lived)", r)
+	}
+	got, _ := tr.Get(1)
+	want := append(payload(16, 1), payload(16, 2)...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload corrupted by reservation trim")
+	}
+}
+
+func TestCircularWrapAround(t *testing.T) {
+	// Force the head to wrap by churning cells through a small trunk.
+	tr := New(Options{Capacity: 8 << 10, PageSize: 1 << 10})
+	live := make(map[uint64][]byte)
+	rng := hash.NewRNG(1)
+	var next uint64
+	for round := 0; round < 2000; round++ {
+		if len(live) < 20 {
+			next++
+			p := payload(rng.Intn(200)+1, byte(next))
+			if err := tr.Add(next, p); err != nil {
+				if errors.Is(err, ErrFull) {
+					continue
+				}
+				t.Fatal(err)
+			}
+			live[next] = p
+		} else {
+			// Remove a pseudo-random live key.
+			for k := range live {
+				if err := tr.Remove(k); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, k)
+				break
+			}
+		}
+		if round%97 == 0 {
+			tr.Defragment()
+		}
+	}
+	for k, want := range live {
+		got, err := tr.Get(k)
+		if err != nil {
+			t.Fatalf("cell %d lost: %v", k, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cell %d corrupted", k)
+		}
+	}
+	if tr.Stats().PageDecommits == 0 {
+		t.Fatal("expected page decommits during circular churn")
+	}
+}
+
+func TestTrunkFullAndRecovery(t *testing.T) {
+	tr := New(Options{Capacity: 4 << 10, PageSize: 1 << 10})
+	var added []uint64
+	for i := uint64(1); ; i++ {
+		if err := tr.Add(i, payload(100, byte(i))); err != nil {
+			if !errors.Is(err, ErrFull) {
+				t.Fatal(err)
+			}
+			break
+		}
+		added = append(added, i)
+	}
+	if len(added) == 0 {
+		t.Fatal("nothing fit")
+	}
+	// Free half; a new Add (which retries after defragmentation) fits.
+	for _, k := range added[:len(added)/2] {
+		tr.Remove(k)
+	}
+	if err := tr.Add(10_000, payload(100, 1)); err != nil {
+		t.Fatalf("Add after freeing space: %v", err)
+	}
+}
+
+func TestOversizedAllocation(t *testing.T) {
+	tr := New(Options{Capacity: 4 << 10, PageSize: 1 << 10})
+	if err := tr.Add(1, make([]byte, 64<<10)); !errors.Is(err, ErrFull) {
+		t.Fatalf("oversized Add = %v, want ErrFull", err)
+	}
+}
+
+func TestForEachAndKeys(t *testing.T) {
+	tr := newSmall(t)
+	want := map[uint64]byte{}
+	for i := uint64(0); i < 50; i++ {
+		tr.Add(i, payload(10, byte(i)))
+		want[i] = byte(i)
+	}
+	seen := map[uint64]bool{}
+	tr.ForEach(func(k uint64, p []byte) bool {
+		if p[0] != want[k] {
+			t.Errorf("cell %d wrong payload", k)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 50 {
+		t.Fatalf("ForEach visited %d cells, want 50", len(seen))
+	}
+	if len(tr.Keys()) != 50 {
+		t.Fatalf("Keys returned %d, want 50", len(tr.Keys()))
+	}
+	// Early termination.
+	n := 0
+	tr.ForEach(func(uint64, []byte) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("ForEach did not stop early: %d", n)
+	}
+}
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	tr := newSmall(t)
+	want := map[uint64][]byte{}
+	rng := hash.NewRNG(3)
+	for i := uint64(0); i < 200; i++ {
+		p := payload(rng.Intn(100), byte(i))
+		tr.Put(i, p)
+		want[i] = p
+	}
+	// Create fragmentation so dump exercises non-contiguous layouts.
+	for i := uint64(0); i < 200; i += 3 {
+		tr.Remove(i)
+		delete(want, i)
+	}
+	var buf bytes.Buffer
+	if err := tr.DumpTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := newSmall(t)
+	if err := restored.LoadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != len(want) {
+		t.Fatalf("restored %d cells, want %d", restored.Count(), len(want))
+	}
+	for k, p := range want {
+		got, err := restored.Get(k)
+		if err != nil {
+			t.Fatalf("cell %d missing after restore: %v", k, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("cell %d corrupted after restore", k)
+		}
+	}
+}
+
+func TestLoadFromCorrupt(t *testing.T) {
+	tr := newSmall(t)
+	tr.Add(1, payload(40, 1))
+	var buf bytes.Buffer
+	tr.DumpTo(&buf)
+	data := buf.Bytes()
+
+	// Truncated.
+	if err := newSmall(t).LoadFrom(bytes.NewReader(data[:len(data)-5])); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated load = %v, want ErrCorrupt", err)
+	}
+	// Bit flip in payload breaks the checksum.
+	flipped := append([]byte(nil), data...)
+	flipped[20] ^= 0xFF
+	if err := newSmall(t).LoadFrom(bytes.NewReader(flipped)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted load = %v, want ErrCorrupt", err)
+	}
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 0
+	if err := newSmall(t).LoadFrom(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad-magic load = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	tr := New(Options{Capacity: 4 << 20, PageSize: 1 << 12})
+	const workers = 8
+	const opsPerWorker = 2000
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := hash.NewRNG(uint64(w))
+			base := uint64(w) << 32
+			for i := 0; i < opsPerWorker; i++ {
+				key := base + uint64(rng.Intn(100))
+				switch rng.Intn(5) {
+				case 0, 1:
+					if err := tr.Put(key, payload(rng.Intn(64)+1, byte(key))); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					if _, err := tr.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- err
+						return
+					}
+				case 3:
+					if err := tr.Append(key, payload(8, byte(i))); err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- err
+						return
+					}
+				case 4:
+					if err := tr.Remove(key); err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Defragment()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	// Worker payloads are isolated by key prefix, so each surviving cell
+	// must start with its own key byte.
+	tr.ForEach(func(k uint64, p []byte) bool {
+		if len(p) > 0 && p[0] != byte(k) {
+			t.Errorf("cell %#x corrupted under concurrency", k)
+			return false
+		}
+		return true
+	})
+}
+
+func TestStatsInvariants(t *testing.T) {
+	// Property: across random op sequences, live+gap+reserved bytes never
+	// exceed used bytes, and utilization stays in (0, 1].
+	f := func(seed uint64) bool {
+		tr := New(Options{Capacity: 1 << 15, PageSize: 1 << 10})
+		rng := hash.NewRNG(seed)
+		for i := 0; i < 300; i++ {
+			key := uint64(rng.Intn(40))
+			switch rng.Intn(4) {
+			case 0:
+				tr.Put(key, payload(rng.Intn(128), byte(key)))
+			case 1:
+				tr.Remove(key)
+			case 2:
+				tr.Append(key, payload(rng.Intn(32), 1))
+			case 3:
+				tr.Defragment()
+			}
+			s := tr.Stats()
+			if s.LiveBytes+s.GapBytes+s.ReservedBytes > s.UsedBytes {
+				return false
+			}
+			if s.UsedBytes > s.CommittedBytes {
+				return false
+			}
+			if s.LiveBytes < 0 || s.GapBytes < 0 || s.ReservedBytes < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelBasedRandomOps(t *testing.T) {
+	// Property: the trunk behaves exactly like a map[uint64][]byte under
+	// any sequence of Put/Append/Remove/Defragment.
+	f := func(seed uint64) bool {
+		tr := New(Options{Capacity: 1 << 16, PageSize: 1 << 10})
+		model := map[uint64][]byte{}
+		rng := hash.NewRNG(seed)
+		for i := 0; i < 500; i++ {
+			key := uint64(rng.Intn(30))
+			switch rng.Intn(5) {
+			case 0, 1:
+				p := payload(rng.Intn(100), byte(rng.Next()))
+				if tr.Put(key, p) == nil {
+					model[key] = p
+				}
+			case 2:
+				extra := payload(rng.Intn(30), byte(rng.Next()))
+				err := tr.Append(key, extra)
+				if _, ok := model[key]; ok {
+					if err != nil {
+						return false
+					}
+					model[key] = append(append([]byte(nil), model[key]...), extra...)
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			case 3:
+				err := tr.Remove(key)
+				if _, ok := model[key]; ok != (err == nil) {
+					return false
+				}
+				delete(model, key)
+			case 4:
+				tr.Defragment()
+			}
+		}
+		if tr.Count() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, err := tr.Get(k)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonLifecycle(t *testing.T) {
+	tr := newSmall(t)
+	d := NewDaemon(1, tr) // 1ns -> clamped internally by ticker granularity
+	d.Start()
+	d.Start() // idempotent
+	tr.Add(1, payload(64, 1))
+	tr.Remove(1)
+	// RunOnce gives a deterministic reclamation check independent of timing.
+	d2 := NewDaemon(0)
+	d2.Watch(tr)
+	tr.Add(2, payload(64, 2))
+	tr.Remove(2)
+	d.Stop()
+	d.Stop() // idempotent
+	if got := d2.RunOnce(); got == 0 {
+		t.Fatal("RunOnce reclaimed nothing")
+	}
+}
+
+func TestUtilizationImprovesAfterDefrag(t *testing.T) {
+	tr := New(Options{Capacity: 1 << 18, PageSize: 1 << 10})
+	for i := uint64(0); i < 500; i++ {
+		tr.Add(i, payload(64, byte(i)))
+	}
+	for i := uint64(0); i < 500; i += 2 {
+		tr.Remove(i)
+	}
+	before := tr.Stats().Utilization()
+	tr.Defragment()
+	after := tr.Stats().Utilization()
+	if after <= before {
+		t.Fatalf("utilization %f -> %f, expected improvement", before, after)
+	}
+}
+
+func TestManySmallCells(t *testing.T) {
+	// The motivating workload: billions of small cells at paper scale;
+	// here, enough to cross many pages and trigger index growth.
+	tr := New(Options{Capacity: 8 << 20, PageSize: 1 << 12})
+	const n = 50_000
+	for i := uint64(0); i < n; i++ {
+		if err := tr.Add(i, payload(16, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Count() != n {
+		t.Fatalf("Count = %d, want %d", tr.Count(), n)
+	}
+	s := tr.Stats()
+	wantLive := int64(n * (headerSize + 16))
+	if s.LiveBytes != wantLive {
+		t.Fatalf("LiveBytes = %d, want %d", s.LiveBytes, wantLive)
+	}
+	for _, i := range []uint64{0, 1, n / 2, n - 1} {
+		got, err := tr.Get(i)
+		if err != nil || !bytes.Equal(got, payload(16, byte(i))) {
+			t.Fatalf("cell %d wrong: %v", i, err)
+		}
+	}
+}
+
+func BenchmarkTrunkPut(b *testing.B) {
+	// Put over a bounded key space: inserts first, same-size overwrites
+	// after, so the benchmark is stable for any b.N.
+	tr := New(Options{Capacity: 1 << 28})
+	p := payload(64, 1)
+	const keys = 1 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put(uint64(i%keys), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrunkGet(b *testing.B) {
+	tr := New(Options{Capacity: 1 << 26})
+	p := payload(64, 1)
+	const n = 100_000
+	for i := uint64(0); i < n; i++ {
+		tr.Add(i, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Get(uint64(i % n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrunkView(b *testing.B) {
+	tr := New(Options{Capacity: 1 << 26})
+	p := payload(64, 1)
+	const n = 100_000
+	for i := uint64(0); i < n; i++ {
+		tr.Add(i, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.View(uint64(i%n), func([]byte) error { return nil })
+	}
+}
+
+// BenchmarkTrunkExpansionReserved and ...NoReservation form the §6.1
+// ablation: growing cells with and without the short-lived reservation
+// mechanism. The reserved variant should show far fewer relocations.
+func benchmarkExpansion(b *testing.B, policy ReservationPolicy) {
+	tr := New(Options{Capacity: 1 << 28, Reservation: policy})
+	const cells = 1000
+	for i := uint64(0); i < cells; i++ {
+		tr.Add(i, payload(16, byte(i)))
+	}
+	extra := payload(8, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Append(uint64(i%cells), extra); err != nil {
+			b.Fatal(err)
+		}
+		if i%(cells*64) == 0 {
+			tr.Defragment()
+		}
+	}
+	b.ReportMetric(float64(tr.Stats().Relocations)/float64(b.N), "relocs/op")
+}
+
+func BenchmarkTrunkExpansionReserved(b *testing.B) {
+	benchmarkExpansion(b, DefaultReservation)
+}
+
+func BenchmarkTrunkExpansionNoReservation(b *testing.B) {
+	benchmarkExpansion(b, NoReservation)
+}
+
+func ExampleTrunk() {
+	tr := New(Options{Capacity: 1 << 20})
+	tr.Put(42, []byte("hello"))
+	v, _ := tr.Get(42)
+	fmt.Println(string(v))
+	// Output: hello
+}

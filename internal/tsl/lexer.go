@@ -1,0 +1,233 @@
+// Package tsl implements the Trinity Specification Language (paper §4.2):
+// a high-level declaration language for cell schemas and communication
+// protocols. Users declare `cell struct`s describing graph data and
+// `protocol`s describing message exchanges; the compiler produces runtime
+// schemas (for the dynamic cell accessors in internal/cell) and generated
+// Go source with typed structs, marshaling code, cell accessors, and
+// protocol stubs — the moral equivalent of the C# the original TSL
+// compiler emitted.
+//
+// Grammar (comments // and /* */ allowed anywhere):
+//
+//	script    = { decl } ;
+//	decl      = [ attrs ] [ "cell" ] "struct" ident "{" { field } "}"
+//	          | "protocol" ident "{" { prop } "}" ;
+//	field     = [ attrs ] type ident ";" ;
+//	type      = "byte" | "bool" | "int" | "long" | "float" | "double"
+//	          | "string" | "List" "<" type ">" | ident ;
+//	attrs     = "[" attr { "," attr } "]" ;
+//	attr      = ident [ ":" ( ident | string ) ] ;
+//	prop      = ident ":" ident ";" ;   // Type/Request/Response
+package tsl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token kinds.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokLBrace    // {
+	tokRBrace    // }
+	tokLBracket  // [
+	tokRBracket  // ]
+	tokLAngle    // <
+	tokRAngle    // >
+	tokColon     // :
+	tokSemicolon // ;
+	tokComma     // ,
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of script"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string literal"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLAngle:
+		return "'<'"
+	case tokRAngle:
+		return "'>'"
+	case tokColon:
+		return "':'"
+	case tokSemicolon:
+		return "';'"
+	case tokComma:
+		return "','"
+	default:
+		return "unknown token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a TSL compilation error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("tsl:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer turns a TSL script into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and comments.
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 < len(l.src) {
+				if l.peekByte() == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(startLine, startCol, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+	punct := map[byte]tokenKind{
+		'{': tokLBrace, '}': tokRBrace,
+		'[': tokLBracket, ']': tokRBracket,
+		'<': tokLAngle, '>': tokRAngle,
+		':': tokColon, ';': tokSemicolon, ',': tokComma,
+	}
+	if k, ok := punct[c]; ok {
+		l.advance()
+		return token{kind: k, text: string(c), line: line, col: col}, nil
+	}
+	if c == '"' {
+		l.advance()
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			c := l.advance()
+			if c == '"' {
+				return token{kind: tokString, text: sb.String(), line: line, col: col}, nil
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				sb.WriteByte(l.advance())
+				continue
+			}
+			sb.WriteByte(c)
+		}
+		return token{}, errf(line, col, "unterminated string literal")
+	}
+	if isIdentStart(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	}
+	return token{}, errf(line, col, "unexpected character %q", c)
+}
+
+// lex tokenizes the whole script.
+func lex(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
