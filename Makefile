@@ -1,0 +1,39 @@
+# Mirrors .github/workflows/ci.yml exactly, so `make check` locally is the
+# same bar the CI workflow enforces.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test race bench-smoke check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# One iteration of every benchmark: proves benchmark code still compiles
+# and runs; measures nothing.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+check: build vet fmt-check test race bench-smoke
+
+# Real benchmark run for the obs hot paths (the tentpole overhead bound).
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=2s ./internal/obs/

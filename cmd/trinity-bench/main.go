@@ -7,6 +7,7 @@
 //	trinity-bench -scale 4        # larger graphs (closer to paper shapes)
 //	trinity-bench -run fig12b     # one experiment
 //	trinity-bench -list           # list experiment names
+//	trinity-bench -metrics        # append the observability registry dump
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"trinity/internal/bench"
+	"trinity/internal/obs"
 )
 
 var experiments = map[string]func(bench.Scale) (*bench.Table, error){
@@ -38,6 +40,8 @@ func main() {
 	scale := flag.Int("scale", 1, "scale factor (1 = quick, 4+ = closer to paper shapes)")
 	run := flag.String("run", "", "comma-separated experiment names (default: all)")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	metrics := flag.Bool("metrics", false,
+		"after the experiments, dump the observability registry (name value lines)")
 	flag.Parse()
 
 	names := make([]string, 0, len(experiments))
@@ -73,6 +77,10 @@ func main() {
 		}
 		table.Print(os.Stdout)
 		fmt.Printf("  (experiment wall time: %s)\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *metrics {
+		fmt.Println("--- metrics ---")
+		obs.Default().WriteText(os.Stdout)
 	}
 	if failed {
 		os.Exit(1)

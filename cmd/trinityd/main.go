@@ -14,10 +14,16 @@
 //	APPEND 42 ,world      -> OK
 //	DEL 42                -> OK
 //	KHOP <node> <hops>    -> VISITED <n>   (over cells that are graph nodes)
+//	PAGERANK [iters]      -> OK supersteps=<n> ranked=<n>  (BSP over the graph)
 //	STATS                 -> cluster counters
+//	METRICS               -> full observability registry as JSON
 //	QUIT
 //
 // Keys are decimal cell IDs; values are raw bytes to end of line.
+//
+// The same registry snapshot is served over HTTP (expvar-style) at
+// http://<metrics-listen>/debug/metrics, so dashboards and curl can poll
+// the daemon without speaking the line protocol.
 package main
 
 import (
@@ -27,23 +33,43 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"strconv"
 	"strings"
 
+	"trinity/internal/algo"
 	"trinity/internal/compute/traversal"
 	"trinity/internal/graph"
 	"trinity/internal/memcloud"
+	"trinity/internal/obs"
 )
 
 func main() {
 	machines := flag.Int("machines", 4, "simulated machines in the cloud")
 	listen := flag.String("listen", "127.0.0.1:7700", "client listen address")
+	metricsListen := flag.String("metrics-listen", "127.0.0.1:7701",
+		"HTTP metrics listen address serving /debug/metrics (empty disables)")
 	flag.Parse()
 
-	cloud := memcloud.New(memcloud.Config{Machines: *machines})
+	metrics := obs.Default()
+	cloud := memcloud.New(memcloud.Config{Machines: *machines, Metrics: metrics})
 	defer cloud.Close()
 	g := graph.New(cloud, true)
 	trav := traversal.New(g)
+
+	if *metricsListen != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			metrics.WriteJSON(w)
+		})
+		ml, err := net.Listen("tcp", *metricsListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trinityd: metrics on http://%s/debug/metrics", ml.Addr())
+		go http.Serve(ml, mux)
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -145,6 +171,22 @@ func serve(conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal
 				continue
 			}
 			reply("OK")
+		case "PAGERANK":
+			iters := 5
+			if rest = strings.TrimSpace(rest); rest != "" {
+				n, err := strconv.Atoi(rest)
+				if err != nil || n < 1 {
+					reply("ERR usage: PAGERANK [iters]")
+					continue
+				}
+				iters = n
+			}
+			res, err := algo.PageRank(g, iters, 0)
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK supersteps=%d ranked=%d", res.Supersteps, len(res.Ranks))
 		case "KHOP":
 			parts := strings.Fields(rest)
 			if len(parts) != 2 {
@@ -167,6 +209,9 @@ func serve(conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal
 			st := cloud.Stats()
 			reply("STATS local=%d remote=%d retries=%d recoveries=%d mem=%dB",
 				st.LocalOps, st.RemoteOps, st.Retries, st.Recoveries, cloud.MemoryUsage())
+		case "METRICS":
+			cloud.Metrics().WriteJSON(w)
+			w.Flush()
 		case "BACKUP":
 			if err := cloud.Backup(); err != nil {
 				reply("ERR %v", err)

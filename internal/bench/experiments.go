@@ -13,6 +13,7 @@ import (
 	"trinity/internal/hash"
 	"trinity/internal/memcloud"
 	"trinity/internal/msg"
+	"trinity/internal/obs"
 	"trinity/internal/rdf"
 )
 
@@ -29,6 +30,11 @@ func newCloud(machines int) *memcloud.Cloud {
 			FlushInterval: time.Millisecond,
 			CallTimeout:   5 * time.Minute,
 		},
+		// All benchmark clouds share the process registry, so the
+		// trinity-bench -metrics dump aggregates cumulatively over every
+		// experiment. The tables themselves read per-engine snapshots
+		// (e.g. bsp WireMessages), which are unaffected by the sharing.
+		Metrics: obs.Default(),
 	})
 }
 

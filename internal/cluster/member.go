@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"trinity/internal/msg"
+	"trinity/internal/obs"
 	"trinity/internal/tfs"
 )
 
@@ -38,6 +39,10 @@ type Config struct {
 	// FailureTimeout is how long the leader waits without a heartbeat
 	// before suspecting a machine. Zero means 4x the heartbeat interval.
 	FailureTimeout time.Duration
+	// Metrics is the registry the member publishes election, failover and
+	// heartbeat metrics to, under "cluster.m<id>". Nil gives the member a
+	// private registry.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -81,11 +86,15 @@ type Member struct {
 	stopped   bool
 	wg        sync.WaitGroup
 
-	// Stats.
-	recoveries  atomic.Int64
-	tableSyncs  atomic.Int64
-	elections   atomic.Int64
-	failReports atomic.Int64
+	// Registry-backed stats; the Stats() accessor keeps the pre-obs
+	// snapshot struct available.
+	recoveries  *obs.Counter
+	tableSyncs  *obs.Counter
+	elections   *obs.Counter
+	failReports *obs.Counter
+	heartbeatNs *obs.Histogram
+	pingRttNs   *obs.Histogram
+	failoverNs  *obs.Histogram
 }
 
 // NewMember wires a cluster member onto a messaging node and a shared TFS.
@@ -93,6 +102,11 @@ type Member struct {
 // with the lowest ID in the table wins the initial leader election.
 func NewMember(node *msg.Node, fs *tfs.FS, initial *Table, hooks RecoveryHooks, cfg Config) *Member {
 	cfg.fill()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	scope := reg.Scope(fmt.Sprintf("cluster.m%d", node.ID()))
 	m := &Member{
 		id:        node.ID(),
 		node:      node,
@@ -102,6 +116,14 @@ func NewMember(node *msg.Node, fs *tfs.FS, initial *Table, hooks RecoveryHooks, 
 		lastSeen:  make(map[msg.MachineID]time.Time),
 		suspected: make(map[msg.MachineID]bool),
 		stopCh:    make(chan struct{}),
+
+		recoveries:  scope.Counter("recoveries"),
+		tableSyncs:  scope.Counter("table_syncs"),
+		elections:   scope.Counter("elections"),
+		failReports: scope.Counter("failure_reports"),
+		heartbeatNs: scope.Histogram("heartbeat_ns"),
+		pingRttNs:   scope.Histogram("ping_rtt_ns"),
+		failoverNs:  scope.Histogram("failover_ns"),
 	}
 	m.table.Store(initial)
 	node.HandleAsync(protoHeartbeat, m.onHeartbeat)
@@ -196,7 +218,7 @@ func (m *Member) tryBecomeLeader(old []byte) {
 			}
 		}
 		m.mu.Unlock()
-		m.elections.Add(1)
+		m.elections.Inc()
 		// Persist the primary replica before acting as leader (§6.2: "An
 		// update to the primary table must be applied to the persistent
 		// replica before committing").
@@ -228,15 +250,17 @@ func (m *Member) heartbeatLoop() {
 				m.checkHeartbeats()
 				continue
 			}
+			start := time.Now()
 			err := m.node.Send(leader, protoHeartbeat, nil)
 			if err == nil {
 				// The packer may swallow a dead destination until the
 				// flush actually hits the transport.
 				err = m.node.Flush()
 			}
+			m.heartbeatNs.Observe(int64(time.Since(start)))
 			if err != nil {
 				// Confirm before racing to replace the leader.
-				if _, perr := m.node.Call(leader, protoPing, nil); perr != nil {
+				if _, perr := m.ping(leader); perr != nil {
 					m.tryBecomeLeader(encodeID(leader))
 				}
 			}
@@ -279,21 +303,34 @@ func (m *Member) onReportFailure(_ msg.MachineID, req []byte) ([]byte, error) {
 	if len(req) != 4 {
 		return nil, errors.New("cluster: bad failure report")
 	}
-	m.failReports.Add(1)
+	m.failReports.Inc()
 	suspect := msg.MachineID(int32(binary.LittleEndian.Uint32(req)))
 	m.confirmAndRecover(suspect)
 	return []byte{1}, nil
 }
 
+// ping round-trips a sync ping to the target, recording its RTT.
+func (m *Member) ping(target msg.MachineID) ([]byte, error) {
+	start := time.Now()
+	resp, err := m.node.Call(target, protoPing, nil)
+	if err == nil {
+		m.pingRttNs.Observe(int64(time.Since(start)))
+	}
+	return resp, err
+}
+
 // confirmAndRecover pings the suspect and, if it is unreachable, runs the
 // recovery protocol: reassign its trunks, persist the table, broadcast.
+// The elapsed time from confirmed suspicion to the committed table is the
+// paper's failover latency; it lands in cluster.m<id>.failover_ns.
 func (m *Member) confirmAndRecover(suspect msg.MachineID) {
 	if suspect == m.id {
 		return
 	}
-	if _, err := m.node.Call(suspect, protoPing, nil); err == nil {
+	if _, err := m.ping(suspect); err == nil {
 		return // false alarm
 	}
+	failStart := time.Now()
 	m.mu.Lock()
 	delete(m.lastSeen, suspect)
 	m.mu.Unlock()
@@ -313,7 +350,8 @@ func (m *Member) confirmAndRecover(suspect msg.MachineID) {
 		return // nothing owned by the suspect
 	}
 	m.commitTable(nt)
-	m.recoveries.Add(1)
+	m.recoveries.Inc()
+	m.failoverNs.Observe(int64(time.Since(failStart)))
 }
 
 // AnnounceJoin adds a new machine to the cluster (leader only): some
@@ -423,7 +461,7 @@ func (m *Member) ReportFailure(b msg.MachineID) error {
 // committing"), so it is consulted first; if TFS is unreadable the leader
 // is asked directly.
 func (m *Member) RefreshTable() error {
-	m.tableSyncs.Add(1)
+	m.tableSyncs.Inc()
 	if payload, err := m.fs.ReadFile(tableFile); err == nil {
 		if nt, derr := DecodeTable(payload); derr == nil {
 			m.applyTable(nt)

@@ -25,9 +25,11 @@ package async
 import (
 	"encoding/binary"
 	"sync"
+	"time"
 
 	"trinity/internal/memcloud"
 	"trinity/internal/msg"
+	"trinity/internal/obs"
 	"trinity/internal/tfs"
 )
 
@@ -66,6 +68,13 @@ type Engine struct {
 	termMu   sync.Mutex
 	termCond *sync.Cond
 	done     bool
+
+	// Registry-backed metrics (scope "async" on the cloud's registry).
+	tasksExecuted *obs.Counter
+	tasksWire     *obs.Counter
+	tokenRounds   *obs.Counter
+	taskNs        *obs.Histogram
+	waitNs        *obs.Histogram
 }
 
 // machine is the per-slave async runtime.
@@ -94,7 +103,15 @@ type machine struct {
 
 // New builds an async engine over the cloud's machines.
 func New(cloud *memcloud.Cloud, handler Handler) *Engine {
-	e := &Engine{fs: cloud.Slave(0).FS()}
+	scope := cloud.Metrics().Scope("async")
+	e := &Engine{
+		fs:            cloud.Slave(0).FS(),
+		tasksExecuted: scope.Counter("tasks_executed"),
+		tasksWire:     scope.Counter("tasks_wire"),
+		tokenRounds:   scope.Counter("token_rounds"),
+		taskNs:        scope.Histogram("task_ns"),
+		waitNs:        scope.Histogram("wait_ns"),
+	}
 	e.termCond = sync.NewCond(&e.termMu)
 	for i := 0; i < cloud.Slaves(); i++ {
 		m := &machine{
@@ -125,6 +142,7 @@ func (e *Engine) Post(to msg.MachineID, task []byte) {
 // machine passive and no tasks in flight. The engine is reusable after
 // Wait returns.
 func (e *Engine) Wait() {
+	start := time.Now()
 	e.termMu.Lock()
 	e.done = false
 	e.termMu.Unlock()
@@ -134,6 +152,7 @@ func (e *Engine) Wait() {
 		e.termCond.Wait()
 	}
 	e.termMu.Unlock()
+	e.waitNs.Observe(int64(time.Since(start)))
 }
 
 // Stop shuts the executors down. The engine cannot be reused.
@@ -158,6 +177,7 @@ func (m *machine) post(to msg.MachineID, task []byte) {
 	m.mu.Lock()
 	m.counter++
 	m.mu.Unlock()
+	m.e.tasksWire.Inc()
 	m.node.Send(to, protoTask, task)
 	m.node.Flush()
 }
@@ -233,7 +253,10 @@ func (m *machine) run() {
 		m.active = true
 		m.mu.Unlock()
 
+		taskStart := time.Now()
 		m.handler(&Ctx{m: m}, task)
+		m.e.tasksExecuted.Inc()
+		m.e.taskNs.Observe(int64(time.Since(taskStart)))
 
 		m.mu.Lock()
 		m.active = false
@@ -286,6 +309,7 @@ func (m *machine) tokenDutyLocked() (send bool, payload []byte, next msg.Machine
 		m.launch = true // inconclusive: go again
 	}
 	// Launch a fresh white token; launching whitens the initiator.
+	m.e.tokenRounds.Inc()
 	m.launch = false
 	m.black = false
 	if n == 1 {

@@ -35,6 +35,7 @@ import (
 
 	"trinity/internal/graph"
 	"trinity/internal/msg"
+	"trinity/internal/obs"
 )
 
 // inboxShards is the sharding factor of the per-machine message inbox.
@@ -172,6 +173,23 @@ type Engine struct {
 
 	totalVertices int
 	aggGlobal     map[string]float64
+
+	metrics engineMetrics
+}
+
+// engineMetrics are the engine's registry-backed counters, created
+// eagerly at construction (scope "bsp" on the cloud's registry) so a
+// snapshot lists them even before the first Run. Counters are cumulative
+// across runs sharing one cloud; the per-step numbers the paper tables
+// need still flow through Options.OnSuperstep.
+type engineMetrics struct {
+	scope        *obs.Scope
+	supersteps   *obs.Counter
+	msgsSent     *obs.Counter // logical vertex messages
+	msgsWire     *obs.Counter // messages that crossed the wire
+	msgsCombined *obs.Counter // messages merged by the combiner
+	activeVerts  *obs.Gauge
+	superstepNs  *obs.Histogram
 }
 
 // worker is the per-machine execution state.
@@ -197,8 +215,11 @@ type worker struct {
 
 	aggLocal map[string]float64
 
-	sentWire  atomic.Int64 // messages that crossed the wire this step
+	sentWire  atomic.Int64 // messages that crossed the wire (cumulative)
 	sentTotal atomic.Int64 // logical messages this step
+	combined  atomic.Int64 // combiner merges (cumulative)
+	lastWire  atomic.Int64 // sentWire at the end of the previous step
+	lastComb  atomic.Int64 // combined at the end of the previous step
 
 	doneMu   sync.Mutex
 	doneFrom map[msg.MachineID]bool
@@ -213,6 +234,16 @@ func New(g *graph.Graph, opts Options) *Engine {
 		opts.MaxSupersteps = 1 << 30
 	}
 	e := &Engine{g: g, opts: opts, aggGlobal: map[string]float64{}}
+	scope := g.On(0).Slave().Metrics().Scope("bsp")
+	e.metrics = engineMetrics{
+		scope:        scope,
+		supersteps:   scope.Counter("supersteps"),
+		msgsSent:     scope.Counter("messages_sent"),
+		msgsWire:     scope.Counter("messages_wire"),
+		msgsCombined: scope.Counter("messages_combined"),
+		activeVerts:  scope.Gauge("active_vertices"),
+		superstepNs:  scope.Histogram("superstep_ns"),
+	}
 	for i := 0; i < g.Machines(); i++ {
 		m := g.On(i)
 		w := &worker{
@@ -328,6 +359,8 @@ func (e *Engine) WireMessages() int64 {
 
 // superstep drives one synchronized superstep across all machines.
 func (e *Engine) superstep(p Program, step int) (int64, int64, error) {
+	span := e.metrics.scope.StartSpan("superstep")
+	defer span.End()
 	// Phase 1: rotate inboxes (prepared by the previous step).
 	for _, w := range e.workers {
 		w.inbox, w.next = w.next, newInbox()
@@ -335,6 +368,7 @@ func (e *Engine) superstep(p Program, step int) (int64, int64, error) {
 		w.sentTotal.Store(0)
 	}
 	// Phase 2: compute all machines in parallel.
+	compute := span.Child("compute")
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(e.workers))
 	for _, w := range e.workers {
@@ -347,15 +381,18 @@ func (e *Engine) superstep(p Program, step int) (int64, int64, error) {
 		}(w)
 	}
 	wg.Wait()
+	compute.End()
 	select {
 	case err := <-errCh:
 		return 0, 0, err
 	default:
 	}
 	// Phase 3: barrier — wait for all markers on every machine.
+	barrier := span.Child("barrier")
 	for _, w := range e.workers {
 		w.waitForMarkers(len(e.workers) - 1)
 	}
+	barrier.End()
 	// Phase 4: reduce aggregators and counters on the coordinator.
 	agg := map[string]float64{}
 	var active, sent int64
@@ -370,7 +407,14 @@ func (e *Engine) superstep(p Program, step int) (int64, int64, error) {
 			}
 		}
 		sent += w.sentTotal.Load()
+		wire := w.sentWire.Load()
+		e.metrics.msgsWire.Add(wire - w.lastWire.Swap(wire))
+		comb := w.combined.Load()
+		e.metrics.msgsCombined.Add(comb - w.lastComb.Swap(comb))
 	}
+	e.metrics.supersteps.Inc()
+	e.metrics.msgsSent.Add(sent)
+	e.metrics.activeVerts.Set(active)
 	e.aggGlobal = agg
 	return active, sent, nil
 }
@@ -494,6 +538,7 @@ func (w *worker) deliverLocal(dst uint64, m float64) {
 		if prev, ok := w.next[shard][dst]; ok && len(prev) == 1 {
 			prev[0] = w.e.opts.Combine(prev[0], m)
 			mu.Unlock()
+			w.combined.Add(1)
 			return
 		}
 	}

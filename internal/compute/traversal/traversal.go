@@ -15,10 +15,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"trinity/internal/graph"
 	"trinity/internal/memcloud"
 	"trinity/internal/msg"
+	"trinity/internal/obs"
 )
 
 // protoExpand is the one-sided frontier-expansion protocol.
@@ -63,11 +65,24 @@ type Result struct {
 // process; it registers its protocol on every machine.
 type Engine struct {
 	g *graph.Graph
+
+	// Registry-backed metrics (scope "traversal" on the cloud's registry).
+	queries    *obs.Counter
+	expansions *obs.Counter
+	visited    *obs.Counter
+	exploreNs  *obs.Histogram
 }
 
 // New builds a traversal engine and installs handlers on all machines.
 func New(g *graph.Graph) *Engine {
-	e := &Engine{g: g}
+	scope := g.On(0).Slave().Metrics().Scope("traversal")
+	e := &Engine{
+		g:          g,
+		queries:    scope.Counter("queries"),
+		expansions: scope.Counter("expansions"),
+		visited:    scope.Counter("visited"),
+		exploreNs:  scope.Histogram("explore_ns"),
+	}
 	for i := 0; i < g.Machines(); i++ {
 		m := g.On(i)
 		mm := m
@@ -83,6 +98,9 @@ func New(g *graph.Graph) *Engine {
 // machine `via` (any machine can coordinate, like a Trinity client
 // talking to any slave).
 func (e *Engine) Explore(via int, start uint64, hops int, pred Predicate) (*Result, error) {
+	e.queries.Inc()
+	qStart := time.Now()
+	defer func() { e.exploreNs.Observe(int64(time.Since(qStart))) }()
 	coord := e.g.On(via)
 	if !coord.HasNode(start) {
 		return nil, fmt.Errorf("traversal: start node %d does not exist", start)
@@ -137,6 +155,7 @@ func (e *Engine) Explore(via int, start uint64, hops int, pred Predicate) (*Resu
 		frontier = next
 	}
 	res.Matches = dedup(res.Matches)
+	e.visited.Add(int64(res.Visited))
 	return res, nil
 }
 
@@ -162,6 +181,7 @@ func (e *Engine) PeopleSearch(via int, start uint64, firstNameLabel int64, hops 
 
 // expand sends one frontier fragment to its owner (or runs locally).
 func (e *Engine) expand(coord *graph.Machine, owner msg.MachineID, ids []uint64, pred Predicate, expandMore bool) (matches, neighbors []uint64, err error) {
+	e.expansions.Inc()
 	req := encodeExpand(ids, pred, expandMore)
 	var resp []byte
 	if owner == coord.Slave().ID() {

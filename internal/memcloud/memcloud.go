@@ -26,6 +26,7 @@ import (
 	"trinity/internal/cluster"
 	"trinity/internal/hash"
 	"trinity/internal/msg"
+	"trinity/internal/obs"
 	"trinity/internal/tfs"
 	"trinity/internal/trunk"
 )
@@ -87,6 +88,12 @@ type Config struct {
 	Cluster cluster.Config
 	// Datanodes is the TFS datanode count. Zero means 3.
 	Datanodes int
+	// Metrics is the observability registry for the whole cloud: every
+	// slave's memcloud, msg, trunk and cluster metrics register here. Nil
+	// creates a private registry per cloud so concurrently running clouds
+	// (tests) never share counters; trinityd and trinity-bench pass
+	// obs.Default() for a process-wide snapshot.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -105,6 +112,11 @@ func (c *Config) fill() {
 	if c.Msg.CallTimeout == 0 {
 		c.Msg.CallTimeout = 5 * time.Second
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	c.Msg.Metrics = c.Metrics
+	c.Cluster.Metrics = c.Metrics
 }
 
 // Stats aggregates cloud activity.
@@ -158,6 +170,9 @@ func (c *Cloud) Slaves() int { return len(c.slaves) }
 
 // FS returns the cloud's Trinity File System.
 func (c *Cloud) FS() *tfs.FS { return c.fs }
+
+// Metrics returns the cloud's observability registry.
+func (c *Cloud) Metrics() *obs.Registry { return c.cfg.Metrics }
 
 // Backup dumps every live trunk to TFS. Returns the first error.
 func (c *Cloud) Backup() error {
@@ -293,20 +308,38 @@ type Slave struct {
 	mu     sync.RWMutex
 	trunks map[uint32]*trunk.Trunk
 
-	localOps   atomic.Int64
-	remoteOps  atomic.Int64
-	retries    atomic.Int64
-	recoveries atomic.Int64
+	metrics *obs.Registry
+	trunkMx *obs.Scope
+
+	localOps   *obs.Counter
+	remoteOps  *obs.Counter
+	retries    *obs.Counter
+	recoveries *obs.Counter
+	getNs      *obs.Histogram
+	setNs      *obs.Histogram
+	multiOpNs  *obs.Histogram
 }
 
 func newSlave(node *msg.Node, fs *tfs.FS, initial *cluster.Table, cfg Config) *Slave {
+	scope := cfg.Metrics.Scope(fmt.Sprintf("memcloud.m%d", node.ID()))
 	s := &Slave{
-		id:     node.ID(),
-		node:   node,
-		fs:     fs,
-		cfg:    cfg,
-		trunks: make(map[uint32]*trunk.Trunk),
+		id:      node.ID(),
+		node:    node,
+		fs:      fs,
+		cfg:     cfg,
+		trunks:  make(map[uint32]*trunk.Trunk),
+		metrics: cfg.Metrics,
+		trunkMx: cfg.Metrics.Scope(fmt.Sprintf("trunk.m%d", node.ID())),
+
+		localOps:   scope.Counter("local_ops"),
+		remoteOps:  scope.Counter("remote_ops"),
+		retries:    scope.Counter("retries"),
+		recoveries: scope.Counter("recoveries"),
+		getNs:      scope.Histogram("get_ns"),
+		setNs:      scope.Histogram("set_ns"),
+		multiOpNs:  scope.Histogram("multiop_ns"),
 	}
+	s.registerTrunkGauges()
 	s.alive.Store(true)
 	for _, tid := range initial.TrunksOf(s.id) {
 		s.trunks[tid] = s.newTrunk()
@@ -339,6 +372,38 @@ func (s *Slave) newTrunk() *trunk.Trunk {
 		Capacity:    s.cfg.TrunkCapacity,
 		PageSize:    s.cfg.TrunkPageSize,
 		Reservation: s.cfg.Reservation,
+		Metrics:     s.trunkMx,
+	})
+}
+
+// registerTrunkGauges publishes snapshot-time gauges over this slave's
+// trunk set: hash-table load (cells), committed bytes, and the load
+// factor (live/committed) that drives defragmentation decisions. Func
+// gauges cost nothing on the storage hot path — they walk the trunks only
+// when a snapshot is taken.
+func (s *Slave) registerTrunkGauges() {
+	sumStats := func() trunk.Stats {
+		var total trunk.Stats
+		s.mu.RLock()
+		for _, t := range s.trunks {
+			st := t.Stats()
+			total.CommittedBytes += st.CommittedBytes
+			total.LiveBytes += st.LiveBytes
+			total.GapBytes += st.GapBytes
+			total.Cells += st.Cells
+		}
+		s.mu.RUnlock()
+		return total
+	}
+	s.trunkMx.Func("cells", func() float64 { return float64(sumStats().Cells) })
+	s.trunkMx.Func("committed_bytes", func() float64 { return float64(sumStats().CommittedBytes) })
+	s.trunkMx.Func("gap_bytes", func() float64 { return float64(sumStats().GapBytes) })
+	s.trunkMx.Func("load_factor", func() float64 {
+		st := sumStats()
+		if st.CommittedBytes == 0 {
+			return 1
+		}
+		return float64(st.LiveBytes) / float64(st.CommittedBytes)
 	})
 }
 
@@ -355,6 +420,11 @@ func (s *Slave) Member() *cluster.Member { return s.member }
 // FS exposes the shared Trinity File System (for checkpoints, snapshots,
 // and other higher-layer persistence).
 func (s *Slave) FS() *tfs.FS { return s.fs }
+
+// Metrics exposes the cloud's observability registry so higher layers
+// (BSP, async, traversal) register their own scopes alongside the storage
+// counters.
+func (s *Slave) Metrics() *obs.Registry { return s.metrics }
 
 // trunkFor returns the trunk number a key belongs to.
 func (s *Slave) trunkFor(key uint64) uint32 {
@@ -572,6 +642,11 @@ func (s *Slave) onContains(_ msg.MachineID, req []byte) ([]byte, error) {
 
 const maxRetries = 3
 
+// observeSince records the elapsed time since start into h.
+func (s *Slave) observeSince(h *obs.Histogram, start time.Time) {
+	h.Observe(int64(time.Since(start)))
+}
+
 // withOwner runs op against the key's owner, retrying through the §6.2
 // protocol on failure: report to leader, wait for the table update,
 // retry.
@@ -622,6 +697,7 @@ func (s *Slave) withOwner(key uint64, local func(*trunk.Trunk) error, remote fun
 
 // Get returns the cell's value.
 func (s *Slave) Get(key uint64) ([]byte, error) {
+	defer s.observeSince(s.getNs, time.Now())
 	var out []byte
 	err := s.withOwner(key,
 		func(t *trunk.Trunk) error {
@@ -639,6 +715,7 @@ func (s *Slave) Get(key uint64) ([]byte, error) {
 
 // Put inserts or overwrites a cell.
 func (s *Slave) Put(key uint64, val []byte) error {
+	defer s.observeSince(s.setNs, time.Now())
 	return s.withOwner(key,
 		func(t *trunk.Trunk) error {
 			if err := t.Put(key, val); err != nil {

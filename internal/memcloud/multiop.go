@@ -3,6 +3,7 @@ package memcloud
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"trinity/internal/trunk"
 )
@@ -22,6 +23,7 @@ import (
 // keys must be owned by this machine: cross-machine transactions are out
 // of scope, exactly as in the paper.
 func (s *Slave) MultiView(keys []uint64, fn func(payloads [][]byte) error) error {
+	defer s.observeSince(s.multiOpNs, time.Now())
 	if len(keys) == 0 {
 		return fn(nil)
 	}

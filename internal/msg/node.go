@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"trinity/internal/obs"
 )
 
 // ProtocolID identifies a message protocol, as declared in a TSL
@@ -65,6 +67,12 @@ type Options struct {
 	// NoPacking disables message packing entirely: every async message
 	// travels in its own frame. Used by the packing ablation benchmark.
 	NoPacking bool
+	// Metrics is the registry the node publishes its counters to, under
+	// the scope "msg.m<id>". Nil gives the node a private registry, which
+	// keeps independently constructed nodes (tests, ad-hoc tools) isolated
+	// from each other; a memory cloud passes its own registry so all of a
+	// cluster's nodes land in one snapshot.
+	Metrics *obs.Registry
 }
 
 // Node is a machine's messaging runtime: it owns a transport endpoint,
@@ -87,14 +95,33 @@ type Node struct {
 	flushCh chan struct{}
 	closed  atomic.Bool
 
-	stats struct {
-		messagesSent  atomic.Int64
-		framesSent    atomic.Int64
-		bytesSent     atomic.Int64
-		syncCalls     atomic.Int64
-		asyncReceived atomic.Int64
-		batchesRecv   atomic.Int64
-	}
+	metrics nodeMetrics
+
+	destMu sync.Mutex
+	dests  map[MachineID]*destMetrics
+}
+
+// nodeMetrics are the node's registry-backed counters. The Stats()
+// accessor reads these, so the pre-obs Stats struct stays available to
+// existing tests and benchmark tables.
+type nodeMetrics struct {
+	scope         *obs.Scope
+	messagesSent  *obs.Counter
+	framesSent    *obs.Counter
+	bytesSent     *obs.Counter
+	syncCalls     *obs.Counter
+	asyncReceived *obs.Counter
+	batchesRecv   *obs.Counter
+	callNs        *obs.Histogram
+}
+
+// destMetrics tracks per-destination traffic: bytes and frames shipped,
+// plus the packing buffer's current depth (bytes queued, not yet on the
+// transport). Entries are created on first send to a destination.
+type destMetrics struct {
+	bytes      *obs.Counter
+	frames     *obs.Counter
+	queueBytes *obs.Gauge
 }
 
 type callResult struct {
@@ -105,6 +132,7 @@ type callResult struct {
 type packer struct {
 	buf   []byte
 	count int
+	dm    *destMetrics
 }
 
 // NewNode creates a messaging runtime on the given transport endpoint and
@@ -119,6 +147,11 @@ func NewNode(tr Transport, opts Options) *Node {
 	if opts.CallTimeout <= 0 {
 		opts.CallTimeout = 10 * time.Second
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	scope := reg.Scope(fmt.Sprintf("msg.m%d", tr.Local()))
 	n := &Node{
 		tr:      tr,
 		opts:    opts,
@@ -127,6 +160,17 @@ func NewNode(tr Transport, opts Options) *Node {
 		calls:   make(map[uint64]chan callResult),
 		packers: make(map[MachineID]*packer),
 		flushCh: make(chan struct{}),
+		dests:   make(map[MachineID]*destMetrics),
+		metrics: nodeMetrics{
+			scope:         scope,
+			messagesSent:  scope.Counter("messages_sent"),
+			framesSent:    scope.Counter("frames_sent"),
+			bytesSent:     scope.Counter("bytes_sent"),
+			syncCalls:     scope.Counter("sync_calls"),
+			asyncReceived: scope.Counter("async_received"),
+			batchesRecv:   scope.Counter("batches_recv"),
+			callNs:        scope.Histogram("call_ns"),
+		},
 	}
 	tr.SetReceiver(n.receive)
 	if opts.FlushInterval > 0 && !opts.NoPacking {
@@ -141,13 +185,31 @@ func (n *Node) ID() MachineID { return n.tr.Local() }
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
 	return Stats{
-		MessagesSent:  n.stats.messagesSent.Load(),
-		FramesSent:    n.stats.framesSent.Load(),
-		BytesSent:     n.stats.bytesSent.Load(),
-		SyncCalls:     n.stats.syncCalls.Load(),
-		AsyncReceived: n.stats.asyncReceived.Load(),
-		BatchesRecv:   n.stats.batchesRecv.Load(),
+		MessagesSent:  n.metrics.messagesSent.Load(),
+		FramesSent:    n.metrics.framesSent.Load(),
+		BytesSent:     n.metrics.bytesSent.Load(),
+		SyncCalls:     n.metrics.syncCalls.Load(),
+		AsyncReceived: n.metrics.asyncReceived.Load(),
+		BatchesRecv:   n.metrics.batchesRecv.Load(),
 	}
+}
+
+// destMetricsFor returns (creating on first use) the per-destination
+// traffic metrics for machine to, named msg.m<self>.dest.m<to>.*.
+func (n *Node) destMetricsFor(to MachineID) *destMetrics {
+	n.destMu.Lock()
+	defer n.destMu.Unlock()
+	dm, ok := n.dests[to]
+	if !ok {
+		scope := n.metrics.scope.Scope(fmt.Sprintf("dest.m%d", to))
+		dm = &destMetrics{
+			bytes:      scope.Counter("bytes"),
+			frames:     scope.Counter("frames"),
+			queueBytes: scope.Gauge("queue_bytes"),
+		}
+		n.dests[to] = dm
+	}
+	return dm
 }
 
 // HandleSync registers the handler for a synchronous protocol. Protocols
@@ -187,15 +249,18 @@ func (n *Node) Call(to MachineID, p ProtocolID, request []byte) ([]byte, error) 
 	binary.LittleEndian.PutUint16(frame[1:], uint16(p))
 	binary.LittleEndian.PutUint64(frame[3:], corr)
 	copy(frame[frameHeader:], request)
-	n.stats.syncCalls.Add(1)
-	n.stats.messagesSent.Add(1)
+	n.metrics.syncCalls.Inc()
+	n.metrics.messagesSent.Inc()
+	start := time.Now()
 	if err := n.sendFrame(to, frame); err != nil {
 		return nil, err
 	}
 	select {
 	case res := <-ch:
+		n.metrics.callNs.Observe(int64(time.Since(start)))
 		return res.payload, res.err
 	case <-time.After(n.opts.CallTimeout):
+		n.metrics.callNs.Observe(int64(time.Since(start)))
 		return nil, fmt.Errorf("%w: protocol %d to machine %d", ErrTimeout, p, to)
 	}
 }
@@ -207,7 +272,7 @@ func (n *Node) Send(to MachineID, p ProtocolID, msg []byte) error {
 	if n.closed.Load() {
 		return ErrClosed
 	}
-	n.stats.messagesSent.Add(1)
+	n.metrics.messagesSent.Inc()
 	if n.opts.NoPacking {
 		frame := make([]byte, frameHeader+len(msg))
 		frame[0] = kindAsync
@@ -221,7 +286,7 @@ func (n *Node) Send(to MachineID, p ProtocolID, msg []byte) error {
 		// Start small and let append grow toward BatchBytes: most packer
 		// lifetimes end at a timer flush with only a few messages, so
 		// reserving the full batch up front wastes an allocation storm.
-		pk = &packer{buf: append(make([]byte, 0, 512), kindBatch)}
+		pk = &packer{buf: append(make([]byte, 0, 512), kindBatch), dm: n.destMetricsFor(to)}
 		n.packers[to] = pk
 	}
 	var item [batchItem]byte
@@ -234,6 +299,9 @@ func (n *Node) Send(to MachineID, p ProtocolID, msg []byte) error {
 	if len(pk.buf) >= n.opts.BatchBytes {
 		flush = pk.buf
 		delete(n.packers, to)
+		pk.dm.queueBytes.Set(0)
+	} else {
+		pk.dm.queueBytes.Set(int64(len(pk.buf)))
 	}
 	n.packMu.Unlock()
 	if flush != nil {
@@ -251,6 +319,7 @@ func (n *Node) Flush() error {
 	n.packMu.Unlock()
 	var firstErr error
 	for to, pk := range pending {
+		pk.dm.queueBytes.Set(0)
 		if err := n.sendFrame(to, pk.buf); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -284,8 +353,11 @@ func (n *Node) Close() error {
 }
 
 func (n *Node) sendFrame(to MachineID, frame []byte) error {
-	n.stats.framesSent.Add(1)
-	n.stats.bytesSent.Add(int64(len(frame)))
+	n.metrics.framesSent.Inc()
+	n.metrics.bytesSent.Add(int64(len(frame)))
+	dm := n.destMetricsFor(to)
+	dm.frames.Inc()
+	dm.bytes.Add(int64(len(frame)))
 	return n.tr.Send(to, frame)
 }
 
@@ -335,7 +407,7 @@ func (n *Node) receive(from MachineID, frame []byte) {
 		p := ProtocolID(binary.LittleEndian.Uint16(frame[1:]))
 		n.dispatchAsync(from, p, frame[frameHeader:])
 	case kindBatch:
-		n.stats.batchesRecv.Add(1)
+		n.metrics.batchesRecv.Inc()
 		body := frame[1:]
 		for len(body) >= batchItem {
 			p := ProtocolID(binary.LittleEndian.Uint16(body[0:]))
@@ -378,7 +450,7 @@ func (n *Node) dispatchAsync(from MachineID, p ProtocolID, msg []byte) {
 	h := n.async[p]
 	n.mu.RUnlock()
 	if h != nil {
-		n.stats.asyncReceived.Add(1)
+		n.metrics.asyncReceived.Inc()
 		h(from, msg)
 	}
 }

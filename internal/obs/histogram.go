@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the bucket count of Histogram: one bucket per power of
+// two of the observed value, covering the full non-negative int64 range
+// (bucket i holds values v with bits.Len64(v) == i, i.e. [2^(i-1), 2^i)).
+const histBuckets = 64
+
+// Histogram is a fixed-bucket, lock-free histogram with power-of-two
+// bucket boundaries. It is designed for latencies in nanoseconds: 64
+// buckets span 1 ns to ~292 years with at most 2x relative error on
+// quantile estimates, and Observe is two atomic adds plus an atomic
+// increment — cheap enough for per-operation hot paths. The zero value is
+// NOT usable; obtain histograms from a Scope.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [histBuckets]int64
+}
+
+// Snapshot copies the histogram's counters. Buckets are read without a
+// global lock, so a snapshot taken during concurrent Observes is
+// approximate (counts may be off by in-flight observations), which is the
+// usual metrics contract.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average observed value, or 0 for an empty histogram.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) as the upper bound of
+// the bucket in which the q-th observation falls. The estimate is within
+// 2x of the true value by construction of the power-of-two buckets.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			upper := int64(1) << uint(i)
+			if upper > s.Max && s.Max > 0 {
+				return s.Max
+			}
+			return upper
+		}
+	}
+	return s.Max
+}

@@ -32,6 +32,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"trinity/internal/obs"
 )
 
 // Errors returned by trunk operations.
@@ -99,6 +102,11 @@ type Options struct {
 	// Reservation is the expansion reservation policy.
 	// Nil means DefaultReservation.
 	Reservation ReservationPolicy
+	// Metrics, when non-nil, receives defragmentation and reload timing.
+	// A slave passes one scope for all of its trunks, so the histograms
+	// aggregate across the machine's trunk set. Nil disables recording;
+	// the per-trunk Stats() counters are always maintained.
+	Metrics *obs.Scope
 }
 
 // Stats is a snapshot of trunk health and activity counters.
@@ -180,6 +188,11 @@ type Trunk struct {
 
 	stats Stats
 
+	// Registry-backed timing, nil when the trunk is unobserved.
+	defragNs       *obs.Histogram
+	reloadNs       *obs.Histogram
+	reclaimedBytes *obs.Counter
+
 	scratch []byte // defragmentation copy buffer
 }
 
@@ -198,13 +211,19 @@ func New(opts Options) *Trunk {
 		opts.Reservation = DefaultReservation
 	}
 	pages := (opts.Capacity + opts.PageSize - 1) / opts.PageSize
-	return &Trunk{
+	t := &Trunk{
 		buf:       make([]byte, opts.Capacity),
 		index:     make(map[uint64]*entry),
 		pageSize:  opts.PageSize,
 		committed: make([]bool, pages),
 		reserve:   opts.Reservation,
 	}
+	if opts.Metrics != nil {
+		t.defragNs = opts.Metrics.Histogram("defrag_ns")
+		t.reloadNs = opts.Metrics.Histogram("reload_ns")
+		t.reclaimedBytes = opts.Metrics.Counter("defrag_reclaimed_bytes")
+	}
+	return t
 }
 
 // Capacity returns the trunk's reserved size in bytes.
@@ -631,6 +650,10 @@ func (t *Trunk) Defragment() int64 {
 	if t.gapBytes == 0 && t.reservedBytes == 0 {
 		return 0
 	}
+	if t.defragNs != nil {
+		start := time.Now()
+		defer func() { t.defragNs.Observe(int64(time.Since(start))) }()
+	}
 	reclaimed := int64(0)
 	toScan := t.used
 	cap := int64(len(t.buf))
@@ -696,6 +719,9 @@ func (t *Trunk) Defragment() int64 {
 	}
 	t.decommitDead()
 	t.stats.DefragPasses++
+	if t.reclaimedBytes != nil {
+		t.reclaimedBytes.Add(reclaimed)
+	}
 	return reclaimed
 }
 
@@ -805,6 +831,10 @@ func (t *Trunk) DumpTo(w io.Writer) error {
 // LoadFrom restores cells from a dump produced by DumpTo, replacing the
 // trunk's current contents.
 func (t *Trunk) LoadFrom(r io.Reader) error {
+	if t.reloadNs != nil {
+		start := time.Now()
+		defer func() { t.reloadNs.Observe(int64(time.Since(start))) }()
+	}
 	var hdr [16]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
