@@ -1,0 +1,77 @@
+package async
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"trinity/internal/gen"
+	"trinity/internal/graph"
+	"trinity/internal/memcloud"
+	"trinity/internal/msg"
+)
+
+// newChaosCloud boots a cloud behind a seeded chaos hub armed with
+// contract-preserving faults only: delivery jitter (which exercises the
+// message layer's per-sender ordering machinery) and poisoned receive
+// buffers (which catch any handler retaining a transport-owned frame).
+// A correct stack computes identical results to the clean one.
+func newChaosCloud(t testing.TB, machines int, seed int64) *memcloud.Cloud {
+	c, ch := memcloud.NewChaosCloud(memcloud.Config{
+		Machines: machines,
+		Msg:      msg.Options{FlushInterval: time.Millisecond, CallTimeout: 5 * time.Second},
+	}, seed)
+	ch.SetDefault(msg.Policy{Jitter: 200 * time.Microsecond})
+	ch.PoisonFrames(true)
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestChaosAsyncBFSMatchesReference runs the vertex-batched BFS with every
+// frame jittered and every delivered buffer scribbled after its callback.
+// Task payloads and Safra termination tokens both ride the async path, so
+// a retained frame corrupts a vertex batch and an ordering slip can end
+// the traversal early; either moves the visited count off the sequential
+// reference.
+func TestChaosAsyncBFSMatchesReference(t *testing.T) {
+	for _, seed := range msg.Seeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cloud := newChaosCloud(t, 4, seed)
+			bl := graph.NewBuilder(true)
+			gen.BuildUniform(gen.UniformConfig{Nodes: 500, AvgDegree: 4, Seed: 3}, 0, bl)
+			g, err := bl.Load(cloud)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sequential reference reachability from node 0.
+			adj := make([][]uint64, 500)
+			for i := range adj {
+				adj[i], _ = g.On(0).Outlinks(uint64(i))
+			}
+			ref := map[uint64]bool{0: true}
+			stack := []uint64{0}
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, v := range adj[u] {
+					if !ref[v] {
+						ref[v] = true
+						stack = append(stack, v)
+					}
+				}
+			}
+			bfs := newAsyncBFS(g)
+			e := New(cloud, bfs.handle)
+			defer e.Stop()
+			var seedTask [8]byte
+			binary.LittleEndian.PutUint64(seedTask[:], 0)
+			owner := g.On(0).Slave().Owner(0)
+			e.Post(owner, seedTask[:])
+			e.Wait()
+			if got := bfs.totalVisited(); got != len(ref) {
+				t.Fatalf("async BFS under chaos visited %d, reference %d", got, len(ref))
+			}
+		})
+	}
+}

@@ -84,6 +84,10 @@ type Config struct {
 	DefragInterval time.Duration
 	// Msg configures the per-machine messaging runtime.
 	Msg msg.Options
+	// TransportWrap, if set, decorates every machine's transport endpoint
+	// before the messaging runtime is built. Fault-injection tests pass
+	// a chaos hub's Wrap here; nil means endpoints are used as-is.
+	TransportWrap func(msg.Transport) msg.Transport
 	// Cluster configures heartbeats and failure detection.
 	Cluster cluster.Config
 	// Datanodes is the TFS datanode count. Zero means 3.
@@ -132,10 +136,31 @@ type Stats struct {
 // Slave per physical machine; the Cloud type exists so tests, benchmarks
 // and examples can stand up a cluster in one call.
 type Cloud struct {
-	cfg    Config
-	fs     *tfs.FS
-	bus    *msg.Bus
+	cfg Config
+	fs  *tfs.FS
+	bus *msg.Bus
+
+	// mu guards slaves: AddMachine appends to it while Stats, Backup,
+	// MemoryUsage and Close iterate it, possibly from other goroutines.
+	mu     sync.RWMutex
 	slaves []*Slave
+}
+
+// endpoint returns the (possibly chaos-wrapped) transport endpoint for a
+// machine.
+func (c *Cloud) endpoint(id msg.MachineID) msg.Transport {
+	tr := c.bus.Endpoint(id)
+	if c.cfg.TransportWrap != nil {
+		tr = c.cfg.TransportWrap(tr)
+	}
+	return tr
+}
+
+// slaveList snapshots the slave slice under the lock.
+func (c *Cloud) slaveList() []*Slave {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*Slave(nil), c.slaves...)
 }
 
 // New boots a memory cloud with cfg.Machines slaves on an in-process bus.
@@ -152,7 +177,7 @@ func New(cfg Config) *Cloud {
 	}
 	initial := cluster.NewTable(cfg.P, machines)
 	for i := 0; i < cfg.Machines; i++ {
-		node := msg.NewNode(c.bus.Endpoint(machines[i]), cfg.Msg)
+		node := msg.NewNode(c.endpoint(machines[i]), cfg.Msg)
 		c.slaves = append(c.slaves, newSlave(node, c.fs, initial, cfg))
 	}
 	for _, s := range c.slaves {
@@ -163,10 +188,18 @@ func New(cfg Config) *Cloud {
 
 // Slave returns the i-th slave; any slave can serve as a client access
 // point.
-func (c *Cloud) Slave(i int) *Slave { return c.slaves[i] }
+func (c *Cloud) Slave(i int) *Slave {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.slaves[i]
+}
 
 // Slaves returns the number of slaves.
-func (c *Cloud) Slaves() int { return len(c.slaves) }
+func (c *Cloud) Slaves() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.slaves)
+}
 
 // FS returns the cloud's Trinity File System.
 func (c *Cloud) FS() *tfs.FS { return c.fs }
@@ -176,7 +209,7 @@ func (c *Cloud) Metrics() *obs.Registry { return c.cfg.Metrics }
 
 // Backup dumps every live trunk to TFS. Returns the first error.
 func (c *Cloud) Backup() error {
-	for _, s := range c.slaves {
+	for _, s := range c.slaveList() {
 		if s.alive.Load() {
 			if err := s.BackupTrunks(); err != nil {
 				return err
@@ -193,13 +226,20 @@ func (c *Cloud) Backup() error {
 // and update the addressing table accordingly", §3). The call returns
 // when the newcomer has taken ownership of its trunks.
 func (c *Cloud) AddMachine() (*Slave, error) {
+	// The id assignment and the append are one critical section: a
+	// concurrent Stats/Backup/Close walking the slice must see either the
+	// old cluster or the new one, and two concurrent joins must not pick
+	// the same id.
+	c.mu.Lock()
 	id := msg.MachineID(len(c.slaves))
-	node := msg.NewNode(c.bus.Endpoint(id), c.cfg.Msg)
+	node := msg.NewNode(c.endpoint(id), c.cfg.Msg)
 	// The joiner bootstraps from the current table (in which it owns
 	// nothing yet).
 	current := c.slaves[0].member.Table()
 	s := newSlave(node, c.fs, current, c.cfg)
 	c.slaves = append(c.slaves, s)
+	incumbents := append([]*Slave(nil), c.slaves[:len(c.slaves)-1]...)
+	c.mu.Unlock()
 	s.member.Start()
 
 	// Persist all trunks so relocated ones can be reloaded by the joiner.
@@ -207,7 +247,7 @@ func (c *Cloud) AddMachine() (*Slave, error) {
 		return nil, err
 	}
 	var leader *Slave
-	for _, sl := range c.slaves[:len(c.slaves)-1] {
+	for _, sl := range incumbents {
 		if sl.alive.Load() && sl.member.IsLeader() {
 			leader = sl
 			break
@@ -239,7 +279,9 @@ func (c *Cloud) AddMachine() (*Slave, error) {
 // its endpoint drops off the network. Recovery is driven by the usual
 // failure-report path the next time someone touches its data.
 func (c *Cloud) KillMachine(id msg.MachineID) {
+	c.mu.RLock()
 	s := c.slaves[int(id)]
+	c.mu.RUnlock()
 	if !s.alive.Swap(false) {
 		return
 	}
@@ -253,7 +295,7 @@ func (c *Cloud) KillMachine(id msg.MachineID) {
 
 // Close shuts down the whole cloud.
 func (c *Cloud) Close() {
-	for _, s := range c.slaves {
+	for _, s := range c.slaveList() {
 		if s.alive.Swap(false) {
 			if s.defrag != nil {
 				s.defrag.Stop()
@@ -267,7 +309,7 @@ func (c *Cloud) Close() {
 // Stats sums activity over all slaves.
 func (c *Cloud) Stats() Stats {
 	var total Stats
-	for _, s := range c.slaves {
+	for _, s := range c.slaveList() {
 		total.LocalOps += s.localOps.Load()
 		total.RemoteOps += s.remoteOps.Load()
 		total.Retries += s.retries.Load()
@@ -280,7 +322,7 @@ func (c *Cloud) Stats() Stats {
 // the number reported in the paper's Figure 13 memory comparison.
 func (c *Cloud) MemoryUsage() int64 {
 	var total int64
-	for _, s := range c.slaves {
+	for _, s := range c.slaveList() {
 		if !s.alive.Load() {
 			continue
 		}
@@ -308,6 +350,13 @@ type Slave struct {
 	mu     sync.RWMutex
 	trunks map[uint32]*trunk.Trunk
 
+	// walMu[tid] makes (trunk mutation + wal append) atomic with respect
+	// to (trunk dump + wal truncation). Mutators hold it in read mode,
+	// backup holds it exclusively; without it a mutation landing between
+	// DumpTo and the truncation is in neither the dump nor the log and is
+	// silently lost on recovery. Indexed by trunk id, 1<<P entries.
+	walMu []sync.RWMutex
+
 	metrics *obs.Registry
 	trunkMx *obs.Scope
 
@@ -328,6 +377,7 @@ func newSlave(node *msg.Node, fs *tfs.FS, initial *cluster.Table, cfg Config) *S
 		fs:      fs,
 		cfg:     cfg,
 		trunks:  make(map[uint32]*trunk.Trunk),
+		walMu:   make([]sync.RWMutex, 1<<cfg.P),
 		metrics: cfg.Metrics,
 		trunkMx: cfg.Metrics.Scope(fmt.Sprintf("trunk.m%d", node.ID())),
 
@@ -502,25 +552,45 @@ func decodeKV(b []byte) (uint64, []byte, error) {
 	return binary.LittleEndian.Uint64(b), b[8:], nil
 }
 
-// mapTrunkErr converts trunk errors to stable memcloud errors that
-// survive the wire (remote errors arrive as strings).
+// Wire error codes: handlers tag their sentinel errors with msg.WithCode
+// so the code — not the message text — identifies the sentinel on the
+// caller's side.
+const (
+	codeNotFound byte = iota + 1
+	codeExists
+	codeWrongOwner
+)
+
+// mapTrunkErr converts trunk errors to stable memcloud errors, tagged
+// with the wire code that identifies them after crossing a machine
+// boundary.
 func mapTrunkErr(err error) error {
 	switch {
 	case err == nil:
 		return nil
 	case errors.Is(err, trunk.ErrNotFound):
-		return ErrNotFound
+		return msg.WithCode(codeNotFound, ErrNotFound)
 	case errors.Is(err, trunk.ErrExists):
-		return ErrExists
+		return msg.WithCode(codeExists, ErrExists)
 	default:
 		return err
 	}
 }
 
-// remoteErr maps an error string that crossed the wire back to a sentinel.
+// remoteErr maps an error that crossed the wire back to a sentinel,
+// preferring the one-byte wire code. The message-text fallback covers
+// errors from peers that attached no code.
 func remoteErr(err error) error {
 	if err == nil {
 		return nil
+	}
+	switch msg.ErrorCode(err) {
+	case codeNotFound:
+		return ErrNotFound
+	case codeExists:
+		return ErrExists
+	case codeWrongOwner:
+		return ErrWrongOwner
 	}
 	es := err.Error()
 	switch {
@@ -541,7 +611,8 @@ func (s *Slave) serveTrunk(key uint64) (*trunk.Trunk, error) {
 	tid := s.trunkFor(key)
 	t := s.localTrunk(tid)
 	if t == nil {
-		return nil, fmt.Errorf("%w: trunk %d on machine %d", ErrWrongOwner, tid, s.id)
+		return nil, msg.WithCode(codeWrongOwner,
+			fmt.Errorf("%w: trunk %d on machine %d", ErrWrongOwner, tid, s.id))
 	}
 	return t, nil
 }
@@ -568,11 +639,8 @@ func (s *Slave) onPut(_ msg.MachineID, req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := mapTrunkErr(t.Put(key, val)); err != nil {
-		return nil, err
-	}
-	s.logMutation(opPut, key, val)
-	return nil, nil
+	err = s.loggedApply(key, opPut, val, func() error { return t.Put(key, val) })
+	return nil, mapTrunkErr(err)
 }
 
 func (s *Slave) onAdd(_ msg.MachineID, req []byte) ([]byte, error) {
@@ -584,11 +652,8 @@ func (s *Slave) onAdd(_ msg.MachineID, req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := mapTrunkErr(t.Add(key, val)); err != nil {
-		return nil, err
-	}
-	s.logMutation(opPut, key, val)
-	return nil, nil
+	err = s.loggedApply(key, opPut, val, func() error { return t.Add(key, val) })
+	return nil, mapTrunkErr(err)
 }
 
 func (s *Slave) onRemove(_ msg.MachineID, req []byte) ([]byte, error) {
@@ -600,11 +665,8 @@ func (s *Slave) onRemove(_ msg.MachineID, req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := mapTrunkErr(t.Remove(key)); err != nil {
-		return nil, err
-	}
-	s.logMutation(opRemove, key, nil)
-	return nil, nil
+	err = s.loggedApply(key, opRemove, nil, func() error { return t.Remove(key) })
+	return nil, mapTrunkErr(err)
 }
 
 func (s *Slave) onAppend(_ msg.MachineID, req []byte) ([]byte, error) {
@@ -616,11 +678,8 @@ func (s *Slave) onAppend(_ msg.MachineID, req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := mapTrunkErr(t.Append(key, val)); err != nil {
-		return nil, err
-	}
-	s.logMutation(opAppend, key, val)
-	return nil, nil
+	err = s.loggedApply(key, opAppend, val, func() error { return t.Append(key, val) })
+	return nil, mapTrunkErr(err)
 }
 
 func (s *Slave) onContains(_ msg.MachineID, req []byte) ([]byte, error) {
@@ -718,11 +777,7 @@ func (s *Slave) Put(key uint64, val []byte) error {
 	defer s.observeSince(s.setNs, time.Now())
 	return s.withOwner(key,
 		func(t *trunk.Trunk) error {
-			if err := t.Put(key, val); err != nil {
-				return err
-			}
-			s.logMutation(opPut, key, val)
-			return nil
+			return s.loggedApply(key, opPut, val, func() error { return t.Put(key, val) })
 		},
 		func(owner msg.MachineID) error {
 			_, err := s.node.Call(owner, protoPutCell, encodeKV(key, val))
@@ -734,11 +789,7 @@ func (s *Slave) Put(key uint64, val []byte) error {
 func (s *Slave) Add(key uint64, val []byte) error {
 	return s.withOwner(key,
 		func(t *trunk.Trunk) error {
-			if err := t.Add(key, val); err != nil {
-				return err
-			}
-			s.logMutation(opPut, key, val)
-			return nil
+			return s.loggedApply(key, opPut, val, func() error { return t.Add(key, val) })
 		},
 		func(owner msg.MachineID) error {
 			_, err := s.node.Call(owner, protoAddCell, encodeKV(key, val))
@@ -750,11 +801,7 @@ func (s *Slave) Add(key uint64, val []byte) error {
 func (s *Slave) Remove(key uint64) error {
 	return s.withOwner(key,
 		func(t *trunk.Trunk) error {
-			if err := t.Remove(key); err != nil {
-				return err
-			}
-			s.logMutation(opRemove, key, nil)
-			return nil
+			return s.loggedApply(key, opRemove, nil, func() error { return t.Remove(key) })
 		},
 		func(owner msg.MachineID) error {
 			_, err := s.node.Call(owner, protoRemoveCell, encodeKey(key))
@@ -766,11 +813,7 @@ func (s *Slave) Remove(key uint64) error {
 func (s *Slave) Append(key uint64, extra []byte) error {
 	return s.withOwner(key,
 		func(t *trunk.Trunk) error {
-			if err := t.Append(key, extra); err != nil {
-				return err
-			}
-			s.logMutation(opAppend, key, extra)
-			return nil
+			return s.loggedApply(key, opAppend, extra, func() error { return t.Append(key, extra) })
 		},
 		func(owner msg.MachineID) error {
 			_, err := s.node.Call(owner, protoAppendCell, encodeKV(key, extra))
@@ -832,16 +875,32 @@ func (s *Slave) BackupTrunks() error {
 	}
 	s.mu.RUnlock()
 	for tid, t := range trunks {
-		var buf bytes.Buffer
-		if err := t.DumpTo(&buf); err != nil {
+		if err := s.backupTrunk(tid, t); err != nil {
 			return err
 		}
-		if err := s.fs.WriteFile(trunkFile(tid), buf.Bytes()); err != nil {
-			return err
-		}
-		if s.cfg.BufferedLogging {
-			s.fs.WriteFile(walFile(tid), nil)
-		}
+	}
+	return nil
+}
+
+// backupTrunk dumps one trunk and truncates its log, atomically with
+// respect to concurrent mutations (see loggedApply). The truncation
+// comes only after the dump is safely in TFS: a crash mid-backup leaves
+// the old dump plus a complete log, never a dump with no log behind it.
+func (s *Slave) backupTrunk(tid uint32, t *trunk.Trunk) error {
+	if s.cfg.BufferedLogging {
+		mu := &s.walMu[tid]
+		mu.Lock()
+		defer mu.Unlock()
+	}
+	var buf bytes.Buffer
+	if err := t.DumpTo(&buf); err != nil {
+		return err
+	}
+	if err := s.fs.WriteFile(trunkFile(tid), buf.Bytes()); err != nil {
+		return err
+	}
+	if s.cfg.BufferedLogging {
+		s.fs.WriteFile(walFile(tid), nil)
 	}
 	return nil
 }
@@ -875,6 +934,8 @@ func (s *Slave) acquireTrunks(tids []uint32) {
 }
 
 // releaseTrunks backs up and drops trunks that moved to another machine.
+// The backup also truncates the trunk's log: the dump covers everything,
+// and a stale log replayed by the new owner would double-apply Appends.
 func (s *Slave) releaseTrunks(tids []uint32) {
 	for _, tid := range tids {
 		s.mu.Lock()
@@ -882,10 +943,7 @@ func (s *Slave) releaseTrunks(tids []uint32) {
 		delete(s.trunks, tid)
 		s.mu.Unlock()
 		if t != nil {
-			var buf bytes.Buffer
-			if t.DumpTo(&buf) == nil {
-				s.fs.WriteFile(trunkFile(tid), buf.Bytes())
-			}
+			s.backupTrunk(tid, t)
 		}
 	}
 }
@@ -898,19 +956,33 @@ const (
 	opAppend
 )
 
-// logMutation appends a mutation record to the trunk's TFS log. "The key
-// idea is to log operations to remote memory buffers before committing
-// them to the local memory" — TFS plays the remote buffer here.
-func (s *Slave) logMutation(op byte, key uint64, val []byte) {
+// loggedApply runs a trunk mutation and, under buffered logging, appends
+// its record to the trunk's TFS log ("the key idea is to log operations
+// to remote memory buffers before committing them to the local memory" —
+// TFS plays the remote buffer here). The trunk's wal lock is held in
+// read mode across both steps so a concurrent backup cannot dump the
+// mutated trunk and then truncate the log before the record lands: every
+// mutation is in the dump that the truncation trusts, or in the log, or
+// both (replay of Put/Remove is idempotent; Append records truncated
+// with their covering dump are never replayed twice).
+func (s *Slave) loggedApply(key uint64, op byte, val []byte, apply func() error) error {
 	if !s.cfg.BufferedLogging {
-		return
+		return apply()
+	}
+	tid := s.trunkFor(key)
+	mu := &s.walMu[tid]
+	mu.RLock()
+	defer mu.RUnlock()
+	if err := apply(); err != nil {
+		return err
 	}
 	rec := make([]byte, 13+len(val))
 	rec[0] = op
 	binary.LittleEndian.PutUint64(rec[1:], key)
 	binary.LittleEndian.PutUint32(rec[9:], uint32(len(val)))
 	copy(rec[13:], val)
-	s.fs.AppendFile(walFile(s.trunkFor(key)), rec)
+	s.fs.AppendFile(walFile(tid), rec)
+	return nil
 }
 
 // replayLog applies a mutation log to a trunk.

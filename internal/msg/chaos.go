@@ -1,0 +1,364 @@
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Chaos is a seeded, fault-injecting Transport decorator: it sits between
+// a Node and the real transport (Bus or TCP) and injects drops, delays,
+// duplicates and one-way partitions according to per-(sender, receiver)
+// policies. One Chaos hub decorates every endpoint of a simulated cluster
+// so a single seed reproduces a whole cluster's fault schedule.
+//
+// Determinism: all randomness comes from one seeded PRNG, consumed in
+// Send-call order. A single-goroutine send sequence replays exactly; under
+// concurrency the schedule is reproducible in distribution (the same seed
+// explores the same fault mix), which is what the chaos CI seeds pin down.
+//
+// Chaos deliberately distinguishes two fault classes:
+//
+//   - Contract-preserving faults (Jitter, PoisonFrames): a correct Node
+//     must survive them with zero observable difference. Jitter stretches
+//     the window between concurrent transport sends — the schedule noise
+//     that exposes ordering races. Poisoning scribbles over every frame
+//     after the receiver callback returns, which catches any component
+//     that retains a transport-owned buffer (see the Transport ownership
+//     contract in transport.go).
+//   - Contract-breaking faults (Drop, Dup, Delay, Cut): the network is
+//     allowed to do these, so layers above msg (memcloud's withOwner
+//     retry, cluster failure detection) must recover; the Node itself
+//     promises nothing about messages the transport never delivered.
+type Chaos struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	def      Policy
+	pairs    map[[2]MachineID]Policy
+	isolated map[MachineID]bool
+	poison   bool
+	stats    ChaosStats
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// Policy is the fault mix applied to one (sender, receiver) direction.
+// The zero Policy injects nothing.
+type Policy struct {
+	// Drop is the probability a frame is silently lost (the sender's
+	// Send still returns nil, exactly like a lossy network).
+	Drop float64
+	// Dup is the probability a frame is delivered twice.
+	Dup float64
+	// Delay is the probability a frame is held back for a random
+	// duration up to MaxDelay before reaching the transport, reordering
+	// it against later frames.
+	Delay float64
+	// MaxDelay bounds Delay's holdback. Zero means 1ms.
+	MaxDelay time.Duration
+	// Jitter adds a uniform random sleep in [0, Jitter) inside every
+	// Send. Unlike Delay it blocks the caller, so it cannot reorder
+	// frames a correct Node sequences — it only widens race windows.
+	Jitter time.Duration
+	// Cut drops every frame: a one-way partition.
+	Cut bool
+}
+
+// ChaosStats counts injected faults.
+type ChaosStats struct {
+	Sent       int64 // frames submitted to chaos endpoints
+	Delivered  int64 // frames handed to the inner transport (dups count)
+	Dropped    int64 // frames lost to Drop or Cut
+	Duplicated int64
+	Delayed    int64
+}
+
+// NewChaos creates a fault injector with the given PRNG seed.
+func NewChaos(seed int64) *Chaos {
+	return &Chaos{
+		rng:      rand.New(rand.NewSource(seed)),
+		pairs:    make(map[[2]MachineID]Policy),
+		isolated: make(map[MachineID]bool),
+	}
+}
+
+// SetDefault installs the policy used for pairs without an override.
+func (c *Chaos) SetDefault(p Policy) {
+	c.mu.Lock()
+	c.def = p
+	c.mu.Unlock()
+}
+
+// SetPair overrides the policy for frames from -> to.
+func (c *Chaos) SetPair(from, to MachineID, p Policy) {
+	c.mu.Lock()
+	c.pairs[[2]MachineID{from, to}] = p
+	c.mu.Unlock()
+}
+
+// Cut installs a one-way partition: every frame from -> to is dropped.
+func (c *Chaos) Cut(from, to MachineID) {
+	c.SetPair(from, to, Policy{Cut: true})
+}
+
+// Heal removes the pair override for from -> to.
+func (c *Chaos) Heal(from, to MachineID) {
+	c.mu.Lock()
+	delete(c.pairs, [2]MachineID{from, to})
+	c.mu.Unlock()
+}
+
+// Isolate drops every frame to and from id (a full partition of one
+// machine, as seen by everyone else a crash).
+func (c *Chaos) Isolate(id MachineID) {
+	c.mu.Lock()
+	c.isolated[id] = true
+	c.mu.Unlock()
+}
+
+// Rejoin undoes Isolate.
+func (c *Chaos) Rejoin(id MachineID) {
+	c.mu.Lock()
+	delete(c.isolated, id)
+	c.mu.Unlock()
+}
+
+// PoisonFrames makes every chaos endpoint overwrite a delivered frame
+// with garbage after the receiver callback returns, emulating a
+// buffer-reusing transport. Any component that retained the frame reads
+// the garbage (and races with the write under -race).
+func (c *Chaos) PoisonFrames(on bool) {
+	c.mu.Lock()
+	c.poison = on
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of injected-fault counts.
+func (c *Chaos) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Drain blocks until all delayed frames have been handed to (or refused
+// by) the inner transports. Tests call it before asserting delivery
+// counts.
+func (c *Chaos) Drain() { c.wg.Wait() }
+
+// Wrap decorates one transport endpoint. Wrap every endpoint of a
+// cluster with the same Chaos so pairwise policies cover all links.
+func (c *Chaos) Wrap(tr Transport) Transport {
+	return &chaosEndpoint{c: c, inner: tr}
+}
+
+type chaosEndpoint struct {
+	c     *Chaos
+	inner Transport
+}
+
+func (e *chaosEndpoint) Local() MachineID { return e.inner.Local() }
+
+func (e *chaosEndpoint) SetReceiver(fn func(MachineID, []byte)) {
+	e.inner.SetReceiver(func(from MachineID, frame []byte) {
+		fn(from, frame)
+		e.c.mu.Lock()
+		poison := e.c.poison
+		e.c.mu.Unlock()
+		if poison {
+			for i := range frame {
+				frame[i] = 0xDB
+			}
+		}
+	})
+}
+
+func (e *chaosEndpoint) Close() error { return e.inner.Close() }
+
+func (e *chaosEndpoint) Send(to MachineID, frame []byte) error {
+	c := e.c
+	from := e.inner.Local()
+	c.mu.Lock()
+	p, ok := c.pairs[[2]MachineID{from, to}]
+	if !ok {
+		p = c.def
+	}
+	cut := p.Cut || c.isolated[from] || c.isolated[to]
+	c.stats.Sent++
+	var jitter, delay time.Duration
+	var dup bool
+	drop := cut
+	if !drop && p.Drop > 0 && c.rng.Float64() < p.Drop {
+		drop = true
+	}
+	if drop {
+		c.stats.Dropped++
+		c.mu.Unlock()
+		return nil
+	}
+	if p.Jitter > 0 {
+		jitter = time.Duration(c.rng.Int63n(int64(p.Jitter)))
+	}
+	if p.Delay > 0 && c.rng.Float64() < p.Delay {
+		md := p.MaxDelay
+		if md <= 0 {
+			md = time.Millisecond
+		}
+		delay = time.Duration(c.rng.Int63n(int64(md))) + time.Microsecond
+		c.stats.Delayed++
+	}
+	if p.Dup > 0 && c.rng.Float64() < p.Dup {
+		dup = true
+		c.stats.Duplicated++
+	}
+	c.mu.Unlock()
+
+	if jitter > 0 {
+		time.Sleep(jitter)
+	}
+	if delay > 0 {
+		// Transport.Send may not retain the caller's frame after
+		// returning, so the delayed copy owns its own buffer.
+		cp := append([]byte(nil), frame...)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			time.Sleep(delay)
+			if e.inner.Send(to, cp) == nil {
+				c.countDelivered()
+			}
+		}()
+		if dup {
+			err := e.inner.Send(to, frame)
+			if err == nil {
+				c.countDelivered()
+			}
+			return err
+		}
+		return nil
+	}
+	err := e.inner.Send(to, frame)
+	if err == nil {
+		c.countDelivered()
+	}
+	if dup && err == nil {
+		if e.inner.Send(to, frame) == nil {
+			c.countDelivered()
+		}
+	}
+	return err
+}
+
+func (c *Chaos) countDelivered() {
+	c.mu.Lock()
+	c.stats.Delivered++
+	c.mu.Unlock()
+}
+
+// --- ordering invariant checker ---
+
+// OrderChecker asserts the ordering contract Node promises its users:
+// async messages submitted to the same destination are delivered in
+// submission order per sender machine (and per lane, for senders with
+// several submitting goroutines). Senders stamp every message with
+// StampSeq; the receiver installs Handler as the protocol's async
+// handler. Any message whose (lane, seq) is not strictly greater than
+// the last one seen from that (sender, lane) is recorded as a violation.
+//
+// The checker is meaningful only under contract-preserving chaos
+// policies (Jitter, Poison): once the transport itself drops or reorders
+// frames, per-sender ordering is not the Node's to keep.
+type OrderChecker struct {
+	mu         sync.Mutex
+	last       map[orderKey]uint64
+	violations []string
+	received   int64
+}
+
+type orderKey struct {
+	from MachineID
+	lane uint8
+}
+
+// NewOrderChecker creates an empty checker.
+func NewOrderChecker() *OrderChecker {
+	return &OrderChecker{last: make(map[orderKey]uint64)}
+}
+
+// StampSeq prepends a lane byte and a sequence number to payload,
+// producing a message Handler can check. Sequence numbers within a lane
+// start at 1 and must increase by the sender's submission order.
+func StampSeq(lane uint8, seq uint64, payload []byte) []byte {
+	out := make([]byte, 9+len(payload))
+	out[0] = lane
+	binary.LittleEndian.PutUint64(out[1:], seq)
+	copy(out[9:], payload)
+	return out
+}
+
+// Handler returns an AsyncHandler that records every stamped message and
+// checks per-(sender, lane) monotonicity.
+func (oc *OrderChecker) Handler() AsyncHandler {
+	return func(from MachineID, msg []byte) {
+		oc.mu.Lock()
+		defer oc.mu.Unlock()
+		oc.received++
+		if len(msg) < 9 {
+			oc.violations = append(oc.violations,
+				fmt.Sprintf("from m%d: short message (%d bytes)", from, len(msg)))
+			return
+		}
+		k := orderKey{from: from, lane: msg[0]}
+		seq := binary.LittleEndian.Uint64(msg[1:])
+		if seq <= oc.last[k] {
+			oc.violations = append(oc.violations,
+				fmt.Sprintf("from m%d lane %d: seq %d delivered after %d", from, k.lane, seq, oc.last[k]))
+			return
+		}
+		oc.last[k] = seq
+	}
+}
+
+// Violations returns every ordering violation observed so far.
+func (oc *OrderChecker) Violations() []string {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return append([]string(nil), oc.violations...)
+}
+
+// Received returns the number of messages observed.
+func (oc *OrderChecker) Received() int64 {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return oc.received
+}
+
+// Seeds returns the chaos seeds for this test run: the CHAOS_SEEDS
+// environment variable as a comma-separated list, or the fixed default
+// {1, 2, 3}. CI pins its seeds through the same variable, so a failed CI
+// seed reproduces locally with e.g. CHAOS_SEEDS=42 go test -race -run
+// Chaos ./internal/...
+func Seeds() []int64 {
+	env := os.Getenv("CHAOS_SEEDS")
+	if env == "" {
+		return []int64{1, 2, 3}
+	}
+	var out []int64
+	for _, f := range strings.Split(env, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if v, err := strconv.ParseInt(f, 10, 64); err == nil {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return []int64{1, 2, 3}
+	}
+	return out
+}

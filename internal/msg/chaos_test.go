@@ -1,0 +1,353 @@
+package msg
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const protoOrdered ProtocolID = 0x0042
+
+// chaosPair builds two chaos-wrapped endpoints on the named transport
+// ("bus" or "tcp") and returns the nodes plus the chaos hub.
+func chaosPair(t *testing.T, transport string, seed int64, opts Options) (*Node, *Node, *Chaos) {
+	t.Helper()
+	ch := NewChaos(seed)
+	var ta, tb Transport
+	switch transport {
+	case "bus":
+		bus := NewBus()
+		ta, tb = bus.Endpoint(0), bus.Endpoint(1)
+	case "tcp":
+		ra, err := NewTCPTransport(0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := NewTCPTransport(1, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra.AddPeer(1, rb.Addr())
+		rb.AddPeer(0, ra.Addr())
+		ta, tb = ra, rb
+	default:
+		t.Fatalf("unknown transport %q", transport)
+	}
+	a := NewNode(ch.Wrap(ta), opts)
+	b := NewNode(ch.Wrap(tb), opts)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, ch
+}
+
+// chaosOrderingRun is the Send/Flush reordering regression. A sender
+// goroutine submits sequence-stamped messages while a second goroutine
+// hammers Flush; chaos jitter inside every transport Send stretches the
+// window between a batch being sealed and it reaching the wire. Without
+// per-destination send sequencing, a Flush carrying newer messages
+// routinely overtakes an older sealed batch, and the invariant checker
+// reports the inversion.
+func chaosOrderingRun(t *testing.T, transport string, seed int64, lanes int) {
+	t.Helper()
+	a, b, ch := chaosPair(t, transport, seed, Options{
+		FlushInterval: -1,
+		BatchBytes:    64,
+	})
+	ch.SetPair(0, 1, Policy{Jitter: 100 * time.Microsecond})
+
+	oc := NewOrderChecker()
+	b.HandleAsync(protoOrdered, oc.Handler())
+
+	const perLane = 100
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	// Flushers: the roles the background flush timer and explicit Flush
+	// callers (BSP superstep barriers) play in production. Several run at
+	// once; their transport sends overlap, so only per-destination
+	// sequencing inside the Node keeps what they carry in order.
+	for f := 0; f < 3; f++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					a.Flush()
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}()
+	}
+	// Each lane is one submitting goroutine: within a lane, Send(i)
+	// returns before Send(i+1) starts, so delivery must be in lane order.
+	// The yield after each Send exposes the partial batch to the flushers,
+	// exactly as any gap between application sends would.
+	var senders sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		senders.Add(1)
+		go func(lane uint8) {
+			defer senders.Done()
+			for seq := uint64(1); seq <= perLane; seq++ {
+				if err := a.Send(1, protoOrdered, StampSeq(lane, seq, nil)); err != nil {
+					t.Errorf("lane %d seq %d: %v", lane, seq, err)
+					return
+				}
+				time.Sleep(time.Microsecond)
+			}
+		}(uint8(lane))
+	}
+	senders.Wait()
+	close(done)
+	wg.Wait()
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := int64(perLane * lanes)
+	deadline := time.Now().Add(5 * time.Second)
+	for oc.Received() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := oc.Received(); got != want {
+		t.Fatalf("received %d/%d messages (jitter-only chaos must not lose any)", got, want)
+	}
+	if v := oc.Violations(); len(v) > 0 {
+		t.Fatalf("per-sender ordering broken (%d violations), e.g. %s", len(v), v[0])
+	}
+}
+
+func TestChaosSendFlushOrderingBus(t *testing.T) {
+	for _, seed := range Seeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			chaosOrderingRun(t, "bus", seed, 1)
+		})
+	}
+}
+
+func TestChaosSendFlushOrderingManySendersBus(t *testing.T) {
+	for _, seed := range Seeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			chaosOrderingRun(t, "bus", seed, 4)
+		})
+	}
+}
+
+func TestChaosSendFlushOrderingTCP(t *testing.T) {
+	for _, seed := range Seeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			chaosOrderingRun(t, "tcp", seed, 2)
+		})
+	}
+}
+
+// TestChaosPoisonFrameOwnership emulates a buffer-reusing transport:
+// every delivered frame is overwritten the moment the receiver callback
+// returns. Sync-call requests and responses must survive intact, which
+// they only do if the Node copies what it retains (the documented frame
+// ownership contract).
+func TestChaosPoisonFrameOwnership(t *testing.T) {
+	for _, seed := range Seeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			a, b, ch := chaosPair(t, "bus", seed, Options{FlushInterval: -1})
+			ch.PoisonFrames(true)
+			b.HandleSync(protoEcho, func(_ MachineID, req []byte) ([]byte, error) {
+				// Handlers may compute over the request after yielding the
+				// scheduler; the slice they were handed must stay stable.
+				time.Sleep(50 * time.Microsecond)
+				sum := sha256.Sum256(req)
+				return append(append([]byte(nil), req...), sum[:]...), nil
+			})
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 40; i++ {
+						req := bytes.Repeat([]byte{byte(g), byte(i)}, 32)
+						resp, err := a.Call(1, protoEcho, req)
+						if err != nil {
+							t.Errorf("call: %v", err)
+							return
+						}
+						wantSum := sha256.Sum256(req)
+						if !bytes.Equal(resp[:len(req)], req) || !bytes.Equal(resp[len(req):], wantSum[:]) {
+							t.Errorf("response corrupted: frame retained past receiver callback")
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestChaosDropsTimeOutSyncCalls: a lossy link turns sync calls into
+// timeouts, never into wrong results.
+func TestChaosDropsTimeOutSyncCalls(t *testing.T) {
+	a, b, ch := chaosPair(t, "bus", 7, Options{FlushInterval: -1, CallTimeout: 100 * time.Millisecond})
+	ch.SetPair(0, 1, Policy{Drop: 1.0})
+	b.HandleSync(protoEcho, func(_ MachineID, req []byte) ([]byte, error) { return req, nil })
+	if _, err := a.Call(1, protoEcho, []byte("x")); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("call over fully lossy link = %v, want ErrTimeout", err)
+	}
+	if st := ch.Stats(); st.Dropped == 0 {
+		t.Fatalf("chaos stats recorded no drops: %+v", st)
+	}
+}
+
+// TestChaosOneWayPartition: cutting a->b kills a's requests and b's
+// responses, but async traffic b->a still flows.
+func TestChaosOneWayPartition(t *testing.T) {
+	a, b, ch := chaosPair(t, "bus", 11, Options{FlushInterval: -1, CallTimeout: 100 * time.Millisecond})
+	ch.Cut(0, 1)
+	var got atomic.Int64
+	a.HandleAsync(protoNotify, func(MachineID, []byte) { got.Add(1) })
+	b.HandleSync(protoEcho, func(_ MachineID, req []byte) ([]byte, error) { return req, nil })
+
+	if _, err := a.Call(1, protoEcho, nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("a->b request across cut = %v, want ErrTimeout", err)
+	}
+	// b->a direction is untouched.
+	if err := b.Send(0, protoNotify, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	deadline := time.Now().Add(time.Second)
+	for got.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 1 {
+		t.Fatal("b->a async did not survive a one-way a->b cut")
+	}
+	// Healing restores the link.
+	ch.Heal(0, 1)
+	if _, err := a.Call(1, protoEcho, []byte("back")); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+}
+
+// TestChaosDelayReorders is a harness sanity check: when the transport
+// itself is allowed to delay frames, per-sender order genuinely breaks —
+// proving the checker detects what the Node-level fix prevents.
+func TestChaosDelayReorders(t *testing.T) {
+	a, b, ch := chaosPair(t, "bus", 13, Options{FlushInterval: -1, NoPacking: true})
+	ch.SetPair(0, 1, Policy{Delay: 0.5, MaxDelay: 2 * time.Millisecond})
+	oc := NewOrderChecker()
+	b.HandleAsync(protoOrdered, oc.Handler())
+	const n = 300
+	for seq := uint64(1); seq <= n; seq++ {
+		if err := a.Send(1, protoOrdered, StampSeq(0, seq, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch.Drain()
+	deadline := time.Now().Add(5 * time.Second)
+	for oc.Received() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := oc.Received(); got != n {
+		t.Fatalf("received %d/%d (delay must not lose frames)", got, n)
+	}
+	if st := ch.Stats(); st.Delayed == 0 {
+		t.Fatalf("no frames delayed: %+v", st)
+	}
+	if len(oc.Violations()) == 0 {
+		t.Fatal("a delaying transport did not reorder 300 frames; checker or chaos broken")
+	}
+}
+
+// TestChaosDuplicates: duplicated frames mean duplicated deliveries; the
+// messaging layer does not dedup (that is an application concern), so the
+// count doubles exactly.
+func TestChaosDuplicates(t *testing.T) {
+	a, b, ch := chaosPair(t, "bus", 17, Options{FlushInterval: -1, NoPacking: true})
+	ch.SetPair(0, 1, Policy{Dup: 1.0})
+	var got atomic.Int64
+	b.HandleAsync(protoNotify, func(MachineID, []byte) { got.Add(1) })
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.Send(1, protoNotify, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() < 2*n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 2*n {
+		t.Fatalf("received %d, want %d (every frame duplicated)", got.Load(), 2*n)
+	}
+}
+
+// TestMalformedBatchTailCounted: a batch whose item length overruns the
+// frame is dropped, but the drop lands in msg.m<i>.dropped_frames.
+func TestMalformedBatchTailCounted(t *testing.T) {
+	bus := NewBus()
+	b := NewNode(bus.Endpoint(1), Options{})
+	defer b.Close()
+	raw := bus.Endpoint(5)                                              // a sender with no Node on top
+	frame := []byte{kindBatch, 0x01, 0x00, 0xFF, 0x00, 0x00, 0x00, 'x'} // claims 255-byte item, carries 1
+	if err := raw.Send(1, frame); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for b.Stats().DroppedFrames == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := b.Stats().DroppedFrames; got != 1 {
+		t.Fatalf("DroppedFrames = %d, want 1", got)
+	}
+}
+
+// TestNoHandlerDeadLetterCounted: async messages for an unregistered
+// protocol are counted, so "lost" is distinguishable from "never sent".
+func TestNoHandlerDeadLetterCounted(t *testing.T) {
+	a, b := newPair(t, Options{FlushInterval: -1})
+	if err := a.Send(1, ProtocolID(0x7777), []byte("nobody home")); err != nil {
+		t.Fatal(err)
+	}
+	a.Flush()
+	deadline := time.Now().Add(time.Second)
+	for b.Stats().NoHandler == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := b.Stats().NoHandler; got != 1 {
+		t.Fatalf("NoHandler = %d, want 1", got)
+	}
+}
+
+// TestErrorCodeSurvivesWire: WithCode tags cross the wire as one byte and
+// come back on *RemoteError, regardless of message text.
+func TestErrorCodeSurvivesWire(t *testing.T) {
+	a, b := newPair(t, Options{})
+	// The message text deliberately contains another sentinel's text: a
+	// substring matcher would mis-map it; the code cannot.
+	trap := errors.New("key not found while checking: cell already exists")
+	b.HandleSync(protoFail, func(MachineID, []byte) ([]byte, error) {
+		return nil, WithCode(42, trap)
+	})
+	_, err := a.Call(1, protoFail, nil)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v, want *RemoteError", err, err)
+	}
+	if re.Code != 42 {
+		t.Fatalf("code = %d, want 42", re.Code)
+	}
+	if re.Msg != trap.Error() {
+		t.Fatalf("msg = %q", re.Msg)
+	}
+	if ErrorCode(err) != 42 {
+		t.Fatalf("ErrorCode(err) = %d, want 42", ErrorCode(err))
+	}
+}

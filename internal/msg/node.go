@@ -2,6 +2,7 @@ package msg
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,56 @@ type Stats struct {
 	SyncCalls     int64
 	AsyncReceived int64
 	BatchesRecv   int64
+	DroppedFrames int64 // malformed or truncated frames discarded on receive
+	NoHandler     int64 // async messages dead-lettered for want of a handler
+}
+
+// RemoteError is a synchronous-call failure that crossed the wire. Code
+// carries the one-byte application error code the remote handler attached
+// with WithCode (0 if none), so callers can map their sentinel errors
+// without matching on message text.
+type RemoteError struct {
+	Code byte
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("msg: remote error: %s", e.Msg) }
+
+// codedError tags an error with a wire code while leaving errors.Is/As
+// matching against the wrapped error intact.
+type codedError struct {
+	code byte
+	err  error
+}
+
+func (e *codedError) Error() string  { return e.err.Error() }
+func (e *codedError) Unwrap() error  { return e.err }
+func (e *codedError) WireCode() byte { return e.code }
+
+// WithCode tags err with a one-byte application error code that survives
+// the wire: when a sync handler returns the tagged error, the caller's
+// Call yields a *RemoteError carrying the same code. Code 0 is reserved
+// for "no code".
+func WithCode(code byte, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &codedError{code: code, err: err}
+}
+
+// ErrorCode extracts the wire code from err or any error it wraps,
+// returning 0 if none was attached.
+func ErrorCode(err error) byte {
+	for err != nil {
+		switch e := err.(type) {
+		case *codedError:
+			return e.code
+		case *RemoteError:
+			return e.Code
+		}
+		err = errors.Unwrap(err)
+	}
+	return 0
 }
 
 // Options configures a Node.
@@ -97,8 +148,56 @@ type Node struct {
 
 	metrics nodeMetrics
 
-	destMu sync.Mutex
-	dests  map[MachineID]*destMetrics
+	destMu   sync.Mutex
+	dests    map[MachineID]*destMetrics
+	outboxes map[MachineID]*outbox
+}
+
+// outbox serializes the frames bound for one destination. A ticket is
+// issued at the moment the frame's place in the send order is decided —
+// under packMu for packed batches, so ticket order equals packing order —
+// and frames drain strictly in ticket order, each one's transport Send
+// completing before the next begins. This is what upholds the per-sender
+// ordering contract: without it, a goroutine that sealed a full batch
+// inside Send could lose the race to a timer Flush carrying newer
+// messages and push the older batch onto the transport second.
+type outbox struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	tick uint64 // next ticket to issue
+	next uint64 // next ticket allowed to send
+}
+
+func newOutbox() *outbox {
+	ob := &outbox{}
+	ob.cond.L = &ob.mu
+	return ob
+}
+
+// take issues the next ticket. Callers deciding send order under packMu
+// call this while still holding packMu.
+func (ob *outbox) take() uint64 {
+	ob.mu.Lock()
+	t := ob.tick
+	ob.tick++
+	ob.mu.Unlock()
+	return t
+}
+
+// wait blocks until the ticket's turn.
+func (ob *outbox) wait(ticket uint64) {
+	ob.mu.Lock()
+	for ob.next != ticket {
+		ob.cond.Wait()
+	}
+	ob.mu.Unlock()
+}
+
+func (ob *outbox) done() {
+	ob.mu.Lock()
+	ob.next++
+	ob.cond.Broadcast()
+	ob.mu.Unlock()
 }
 
 // nodeMetrics are the node's registry-backed counters. The Stats()
@@ -112,6 +211,8 @@ type nodeMetrics struct {
 	syncCalls     *obs.Counter
 	asyncReceived *obs.Counter
 	batchesRecv   *obs.Counter
+	droppedFrames *obs.Counter
+	noHandler     *obs.Counter
 	callNs        *obs.Histogram
 }
 
@@ -153,14 +254,15 @@ func NewNode(tr Transport, opts Options) *Node {
 	}
 	scope := reg.Scope(fmt.Sprintf("msg.m%d", tr.Local()))
 	n := &Node{
-		tr:      tr,
-		opts:    opts,
-		sync:    make(map[ProtocolID]SyncHandler),
-		async:   make(map[ProtocolID]AsyncHandler),
-		calls:   make(map[uint64]chan callResult),
-		packers: make(map[MachineID]*packer),
-		flushCh: make(chan struct{}),
-		dests:   make(map[MachineID]*destMetrics),
+		tr:       tr,
+		opts:     opts,
+		sync:     make(map[ProtocolID]SyncHandler),
+		async:    make(map[ProtocolID]AsyncHandler),
+		calls:    make(map[uint64]chan callResult),
+		packers:  make(map[MachineID]*packer),
+		flushCh:  make(chan struct{}),
+		dests:    make(map[MachineID]*destMetrics),
+		outboxes: make(map[MachineID]*outbox),
 		metrics: nodeMetrics{
 			scope:         scope,
 			messagesSent:  scope.Counter("messages_sent"),
@@ -169,6 +271,8 @@ func NewNode(tr Transport, opts Options) *Node {
 			syncCalls:     scope.Counter("sync_calls"),
 			asyncReceived: scope.Counter("async_received"),
 			batchesRecv:   scope.Counter("batches_recv"),
+			droppedFrames: scope.Counter("dropped_frames"),
+			noHandler:     scope.Counter("no_handler"),
 			callNs:        scope.Histogram("call_ns"),
 		},
 	}
@@ -191,7 +295,22 @@ func (n *Node) Stats() Stats {
 		SyncCalls:     n.metrics.syncCalls.Load(),
 		AsyncReceived: n.metrics.asyncReceived.Load(),
 		BatchesRecv:   n.metrics.batchesRecv.Load(),
+		DroppedFrames: n.metrics.droppedFrames.Load(),
+		NoHandler:     n.metrics.noHandler.Load(),
 	}
+}
+
+// outboxFor returns (creating on first use) the send sequencer for
+// machine to.
+func (n *Node) outboxFor(to MachineID) *outbox {
+	n.destMu.Lock()
+	defer n.destMu.Unlock()
+	ob, ok := n.outboxes[to]
+	if !ok {
+		ob = newOutbox()
+		n.outboxes[to] = ob
+	}
+	return ob
 }
 
 // destMetricsFor returns (creating on first use) the per-destination
@@ -296,16 +415,24 @@ func (n *Node) Send(to MachineID, p ProtocolID, msg []byte) error {
 	pk.buf = append(pk.buf, msg...)
 	pk.count++
 	var flush []byte
+	var ob *outbox
+	var ticket uint64
 	if len(pk.buf) >= n.opts.BatchBytes {
 		flush = pk.buf
 		delete(n.packers, to)
 		pk.dm.queueBytes.Set(0)
+		// Ticket the sealed batch while still holding packMu: the send
+		// order is decided here, not at the transport, so a concurrent
+		// Flush that grabs a newer batch for the same destination cannot
+		// overtake this one (it draws a later ticket).
+		ob = n.outboxFor(to)
+		ticket = ob.take()
 	} else {
 		pk.dm.queueBytes.Set(int64(len(pk.buf)))
 	}
 	n.packMu.Unlock()
 	if flush != nil {
-		return n.sendFrame(to, flush)
+		return n.sendTicketed(to, ob, ticket, flush)
 	}
 	return nil
 }
@@ -313,14 +440,25 @@ func (n *Node) Send(to MachineID, p ProtocolID, msg []byte) error {
 // Flush forces out all pending packed messages. It returns the first send
 // error encountered, if any.
 func (n *Node) Flush() error {
+	type pendingSend struct {
+		to     MachineID
+		buf    []byte
+		ob     *outbox
+		ticket uint64
+	}
 	n.packMu.Lock()
 	pending := n.packers
 	n.packers = make(map[MachineID]*packer)
-	n.packMu.Unlock()
-	var firstErr error
+	outs := make([]pendingSend, 0, len(pending))
 	for to, pk := range pending {
 		pk.dm.queueBytes.Set(0)
-		if err := n.sendFrame(to, pk.buf); err != nil && firstErr == nil {
+		ob := n.outboxFor(to)
+		outs = append(outs, pendingSend{to: to, buf: pk.buf, ob: ob, ticket: ob.take()})
+	}
+	n.packMu.Unlock()
+	var firstErr error
+	for _, o := range outs {
+		if err := n.sendTicketed(o.to, o.ob, o.ticket, o.buf); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -352,7 +490,21 @@ func (n *Node) Close() error {
 	return n.tr.Close()
 }
 
+// sendFrame ships one frame, sequenced behind any frames already
+// ticketed for the same destination.
 func (n *Node) sendFrame(to MachineID, frame []byte) error {
+	ob := n.outboxFor(to)
+	return n.sendTicketed(to, ob, ob.take(), frame)
+}
+
+// sendTicketed waits for the frame's turn in the destination's send
+// order, ships it, then releases the next ticket. Holding the turn across
+// tr.Send is what makes the order observable at the receiver: transports
+// deliver frames per (sender, receiver) pair in Send-call order, so
+// serialized calls arrive serialized.
+func (n *Node) sendTicketed(to MachineID, ob *outbox, ticket uint64, frame []byte) error {
+	ob.wait(ticket)
+	defer ob.done()
 	n.metrics.framesSent.Inc()
 	n.metrics.bytesSent.Add(int64(len(frame)))
 	dm := n.destMetricsFor(to)
@@ -365,13 +517,22 @@ func (n *Node) sendFrame(to MachineID, frame []byte) error {
 // delivery goroutine; sync handlers are dispatched to fresh goroutines so
 // a slow handler cannot stall the pipe, while async messages within a
 // batch run in order (the BSP engine relies on per-sender ordering).
+//
+// Frame ownership: the transport owns frame and may reuse its buffer the
+// moment this function returns (see the Transport contract). Everything
+// that outlives the call — the request handed to a serveSync goroutine,
+// the payload parked in a call-result channel — is copied here. Batch
+// items are dispatched inline and covered by the AsyncHandler no-retain
+// contract.
 func (n *Node) receive(from MachineID, frame []byte) {
 	if len(frame) == 0 {
+		n.metrics.droppedFrames.Inc()
 		return
 	}
 	switch frame[0] {
 	case kindSyncReq:
 		if len(frame) < frameHeader {
+			n.metrics.droppedFrames.Inc()
 			return
 		}
 		p := ProtocolID(binary.LittleEndian.Uint16(frame[1:]))
@@ -379,9 +540,11 @@ func (n *Node) receive(from MachineID, frame []byte) {
 		n.mu.RLock()
 		h := n.sync[p]
 		n.mu.RUnlock()
-		go n.serveSync(from, p, corr, h, frame[frameHeader:])
+		req := append([]byte(nil), frame[frameHeader:]...)
+		go n.serveSync(from, p, corr, h, req)
 	case kindSyncResp, kindSyncErr:
 		if len(frame) < frameHeader {
+			n.metrics.droppedFrames.Inc()
 			return
 		}
 		corr := binary.LittleEndian.Uint64(frame[3:])
@@ -391,9 +554,15 @@ func (n *Node) receive(from MachineID, frame []byte) {
 		if ch != nil {
 			res := callResult{}
 			if frame[0] == kindSyncErr {
-				res.err = fmt.Errorf("msg: remote error: %s", frame[frameHeader:])
+				body := frame[frameHeader:]
+				re := &RemoteError{}
+				if len(body) >= 1 {
+					re.Code = body[0]
+					re.Msg = string(body[1:])
+				}
+				res.err = re
 			} else {
-				res.payload = frame[frameHeader:]
+				res.payload = append([]byte(nil), frame[frameHeader:]...)
 			}
 			select {
 			case ch <- res:
@@ -402,6 +571,7 @@ func (n *Node) receive(from MachineID, frame []byte) {
 		}
 	case kindAsync:
 		if len(frame) < frameHeader {
+			n.metrics.droppedFrames.Inc()
 			return
 		}
 		p := ProtocolID(binary.LittleEndian.Uint16(frame[1:]))
@@ -414,11 +584,17 @@ func (n *Node) receive(from MachineID, frame []byte) {
 			size := int(binary.LittleEndian.Uint32(body[2:]))
 			body = body[batchItem:]
 			if size > len(body) {
-				return // malformed; drop the rest
+				// Malformed tail: account for it so chaos runs and
+				// production can tell "corrupted in transit" from
+				// "never sent".
+				n.metrics.droppedFrames.Inc()
+				return
 			}
 			n.dispatchAsync(from, p, body[:size])
 			body = body[size:]
 		}
+	default:
+		n.metrics.droppedFrames.Inc()
 	}
 }
 
@@ -433,7 +609,10 @@ func (n *Node) serveSync(from MachineID, p ProtocolID, corr uint64, h SyncHandle
 	kind := kindSyncResp
 	if err != nil {
 		kind = kindSyncErr
-		resp = []byte(err.Error())
+		// Error frames carry [code][message]: the code (0 if the handler
+		// attached none via WithCode) lets the caller map sentinel errors
+		// without substring-matching the message.
+		resp = append([]byte{ErrorCode(err)}, err.Error()...)
 	}
 	out := make([]byte, frameHeader+len(resp))
 	out[0] = kind
@@ -449,8 +628,11 @@ func (n *Node) dispatchAsync(from MachineID, p ProtocolID, msg []byte) {
 	n.mu.RLock()
 	h := n.async[p]
 	n.mu.RUnlock()
-	if h != nil {
-		n.metrics.asyncReceived.Inc()
-		h(from, msg)
+	if h == nil {
+		// Dead-letter: the message is dropped, but visibly.
+		n.metrics.noHandler.Inc()
+		return
 	}
+	n.metrics.asyncReceived.Inc()
+	h(from, msg)
 }

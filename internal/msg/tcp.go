@@ -98,6 +98,7 @@ func (t *TCPTransport) read(conn net.Conn) {
 		t.mu.Unlock()
 	}()
 	var hdr [8]byte
+	var buf []byte // reused across frames: receivers must copy what they retain
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
@@ -107,7 +108,10 @@ func (t *TCPTransport) read(conn net.Conn) {
 		if size > 1<<30 {
 			return // refuse absurd frames
 		}
-		frame := make([]byte, size)
+		if uint32(cap(buf)) < size {
+			buf = make([]byte, size)
+		}
+		frame := buf[:size]
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}

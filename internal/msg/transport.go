@@ -42,6 +42,24 @@ var (
 // Transport moves opaque frames between machines. Implementations must be
 // safe for concurrent use. The receiver callback is invoked from transport
 // goroutines; it must not block indefinitely.
+//
+// Frame ownership contract (both directions):
+//
+//   - Send: the frame belongs to the caller. The transport must finish
+//     reading it (copy it to a queue, write it to a socket) before Send
+//     returns and must not retain it afterward — callers reuse their
+//     buffers.
+//   - Receive: the frame passed to the receiver callback belongs to the
+//     transport, which may reuse or overwrite the buffer as soon as the
+//     callback returns. The receiver must copy anything that outlives the
+//     callback. The TCP transport reuses one read buffer per connection,
+//     and the chaos transport's PoisonFrames mode scribbles over every
+//     delivered frame, precisely to flush out violations.
+//
+// Ordering: frames between one (sender, receiver) pair are delivered in
+// Send-call order. Transports promise nothing about frames whose Send
+// calls overlap — sequencing concurrent sends is the protocol layer's
+// job (Node's per-destination outbox).
 type Transport interface {
 	// Local returns this endpoint's machine ID.
 	Local() MachineID
