@@ -40,6 +40,13 @@ bench-smoke:
 
 check: build vet fmt-check test race chaos bench-smoke
 
-# Real benchmark run for the obs hot paths (the tentpole overhead bound).
+# Real benchmark runs: the obs hot paths plus the graph stack — view CSR
+# scans/builds, BSP supersteps and multi-hop traversal. The graph-stack
+# results are archived as BENCH_graph.json via cmd/benchjson so runs can
+# be diffed across commits.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=2s ./internal/obs/
+	$(GO) test -run=NONE -bench=. -benchtime=2s \
+		./internal/graph/ ./internal/graph/view/ \
+		./internal/compute/bsp/ ./internal/compute/traversal/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_graph.json

@@ -428,7 +428,10 @@ func TestPartitionBeatsRandom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rnd := RandomPartition(g, 4, 1)
+	rnd, err := RandomPartition(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ml.EdgeCut >= rnd.EdgeCut {
 		t.Fatalf("multilevel cut %d >= random cut %d", ml.EdgeCut, rnd.EdgeCut)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"trinity/internal/graph"
+	"trinity/internal/graph/view"
 	"trinity/internal/hash"
 )
 
@@ -144,7 +145,8 @@ func (o *Oracle) Accuracy(pairs int, seed uint64) (float64, error) {
 	return 100 * total / float64(counted), nil
 }
 
-// topByDegree returns the k highest-out-degree vertices.
+// topByDegree returns the k highest-out-degree vertices, reading degrees
+// straight from each machine's partition view (no per-cell decode).
 func topByDegree(g *graph.Graph, k int) ([]uint64, error) {
 	type dv struct {
 		id  uint64
@@ -152,13 +154,13 @@ func topByDegree(g *graph.Graph, k int) ([]uint64, error) {
 	}
 	var all []dv
 	for i := 0; i < g.Machines(); i++ {
-		g.On(i).ForEachLocalNode(func(id uint64, blob []byte) bool {
-			n, err := graph.DecodeNode(id, blob)
-			if err == nil {
-				all = append(all, dv{id, len(n.Outlinks)})
-			}
-			return true
-		})
+		v, err := view.Acquire(g.On(i))
+		if err != nil {
+			return nil, err
+		}
+		for idx := 0; idx < v.NumVertices(); idx++ {
+			all = append(all, dv{v.IDOf(idx), v.OutDegree(idx)})
+		}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].deg != all[j].deg {
@@ -184,14 +186,20 @@ func topByDegree(g *graph.Graph, k int) ([]uint64, error) {
 // with local=false it runs over the full graph.
 func topByBetweenness(g *graph.Graph, k, samples int, seed uint64, local bool) ([]uint64, error) {
 	if !local {
-		adj, ids := gatherAdjacency(g, -1)
+		adj, ids, err := gatherAdjacency(g, -1)
+		if err != nil {
+			return nil, err
+		}
 		scores := brandesSample(adj, ids, samples, seed)
 		return topK(scores, k), nil
 	}
 	// Local mode: rank per machine, then interleave machine toplists.
 	perMachine := make([][]uint64, g.Machines())
 	for i := 0; i < g.Machines(); i++ {
-		adj, ids := gatherAdjacency(g, i)
+		adj, ids, err := gatherAdjacency(g, i)
+		if err != nil {
+			return nil, err
+		}
 		scores := brandesSample(adj, ids, samples/g.Machines()+1, seed+uint64(i))
 		perMachine[i] = topK(scores, k)
 	}
@@ -216,43 +224,49 @@ func topByBetweenness(g *graph.Graph, k, samples int, seed uint64, local bool) (
 	return out, nil
 }
 
-// gatherAdjacency snapshots adjacency. machine >= 0 restricts to one
-// machine's local subgraph (both endpoints local).
-func gatherAdjacency(g *graph.Graph, machine int) (map[uint64][]uint64, []uint64) {
+// gatherAdjacency snapshots adjacency from the partition views. machine
+// >= 0 restricts to one machine's local subgraph (both endpoints local).
+// In whole-graph mode the returned neighbor slices alias the views' CSR
+// arenas and must be treated as read-only.
+func gatherAdjacency(g *graph.Graph, machine int) (map[uint64][]uint64, []uint64, error) {
 	adj := map[uint64][]uint64{}
 	var ids []uint64
-	collect := func(i int) {
-		m := g.On(i)
-		localSet := map[uint64]bool{}
-		if machine >= 0 {
-			for _, id := range m.LocalNodeIDs() {
-				localSet[id] = true
-			}
+	collect := func(i int) error {
+		v, err := view.Acquire(g.On(i))
+		if err != nil {
+			return err
 		}
-		m.ForEachLocalNode(func(id uint64, blob []byte) bool {
-			n, err := graph.DecodeNode(id, blob)
-			if err != nil {
-				return true
-			}
-			var out []uint64
-			for _, dst := range n.Outlinks {
-				if machine < 0 || localSet[dst] {
-					out = append(out, dst)
+		for idx := 0; idx < v.NumVertices(); idx++ {
+			id := v.IDOf(idx)
+			out := v.Out(idx)
+			if machine >= 0 {
+				// Keep only edges whose both endpoints are local.
+				var local []uint64
+				for _, dst := range out {
+					if _, ok := v.IndexOf(dst); ok {
+						local = append(local, dst)
+					}
 				}
+				adj[id] = local
+			} else {
+				adj[id] = out
 			}
-			adj[id] = out
 			ids = append(ids, id)
-			return true
-		})
+		}
+		return nil
 	}
 	if machine >= 0 {
-		collect(machine)
+		if err := collect(machine); err != nil {
+			return nil, nil, err
+		}
 	} else {
 		for i := 0; i < g.Machines(); i++ {
-			collect(i)
+			if err := collect(i); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
-	return adj, ids
+	return adj, ids, nil
 }
 
 // brandesSample runs Brandes' dependency accumulation from sampled

@@ -43,7 +43,10 @@ func Partition(g *graph.Graph, k int, seed uint64) (*Partitioning, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("algo: k must be >= 1, got %d", k)
 	}
-	adj, ids := gatherAdjacency(g, -1)
+	adj, ids, err := gatherAdjacency(g, -1)
+	if err != nil {
+		return nil, err
+	}
 	return partitionAdjacency(adj, ids, k, seed)
 }
 
@@ -355,8 +358,11 @@ func cutOf(g *mgraph, part []int) int {
 // RandomPartition assigns vertices to k parts uniformly — the baseline
 // the multilevel partitioner is compared against, and also the placement
 // Trinity's hash addressing induces naturally.
-func RandomPartition(g *graph.Graph, k int, seed uint64) *Partitioning {
-	adj, ids := gatherAdjacency(g, -1)
+func RandomPartition(g *graph.Graph, k int, seed uint64) (*Partitioning, error) {
+	adj, ids, err := gatherAdjacency(g, -1)
+	if err != nil {
+		return nil, err
+	}
 	base := buildMGraph(adj, ids)
 	rng := hash.NewRNG(seed)
 	part := make([]int, len(ids))
@@ -367,5 +373,5 @@ func RandomPartition(g *graph.Graph, k int, seed uint64) *Partitioning {
 	for v, id := range base.ids {
 		out.Part[id] = part[v]
 	}
-	return out
+	return out, nil
 }

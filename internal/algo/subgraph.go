@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"trinity/internal/graph"
+	"trinity/internal/graph/view"
 	"trinity/internal/hash"
 	"trinity/internal/msg"
 )
@@ -59,8 +60,32 @@ const (
 // pattern is guaranteed to have at least one embedding (the walk itself).
 func GenerateQuery(g *graph.Graph, size int, mode QueryGenMode, seed uint64) (*Pattern, error) {
 	rng := hash.NewRNG(seed)
-	m := g.On(0)
-	ids := m.LocalNodeIDs()
+	// The walk can cross machine boundaries, so snapshot every partition
+	// up front; lookups then resolve against the owner's view.
+	views := make([]*view.View, g.Machines())
+	for i := range views {
+		v, err := view.Acquire(g.On(i))
+		if err != nil {
+			return nil, err
+		}
+		views[i] = v
+	}
+	anchor := g.On(0).Slave()
+	outOf := func(id uint64) []uint64 {
+		v := views[int(anchor.Owner(id))]
+		if idx, ok := v.IndexOf(id); ok {
+			return v.Out(idx)
+		}
+		return nil
+	}
+	labelOf := func(id uint64) (int64, bool) {
+		v := views[int(anchor.Owner(id))]
+		if idx, ok := v.IndexOf(id); ok {
+			return v.Label(idx), true
+		}
+		return 0, false
+	}
+	ids := views[0].IDs()
 	if len(ids) == 0 {
 		return nil, errors.New("algo: machine 0 has no vertices to seed a query")
 	}
@@ -87,8 +112,8 @@ func GenerateQuery(g *graph.Graph, size int, mode QueryGenMode, seed uint64) (*P
 			default:
 				from = chosen[rng.Intn(len(chosen))] // extend from anywhere
 			}
-			out, err := g.On(0).Outlinks(from)
-			if err != nil || len(out) == 0 {
+			out := outOf(from)
+			if len(out) == 0 {
 				break // dead end; retry with a fresh seed vertex
 			}
 			next := out[rng.Intn(len(out))]
@@ -118,16 +143,12 @@ func GenerateQuery(g *graph.Graph, size int, mode QueryGenMode, seed uint64) (*P
 	}
 	p := &Pattern{Labels: make([]int64, size), Out: make([][]int, size)}
 	for i, id := range chosen {
-		label, err := g.On(0).Label(id)
-		if err != nil {
-			return nil, err
+		label, ok := labelOf(id)
+		if !ok {
+			return nil, fmt.Errorf("algo: walked vertex %d vanished from its partition view", id)
 		}
 		p.Labels[i] = label
-		out, err := g.On(0).Outlinks(id)
-		if err != nil {
-			return nil, err
-		}
-		for _, dst := range out {
+		for _, dst := range outOf(id) {
 			if j, ok := index[dst]; ok {
 				p.Out[i] = append(p.Out[i], j)
 			}
@@ -186,6 +207,13 @@ func (mt *Matcher) MatchBudget(via int, p *Pattern, limit, maxSteps int) ([][]ui
 	if err != nil {
 		return nil, err
 	}
+	// The coordinator's partition view answers degree and adjacency for
+	// locally-owned vertices in O(1); remote vertices fall back to the
+	// wire protocols.
+	pv, err := view.Acquire(mt.g.On(via))
+	if err != nil {
+		return nil, err
+	}
 	var (
 		mu      sync.Mutex
 		results [][]uint64
@@ -215,7 +243,7 @@ func (mt *Matcher) MatchBudget(via int, p *Pattern, limit, maxSteps int) ([][]ui
 		go func(cands []uint64) {
 			defer wg.Done()
 			st := &searchState{
-				mt: mt, via: via, p: p,
+				mt: mt, via: via, p: p, pv: pv,
 				assign:   make([]uint64, p.Size()),
 				assigned: make([]bool, p.Size()),
 				used:     map[uint64]bool{},
@@ -278,6 +306,7 @@ type searchState struct {
 	mt       *Matcher
 	via      int
 	p        *Pattern
+	pv       *view.View // the via machine's partition snapshot
 	assign   []uint64
 	assigned []bool
 	used     map[uint64]bool
@@ -327,15 +356,26 @@ func (st *searchState) extend(depth int) error {
 	bestSize := int(^uint(0) >> 1)
 	for i := range anchors {
 		a := &anchors[i]
+		anchor := st.assign[a.from]
 		var size int
-		var err error
-		if a.forward {
-			size, err = g.OutDegree(st.assign[a.from])
+		if idx, ok := st.pv.IndexOf(anchor); ok {
+			// Locally-owned anchor: degree is two array reads on the view.
+			if a.forward {
+				size = st.pv.OutDegree(idx)
+			} else {
+				size = st.pv.InDegree(idx)
+			}
 		} else {
-			size, err = g.InDegree(st.assign[a.from])
-		}
-		if err != nil {
-			return err
+			// Remote anchor: the wire degree protocol.
+			var err error
+			if a.forward {
+				size, err = g.OutDegree(anchor)
+			} else {
+				size, err = g.InDegree(anchor)
+			}
+			if err != nil {
+				return err
+			}
 		}
 		if size < bestSize {
 			best, bestSize = a, size
@@ -355,10 +395,18 @@ func (st *searchState) extend(depth int) error {
 		cands, err = st.mt.scanLabel(st.via, st.p.Labels[q])
 	} else {
 		q = best.q
-		if best.forward {
-			cands, err = g.Outlinks(st.assign[best.from])
+		anchor := st.assign[best.from]
+		if idx, ok := st.pv.IndexOf(anchor); ok {
+			// Local anchor: candidates alias the CSR arena, no copy.
+			if best.forward {
+				cands = st.pv.Out(idx)
+			} else {
+				cands = st.pv.In(idx)
+			}
+		} else if best.forward {
+			cands, err = g.Outlinks(anchor)
 		} else {
-			cands, err = g.Inlinks(st.assign[best.from])
+			cands, err = g.Inlinks(anchor)
 		}
 	}
 	if err != nil {
@@ -465,13 +513,16 @@ func (mt *Matcher) scanLabelLocal(m *graph.Machine, req []byte) ([]byte, error) 
 		return nil, errors.New("algo: bad scan request")
 	}
 	label := int64(binary.LittleEndian.Uint64(req))
+	pv, err := view.Acquire(m)
+	if err != nil {
+		return nil, err
+	}
 	var ids []uint64
-	m.ForEachLocalNode(func(id uint64, blob []byte) bool {
-		if len(blob) >= 8 && int64(binary.LittleEndian.Uint64(blob)) == label {
-			ids = append(ids, id)
+	for idx := 0; idx < pv.NumVertices(); idx++ {
+		if pv.Label(idx) == label {
+			ids = append(ids, pv.IDOf(idx))
 		}
-		return true
-	})
+	}
 	return encodeIDs(ids), nil
 }
 
@@ -513,10 +564,14 @@ func (mt *Matcher) filterLabelLocal(m *graph.Machine, req []byte) ([]byte, error
 		return nil, errors.New("algo: bad filter request")
 	}
 	label := int64(binary.LittleEndian.Uint64(req))
+	pv, err := view.Acquire(m)
+	if err != nil {
+		return nil, err
+	}
 	var keep []uint64
 	for off := 8; off+8 <= len(req); off += 8 {
 		id := binary.LittleEndian.Uint64(req[off:])
-		if l, err := m.Label(id); err == nil && l == label {
+		if idx, ok := pv.IndexOf(id); ok && pv.Label(idx) == label {
 			keep = append(keep, id)
 		}
 	}
@@ -549,16 +604,16 @@ func (mt *Matcher) hasEdgeLocal(m *graph.Machine, req []byte) ([]byte, error) {
 	}
 	u := binary.LittleEndian.Uint64(req[0:])
 	v := binary.LittleEndian.Uint64(req[8:])
-	found := false
-	m.ForEachOutlink(u, func(dst uint64) bool {
-		if dst == v {
-			found = true
-			return false
+	pv, err := view.Acquire(m)
+	if err != nil {
+		return nil, err
+	}
+	if idx, ok := pv.IndexOf(u); ok {
+		for _, dst := range pv.Out(idx) {
+			if dst == v {
+				return []byte{1}, nil
+			}
 		}
-		return true
-	})
-	if found {
-		return []byte{1}, nil
 	}
 	return []byte{0}, nil
 }

@@ -112,62 +112,6 @@ func TestEngineReusableAfterWait(t *testing.T) {
 	}
 }
 
-// asyncBFS runs a full BFS with per-machine visited sets, the
-// "asynchronous requests recursively to remote machines" pattern of §5.1.
-type asyncBFS struct {
-	g       *graph.Graph
-	mu      []sync.Mutex
-	visited []map[uint64]bool
-}
-
-func newAsyncBFS(g *graph.Graph) *asyncBFS {
-	b := &asyncBFS{g: g}
-	for i := 0; i < g.Machines(); i++ {
-		b.visited = append(b.visited, make(map[uint64]bool))
-	}
-	b.mu = make([]sync.Mutex, g.Machines())
-	return b
-}
-
-func (b *asyncBFS) handle(ctx *Ctx, task []byte) {
-	mi := int(ctx.Machine())
-	m := b.g.On(mi)
-	// A task is a batch of vertex ids to visit on this machine.
-	perOwner := make(map[msg.MachineID][]byte)
-	for off := 0; off+8 <= len(task); off += 8 {
-		id := binary.LittleEndian.Uint64(task[off:])
-		b.mu[mi].Lock()
-		seen := b.visited[mi][id]
-		if !seen {
-			b.visited[mi][id] = true
-		}
-		b.mu[mi].Unlock()
-		if seen {
-			continue
-		}
-		m.ForEachOutlink(id, func(dst uint64) bool {
-			owner := m.Slave().Owner(dst)
-			var enc [8]byte
-			binary.LittleEndian.PutUint64(enc[:], dst)
-			perOwner[owner] = append(perOwner[owner], enc[:]...)
-			return true
-		})
-	}
-	for owner, batch := range perOwner {
-		ctx.Post(owner, batch)
-	}
-}
-
-func (b *asyncBFS) totalVisited() int {
-	total := 0
-	for i := range b.visited {
-		b.mu[i].Lock()
-		total += len(b.visited[i])
-		b.mu[i].Unlock()
-	}
-	return total
-}
-
 func TestAsyncBFSMatchesReference(t *testing.T) {
 	cloud := newCloud(t, 4)
 	bl := graph.NewBuilder(true)
@@ -193,14 +137,17 @@ func TestAsyncBFSMatchesReference(t *testing.T) {
 			}
 		}
 	}
-	bfs := newAsyncBFS(g)
-	e := New(cloud, bfs.handle)
+	bfs, err := NewBFS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(cloud, bfs.Handler())
 	defer e.Stop()
 	var seed [8]byte
 	owner := g.On(0).Slave().Owner(0)
 	e.Post(owner, seed[:])
 	e.Wait()
-	if got := bfs.totalVisited(); got != len(ref) {
+	if got := bfs.Visited(); got != len(ref) {
 		t.Fatalf("async BFS visited %d, reference %d", got, len(ref))
 	}
 }

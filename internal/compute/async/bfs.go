@@ -1,0 +1,103 @@
+package async
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"trinity/internal/graph"
+	"trinity/internal/graph/view"
+	"trinity/internal/msg"
+)
+
+// BFS is an asynchronous breadth-first exploration over a distributed
+// graph — the "asynchronous requests recursively to remote machines"
+// pattern of §5.1, packaged as an Engine handler. Tasks are batches of
+// vertex ids; each machine marks unseen local vertices in a dense visited
+// array indexed by its partition view and forwards the out-neighbors,
+// grouped by owner, as follow-up tasks.
+//
+// Construct with NewBFS, pass Handler() to New, seed the start vertex
+// with Engine.Post, and read Visited after Engine.Wait.
+type BFS struct {
+	g       *graph.Graph
+	views   []*view.View
+	mu      []sync.Mutex
+	visited [][]bool // dense per machine, indexed by view local index
+}
+
+// NewBFS acquires every machine's partition view and prepares dense
+// visited state. The views are pinned for the life of the BFS: vertices
+// added after this point are not explored.
+func NewBFS(g *graph.Graph) (*BFS, error) {
+	b := &BFS{g: g, mu: make([]sync.Mutex, g.Machines())}
+	for i := 0; i < g.Machines(); i++ {
+		v, err := view.Acquire(g.On(i))
+		if err != nil {
+			return nil, err
+		}
+		b.views = append(b.views, v)
+		b.visited = append(b.visited, make([]bool, v.NumVertices()))
+	}
+	return b, nil
+}
+
+// Handler returns the task handler to pass to New.
+func (b *BFS) Handler() Handler { return b.handle }
+
+func (b *BFS) handle(ctx *Ctx, task []byte) {
+	mi := int(ctx.Machine())
+	v := b.views[mi]
+	m := b.g.On(mi)
+	// A task is a batch of vertex ids to visit on this machine.
+	perOwner := make(map[msg.MachineID][]byte)
+	for off := 0; off+8 <= len(task); off += 8 {
+		id := binary.LittleEndian.Uint64(task[off:])
+		idx, ok := v.IndexOf(id)
+		if !ok {
+			continue // dangling edge target or post-snapshot vertex
+		}
+		b.mu[mi].Lock()
+		seen := b.visited[mi][idx]
+		b.visited[mi][idx] = true
+		b.mu[mi].Unlock()
+		if seen {
+			continue
+		}
+		for _, dst := range v.Out(idx) {
+			owner := m.Slave().Owner(dst)
+			var enc [8]byte
+			binary.LittleEndian.PutUint64(enc[:], dst)
+			perOwner[owner] = append(perOwner[owner], enc[:]...)
+		}
+	}
+	for owner, batch := range perOwner {
+		ctx.Post(owner, batch)
+	}
+}
+
+// Visited returns the number of distinct vertices reached so far.
+func (b *BFS) Visited() int {
+	total := 0
+	for i := range b.visited {
+		b.mu[i].Lock()
+		for _, s := range b.visited[i] {
+			if s {
+				total++
+			}
+		}
+		b.mu[i].Unlock()
+	}
+	return total
+}
+
+// Reset clears the visited state so the BFS can run again over the same
+// pinned views.
+func (b *BFS) Reset() {
+	for i := range b.visited {
+		b.mu[i].Lock()
+		for j := range b.visited[i] {
+			b.visited[i][j] = false
+		}
+		b.mu[i].Unlock()
+	}
+}

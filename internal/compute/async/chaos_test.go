@@ -61,15 +61,18 @@ func TestChaosAsyncBFSMatchesReference(t *testing.T) {
 					}
 				}
 			}
-			bfs := newAsyncBFS(g)
-			e := New(cloud, bfs.handle)
+			bfs, err := NewBFS(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := New(cloud, bfs.Handler())
 			defer e.Stop()
 			var seedTask [8]byte
 			binary.LittleEndian.PutUint64(seedTask[:], 0)
 			owner := g.On(0).Slave().Owner(0)
 			e.Post(owner, seedTask[:])
 			e.Wait()
-			if got := bfs.totalVisited(); got != len(ref) {
+			if got := bfs.Visited(); got != len(ref) {
 				t.Fatalf("async BFS under chaos visited %d, reference %d", got, len(ref))
 			}
 		})

@@ -10,14 +10,20 @@
 //     merged on arrival when the program provides a Combine function.
 //
 //   - Hub-vertex buffering with action scripts: before the first
-//     superstep, each machine scans its local vertices' in-links, finds
-//     remote source vertices that feed many local targets (hubs), and
-//     sends the hub's owner an action script subscribing to that hub.
-//     During execution, a hub's broadcast value crosses the wire once per
-//     subscribed machine instead of once per edge; the receiving machine
-//     fans it out locally. For a scale-free graph, "even if we buffer
-//     messages from just 1% hub vertices, we have addressed 72.8% of
-//     message needs".
+//     superstep, each machine reads the remote side of its partition
+//     view's bipartite split, finds remote source vertices that feed many
+//     local targets (hubs), and sends the hub's owner an action script
+//     subscribing to that hub. During execution, a hub's broadcast value
+//     crosses the wire once per subscribed machine instead of once per
+//     edge; the receiving machine fans it out locally. For a scale-free
+//     graph, "even if we buffer messages from just 1% hub vertices, we
+//     have addressed 72.8% of message needs".
+//
+// All per-vertex state is dense: the engine acquires each machine's
+// partition view (internal/graph/view) at construction and indexes
+// values, activity and inboxes by the view's dense local index. Vertex
+// iteration and edge expansion walk the view's CSR arenas; cell storage
+// is not touched again after the snapshot is built.
 //
 // Supersteps end with a marker-based barrier: per-sender FIFO ordering of
 // the transport guarantees that a StepDone marker arrives after all of the
@@ -34,25 +40,13 @@ import (
 	"sync/atomic"
 
 	"trinity/internal/graph"
+	"trinity/internal/graph/view"
 	"trinity/internal/msg"
 	"trinity/internal/obs"
 )
 
-// inboxShards is the sharding factor of the per-machine message inbox.
+// inboxShards is the stripe count of the per-machine inbox locks.
 const inboxShards = 64
-
-// inboxT is a sharded destination->messages map.
-type inboxT [inboxShards]map[uint64][]float64
-
-func newInbox() *inboxT {
-	var ib inboxT
-	for i := range ib {
-		ib[i] = make(map[uint64][]float64)
-	}
-	return &ib
-}
-
-func (ib *inboxT) get(dst uint64) []float64 { return ib[dst%inboxShards][dst] }
 
 // Engine protocol IDs (below tsl.ProtoUserBase, above the graph range).
 const (
@@ -109,10 +103,11 @@ type Options struct {
 // Context carries per-superstep operations for the vertices of one
 // compute goroutine. It is not safe to share across goroutines.
 type Context struct {
-	w    *worker
-	self uint64
-	step int
-	agg  map[string]float64
+	w       *worker
+	self    uint64
+	selfIdx int // dense local index of self in the partition view
+	step    int
+	agg     map[string]float64
 }
 
 // Superstep returns the current superstep number (0-based).
@@ -120,32 +115,45 @@ func (c *Context) Superstep() int { return c.step }
 
 // Send delivers m to vertex dst at the next superstep.
 func (c *Context) Send(dst uint64, m float64) {
-	c.w.send(c.self, dst, m)
+	c.w.send(dst, m)
 }
 
 // SendToAllOut broadcasts m along all out-edges — the restrictive-model
 // pattern ("Outlinks.Foreach"). This path is hub-optimized: if remote
 // machines have subscribed to this vertex, they receive one copy each.
 func (c *Context) SendToAllOut(m float64) {
-	c.w.sendToAllOut(c.self, m)
+	c.w.sendToAllOut(c.selfIdx, c.self, m)
 }
 
-// ForEachOut streams the current vertex's out-neighbors (zero-copy local
-// read), for programs that need per-edge targeted sends.
+// ForEachOut streams the current vertex's out-neighbors from the
+// partition view's CSR arena.
 func (c *Context) ForEachOut(fn func(dst uint64) bool) {
-	c.w.m.ForEachOutlink(c.self, fn)
+	for _, dst := range c.w.pv.Out(c.selfIdx) {
+		if !fn(dst) {
+			return
+		}
+	}
 }
 
 // ForEachOutEdge streams the current vertex's out-edges with weights
 // (weight 1 when the graph is unweighted), for SSSP-style programs.
 func (c *Context) ForEachOutEdge(fn func(dst uint64, w int64) bool) {
-	c.w.m.ForEachOutEdge(c.self, fn)
+	out := c.w.pv.Out(c.selfIdx)
+	wts := c.w.pv.OutWeights(c.selfIdx)
+	for i, dst := range out {
+		w := int64(1)
+		if wts != nil {
+			w = wts[i]
+		}
+		if !fn(dst, w) {
+			return
+		}
+	}
 }
 
 // OutDegree returns the current vertex's out-degree.
 func (c *Context) OutDegree() int {
-	deg, _ := c.w.m.OutDegree(c.self)
-	return deg
+	return c.w.pv.OutDegree(c.selfIdx)
 }
 
 // Aggregate adds v into the named global aggregator; the reduced sum is
@@ -170,6 +178,7 @@ type Engine struct {
 	g       *graph.Graph
 	opts    Options
 	workers []*worker
+	prepErr error // partition-view acquisition failure, surfaced by Run
 
 	totalVertices int
 	aggGlobal     map[string]float64
@@ -188,28 +197,33 @@ type engineMetrics struct {
 	msgsSent     *obs.Counter // logical vertex messages
 	msgsWire     *obs.Counter // messages that crossed the wire
 	msgsCombined *obs.Counter // messages merged by the combiner
+	msgsDropped  *obs.Counter // messages to vertices absent from the snapshot
+	hubRetries   *obs.Counter // action-script calls that needed a retry
+	hubFailures  *obs.Counter // action-script subscriptions abandoned after retry
 	activeVerts  *obs.Gauge
 	superstepNs  *obs.Histogram
 }
 
-// worker is the per-machine execution state.
+// worker is the per-machine execution state. Vertex state is dense,
+// indexed by the partition view's local index.
 type worker struct {
 	e  *Engine
 	m  *graph.Machine
 	id msg.MachineID
+	pv *view.View
 
-	vertexIDs []uint64
-	values    map[uint64]float64
-	active    map[uint64]bool
+	values []float64
+	active []bool
 
-	// Inboxes are sharded 64 ways by destination hash so concurrent
-	// deliveries do not contend on one lock (and never race on one map).
-	inbox  *inboxT // messages for the CURRENT superstep
+	// Inboxes are dense per-vertex message lists; writes stripe over 64
+	// locks by local index so concurrent deliveries do not contend on one
+	// lock.
+	inbox  [][]float64 // messages for the CURRENT superstep
 	nextMu [inboxShards]sync.Mutex
-	next   *inboxT
+	next   [][]float64
 
 	// Hub optimization state.
-	hubSources     map[uint64][]uint64        // remote hub -> local targets
+	hubSources     map[uint64][]int32         // remote hub -> dense local targets
 	hubSubscribers map[uint64][]msg.MachineID // local hub -> subscribed machines
 	hubSubSet      map[uint64]map[msg.MachineID]bool
 
@@ -228,7 +242,9 @@ type worker struct {
 }
 
 // New builds an engine over the graph. The graph must be fully loaded:
-// vertex sets are snapshotted now.
+// each machine's partition view is acquired now, and all per-vertex state
+// is dense against that snapshot. A view acquisition failure (e.g. a
+// corrupt cell) is reported by the first Run call.
 func New(g *graph.Graph, opts Options) *Engine {
 	if opts.MaxSupersteps <= 0 {
 		opts.MaxSupersteps = 1 << 30
@@ -241,25 +257,34 @@ func New(g *graph.Graph, opts Options) *Engine {
 		msgsSent:     scope.Counter("messages_sent"),
 		msgsWire:     scope.Counter("messages_wire"),
 		msgsCombined: scope.Counter("messages_combined"),
+		msgsDropped:  scope.Counter("messages_dropped"),
+		hubRetries:   scope.Counter("hub_script_retries"),
+		hubFailures:  scope.Counter("hub_script_failures"),
 		activeVerts:  scope.Gauge("active_vertices"),
 		superstepNs:  scope.Histogram("superstep_ns"),
 	}
 	for i := 0; i < g.Machines(); i++ {
 		m := g.On(i)
+		pv, err := view.Acquire(m)
+		if err != nil {
+			e.prepErr = fmt.Errorf("bsp: machine %d partition view: %w", i, err)
+			return e
+		}
+		n := pv.NumVertices()
 		w := &worker{
-			e:         e,
-			m:         m,
-			id:        m.Slave().ID(),
-			vertexIDs: m.LocalNodeIDs(),
-			values:    make(map[uint64]float64),
-			active:    make(map[uint64]bool),
-			inbox:     newInbox(),
-			next:      newInbox(),
-			aggLocal:  map[string]float64{},
-			doneFrom:  make(map[msg.MachineID]bool),
+			e:        e,
+			m:        m,
+			id:       m.Slave().ID(),
+			pv:       pv,
+			values:   make([]float64, n),
+			active:   make([]bool, n),
+			inbox:    make([][]float64, n),
+			next:     make([][]float64, n),
+			aggLocal: map[string]float64{},
+			doneFrom: make(map[msg.MachineID]bool),
 		}
 		w.doneCond = sync.NewCond(&w.doneMu)
-		e.totalVertices += len(w.vertexIDs)
+		e.totalVertices += n
 		node := m.Slave().Node()
 		node.HandleAsync(protoVertexMsg, w.onVertexMsg)
 		node.HandleAsync(protoHubMsg, w.onHubMsg)
@@ -274,6 +299,9 @@ func New(g *graph.Graph, opts Options) *Engine {
 // messages in flight) or MaxSupersteps, returning the number of
 // supersteps executed.
 func (e *Engine) Run(p Program) (int, error) {
+	if e.prepErr != nil {
+		return 0, e.prepErr
+	}
 	e.initVertices(p)
 	if e.opts.HubThreshold > 0 {
 		e.setupHubSubscriptions()
@@ -306,18 +334,20 @@ func (e *Engine) checkpointName() string {
 	return "bsp/checkpoint"
 }
 
-// initVertices runs Program.Init on every vertex in parallel.
+// initVertices runs Program.Init on every vertex in parallel. Degrees
+// come from the partition view, so Init can no longer silently observe a
+// degree-0 fallback on a decode error: a corrupt cell fails view
+// acquisition in New instead.
 func (e *Engine) initVertices(p Program) {
 	var wg sync.WaitGroup
 	for _, w := range e.workers {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			for _, id := range w.vertexIDs {
-				deg, _ := w.m.OutDegree(id)
-				val, active := p.Init(id, deg)
-				w.values[id] = val
-				w.active[id] = active
+			for idx, id := range w.pv.IDs() {
+				val, active := p.Init(id, w.pv.OutDegree(idx))
+				w.values[idx] = val
+				w.active[idx] = active
 			}
 		}(w)
 	}
@@ -329,8 +359,8 @@ func (e *Engine) initVertices(p Program) {
 func (e *Engine) Values() map[uint64]float64 {
 	out := make(map[uint64]float64, e.totalVertices)
 	for _, w := range e.workers {
-		for id, v := range w.values {
-			out[id] = v
+		for idx, id := range w.pv.IDs() {
+			out[id] = w.values[idx]
 		}
 	}
 	return out
@@ -339,8 +369,8 @@ func (e *Engine) Values() map[uint64]float64 {
 // Value returns one vertex's value.
 func (e *Engine) Value(id uint64) (float64, bool) {
 	for _, w := range e.workers {
-		if v, ok := w.values[id]; ok {
-			return v, true
+		if idx, ok := w.pv.IndexOf(id); ok {
+			return w.values[idx], true
 		}
 	}
 	return 0, false
@@ -363,7 +393,7 @@ func (e *Engine) superstep(p Program, step int) (int64, int64, error) {
 	defer span.End()
 	// Phase 1: rotate inboxes (prepared by the previous step).
 	for _, w := range e.workers {
-		w.inbox, w.next = w.next, newInbox()
+		w.inbox, w.next = w.next, make([][]float64, w.pv.NumVertices())
 		w.step = step
 		w.sentTotal.Store(0)
 	}
@@ -401,8 +431,8 @@ func (e *Engine) superstep(p Program, step int) (int64, int64, error) {
 			agg[k] += v
 		}
 		w.aggLocal = map[string]float64{}
-		for id, a := range w.active {
-			if a || len(w.next.get(id)) > 0 {
+		for idx := range w.active {
+			if w.active[idx] || len(w.next[idx]) > 0 {
 				active++
 			}
 		}
@@ -423,6 +453,7 @@ func (e *Engine) superstep(p Program, step int) (int64, int64, error) {
 // and broadcasts the end-of-step marker.
 func (w *worker) computePhase(p Program, step int) error {
 	node := w.m.Slave().Node()
+	n := w.pv.NumVertices()
 	// Shard vertices across a small pool: vertex computation is
 	// embarrassingly parallel within a machine.
 	workers := runtime.NumCPU() / len(w.e.workers)
@@ -431,32 +462,34 @@ func (w *worker) computePhase(p Program, step int) error {
 	}
 	var wg sync.WaitGroup
 	var aggMu sync.Mutex
-	shard := (len(w.vertexIDs) + workers - 1) / workers
-	for s := 0; s < len(w.vertexIDs); s += shard {
+	ids := w.pv.IDs()
+	shard := (n + workers - 1) / workers
+	for s := 0; s < n; s += shard {
 		endIdx := s + shard
-		if endIdx > len(w.vertexIDs) {
-			endIdx = len(w.vertexIDs)
+		if endIdx > n {
+			endIdx = n
 		}
 		wg.Add(1)
-		go func(ids []uint64) {
+		go func(lo, hi int) {
 			defer wg.Done()
 			ctx := &Context{w: w, step: step, agg: map[string]float64{}}
-			for _, id := range ids {
-				msgs := w.inbox.get(id)
-				if !w.active[id] && len(msgs) == 0 {
+			for idx := lo; idx < hi; idx++ {
+				msgs := w.inbox[idx]
+				if !w.active[idx] && len(msgs) == 0 {
 					continue
 				}
-				ctx.self = id
-				newVal, halt := p.Compute(ctx, id, w.values[id], msgs)
-				w.values[id] = newVal
-				w.active[id] = !halt
+				ctx.self = ids[idx]
+				ctx.selfIdx = idx
+				newVal, halt := p.Compute(ctx, ctx.self, w.values[idx], msgs)
+				w.values[idx] = newVal
+				w.active[idx] = !halt
 			}
 			aggMu.Lock()
 			for k, v := range ctx.agg {
 				w.aggLocal[k] += v
 			}
 			aggMu.Unlock()
-		}(w.vertexIDs[s:endIdx])
+		}(s, endIdx)
 	}
 	wg.Wait()
 	if err := node.Flush(); err != nil && !errors.Is(err, msg.ErrUnreachable) {
@@ -490,11 +523,17 @@ func (w *worker) onStepDone(from msg.MachineID, _ []byte) {
 }
 
 // send routes one message; local destinations bypass the wire.
-func (w *worker) send(src, dst uint64, m float64) {
+func (w *worker) send(dst uint64, m float64) {
 	w.sentTotal.Add(1)
 	owner := w.m.Slave().Owner(dst)
 	if owner == w.id {
-		w.deliverLocal(dst, m)
+		if idx, ok := w.pv.IndexOf(dst); ok {
+			w.deliverLocal(idx, m)
+		} else {
+			// Locally-owned id absent from the snapshot: the vertex did
+			// not exist when the engine was built. Count, don't crash.
+			w.e.metrics.msgsDropped.Inc()
+		}
 		return
 	}
 	var buf [16]byte
@@ -505,44 +544,42 @@ func (w *worker) send(src, dst uint64, m float64) {
 }
 
 // sendToAllOut broadcasts along out-edges with hub-aware deduplication.
-func (w *worker) sendToAllOut(src uint64, m float64) {
-	subs := w.hubSubscribers[src]
-	subscribed := w.hubSubSet[src]
+func (w *worker) sendToAllOut(srcIdx int, srcID uint64, m float64) {
+	subs := w.hubSubscribers[srcID]
+	subscribed := w.hubSubSet[srcID]
 	// One wire message per subscribed machine.
 	if len(subs) > 0 {
 		var buf [16]byte
-		binary.LittleEndian.PutUint64(buf[0:], src)
+		binary.LittleEndian.PutUint64(buf[0:], srcID)
 		binary.LittleEndian.PutUint64(buf[8:], mathFloat64bits(m))
 		for _, dstMachine := range subs {
 			w.sentWire.Add(1)
 			w.m.Slave().Node().Send(dstMachine, protoHubMsg, buf[:])
 		}
 	}
-	w.m.ForEachOutlink(src, func(dst uint64) bool {
+	for _, dst := range w.pv.Out(srcIdx) {
 		owner := w.m.Slave().Owner(dst)
 		if subscribed != nil && subscribed[owner] {
 			w.sentTotal.Add(1) // logical message, carried by the hub copy
-			return true
+			continue
 		}
-		w.send(src, dst, m)
-		return true
-	})
+		w.send(dst, m)
+	}
 }
 
 // deliverLocal appends m to the next-step inbox, combining when enabled.
-func (w *worker) deliverLocal(dst uint64, m float64) {
-	shard := dst % inboxShards
-	mu := &w.nextMu[shard]
+func (w *worker) deliverLocal(idx int, m float64) {
+	mu := &w.nextMu[idx%inboxShards]
 	mu.Lock()
 	if w.e.opts.Combine != nil {
-		if prev, ok := w.next[shard][dst]; ok && len(prev) == 1 {
+		if prev := w.next[idx]; len(prev) == 1 {
 			prev[0] = w.e.opts.Combine(prev[0], m)
 			mu.Unlock()
 			w.combined.Add(1)
 			return
 		}
 	}
-	w.next[shard][dst] = append(w.next[shard][dst], m)
+	w.next[idx] = append(w.next[idx], m)
 	mu.Unlock()
 }
 
@@ -552,7 +589,11 @@ func (w *worker) onVertexMsg(_ msg.MachineID, b []byte) {
 	}
 	dst := binary.LittleEndian.Uint64(b[0:])
 	m := mathFloat64frombits(binary.LittleEndian.Uint64(b[8:]))
-	w.deliverLocal(dst, m)
+	if idx, ok := w.pv.IndexOf(dst); ok {
+		w.deliverLocal(idx, m)
+	} else {
+		w.e.metrics.msgsDropped.Inc()
+	}
 }
 
 // onHubMsg fans a hub vertex's broadcast out to all local targets.
@@ -562,15 +603,17 @@ func (w *worker) onHubMsg(_ msg.MachineID, b []byte) {
 	}
 	src := binary.LittleEndian.Uint64(b[0:])
 	m := mathFloat64frombits(binary.LittleEndian.Uint64(b[8:]))
-	for _, dst := range w.hubSources[src] {
-		w.deliverLocal(dst, m)
+	for _, idx := range w.hubSources[src] {
+		w.deliverLocal(int(idx), m)
 	}
 }
 
-// setupHubSubscriptions implements the §5.4 action-script exchange.
+// setupHubSubscriptions implements the §5.4 action-script exchange. The
+// remote/local bipartite split comes straight from the partition view;
+// no in-link re-scan is needed.
 func (e *Engine) setupHubSubscriptions() {
 	for _, w := range e.workers {
-		w.hubSources = make(map[uint64][]uint64)
+		w.hubSources = make(map[uint64][]int32)
 		w.hubSubscribers = make(map[uint64][]msg.MachineID)
 		w.hubSubSet = make(map[uint64]map[msg.MachineID]bool)
 	}
@@ -579,30 +622,36 @@ func (e *Engine) setupHubSubscriptions() {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			// Count local targets per remote source using in-links.
-			counts := make(map[uint64][]uint64)
-			for _, id := range w.vertexIDs {
-				w.m.ForEachInlink(id, func(src uint64) bool {
-					if w.m.Slave().Owner(src) != w.id {
-						counts[src] = append(counts[src], id)
-					}
-					return true
-				})
-			}
 			// Subscribe to hubs via action scripts grouped by owner.
 			perOwner := make(map[msg.MachineID][]uint64)
-			for src, targets := range counts {
-				if len(targets) >= e.opts.HubThreshold {
-					w.hubSources[src] = targets
-					perOwner[w.m.Slave().Owner(src)] = append(perOwner[w.m.Slave().Owner(src)], src)
+			for _, rs := range w.pv.RemoteInSources() {
+				if len(rs.Targets) >= e.opts.HubThreshold {
+					w.hubSources[rs.ID] = rs.Targets
+					owner := w.m.Slave().Owner(rs.ID)
+					perOwner[owner] = append(perOwner[owner], rs.ID)
 				}
 			}
+			node := w.m.Slave().Node()
 			for owner, hubs := range perOwner {
 				script := make([]byte, 8*len(hubs))
 				for i, h := range hubs {
 					binary.LittleEndian.PutUint64(script[8*i:], h)
 				}
-				w.m.Slave().Node().Call(owner, protoActionScript, script)
+				if _, err := node.Call(owner, protoActionScript, script); err != nil {
+					// Retry once; a transient transport fault must not
+					// silently leave the hub owner unsubscribed while this
+					// machine skips per-edge sends.
+					e.metrics.hubRetries.Inc()
+					if _, err = node.Call(owner, protoActionScript, script); err != nil {
+						e.metrics.hubFailures.Inc()
+						// Abandon the subscription: without the owner's
+						// acknowledgement these hubs must fall back to
+						// ordinary per-edge delivery.
+						for _, h := range hubs {
+							delete(w.hubSources, h)
+						}
+					}
+				}
 			}
 		}(w)
 	}

@@ -52,19 +52,13 @@ func (p *pagerank) Compute(ctx *Context, id uint64, val float64, msgs []float64)
 		val = 0.15 + 0.85*sum
 	}
 	if ctx.Superstep() < p.iters {
-		deg := outDegreeOf(ctx, id)
+		deg := ctx.OutDegree()
 		if deg > 0 {
 			ctx.SendToAllOut(val / float64(deg))
 		}
 		return val, false
 	}
 	return val, true
-}
-
-// outDegreeOf reads the out-degree through the worker's machine.
-func outDegreeOf(ctx *Context, id uint64) int {
-	deg, _ := ctx.w.m.OutDegree(id)
-	return deg
 }
 
 // propagateMax floods the maximum vertex ID through the graph (a classic

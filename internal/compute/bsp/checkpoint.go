@@ -14,12 +14,13 @@ import (
 func (e *Engine) Checkpoint(name string) error {
 	fs := e.g.On(0).Slave().FS()
 	for i, w := range e.workers {
-		buf := make([]byte, 0, len(w.values)*17)
-		for id, v := range w.values {
+		ids := w.pv.IDs()
+		buf := make([]byte, 0, len(ids)*17)
+		for idx, id := range ids {
 			var rec [17]byte
 			binary.LittleEndian.PutUint64(rec[0:], id)
-			binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(v))
-			if w.active[id] {
+			binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(w.values[idx]))
+			if w.active[idx] {
 				rec[16] = 1
 			}
 			buf = append(buf, rec[:]...)
@@ -32,17 +33,10 @@ func (e *Engine) Checkpoint(name string) error {
 }
 
 // Restore loads vertex values and activity from a checkpoint written by
-// Checkpoint. Vertices are matched by current ownership, so a restore
-// works even after trunks moved between machines.
+// Checkpoint. Vertices are matched against the current partition views,
+// so a restore works even after trunks moved between machines.
 func (e *Engine) Restore(name string) error {
 	fs := e.g.On(0).Slave().FS()
-	// Index current owners.
-	ownerOf := make(map[uint64]*worker, e.totalVertices)
-	for _, w := range e.workers {
-		for _, id := range w.vertexIDs {
-			ownerOf[id] = w
-		}
-	}
 	for i := range e.workers {
 		data, err := fs.ReadFile(fmt.Sprintf("%s/machine-%d", name, i))
 		if err != nil {
@@ -51,12 +45,13 @@ func (e *Engine) Restore(name string) error {
 		for off := 0; off+17 <= len(data); off += 17 {
 			id := binary.LittleEndian.Uint64(data[off:])
 			v := math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
-			w := ownerOf[id]
-			if w == nil {
-				continue // vertex no longer present
+			for _, w := range e.workers {
+				if idx, ok := w.pv.IndexOf(id); ok {
+					w.values[idx] = v
+					w.active[idx] = data[off+16] == 1
+					break
+				}
 			}
-			w.values[id] = v
-			w.active[id] = data[off+16] == 1
 		}
 	}
 	return nil

@@ -5,8 +5,9 @@
 //
 // A query fans out level by level: the coordinator machine groups the
 // frontier by owner machine and issues one parallel expansion request per
-// machine; each machine explores its local vertices with zero-copy cell
-// access, evaluates the predicate, and returns matches plus the next
+// machine; each machine explores its local vertices through its partition
+// view (internal/graph/view) — predicate tests are array reads and edge
+// expansion walks the CSR arena — and returns matches plus the next
 // frontier fragment. No index is used — the performance comes from fast
 // random access and parallelism, exactly the paper's argument.
 package traversal
@@ -15,10 +16,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"trinity/internal/graph"
-	"trinity/internal/memcloud"
+	"trinity/internal/graph/view"
 	"trinity/internal/msg"
 	"trinity/internal/obs"
 )
@@ -195,39 +197,35 @@ func (e *Engine) expand(coord *graph.Machine, owner msg.MachineID, ids []uint64,
 	return decodeExpandResp(resp)
 }
 
-func matchNode(m *graph.Machine, id uint64, pred Predicate) (bool, error) {
-	switch pred.Mode {
-	case MatchLabel:
-		l, err := m.Label(id)
-		return err == nil && l == pred.Label, err
-	case MatchNamePrefix:
-		name, err := m.Name(id)
-		if err != nil {
-			return false, err
-		}
-		return len(name) >= len(pred.Prefix) && name[:len(pred.Prefix)] == pred.Prefix, nil
-	default:
-		return false, nil
-	}
-}
-
-// expandLocal serves a frontier fragment on the owner machine: every id
-// is local, so the predicate test is a zero-copy label or name read, and
-// out-links are streamed without copying the cell.
+// expandLocal serves a frontier fragment on the owner machine through its
+// partition view: the predicate test is a dense array read (labels) or a
+// zero-copy name read, and edge expansion walks the CSR arena. Frontier
+// ids absent from the view — dangling edge targets that were never
+// created — are tolerated and skipped, matching the old per-cell path's
+// ErrNoNode tolerance; a corrupt cell instead fails view acquisition.
 func (e *Engine) expandLocal(m *graph.Machine, req []byte) ([]byte, error) {
 	ids, pred, expandMore, err := decodeExpand(req)
+	if err != nil {
+		return nil, err
+	}
+	pv, err := view.Acquire(m)
 	if err != nil {
 		return nil, err
 	}
 	var matches []uint64
 	if pred.Mode != MatchNone {
 		for _, id := range ids {
-			ok, err := matchNode(m, id, pred)
-			if err != nil {
-				continue
-			}
-			if ok {
-				matches = append(matches, id)
+			switch pred.Mode {
+			case MatchLabel:
+				// People search interns the name into the label, so the
+				// whole predicate is one array read.
+				if idx, ok := pv.IndexOf(id); ok && pv.Label(idx) == pred.Label {
+					matches = append(matches, id)
+				}
+			case MatchNamePrefix:
+				if name, err := m.Name(id); err == nil && strings.HasPrefix(name, pred.Prefix) {
+					matches = append(matches, id)
+				}
 			}
 		}
 	}
@@ -235,17 +233,15 @@ func (e *Engine) expandLocal(m *graph.Machine, req []byte) ([]byte, error) {
 	if expandMore {
 		seen := make(map[uint64]bool, len(ids)*8)
 		for _, id := range ids {
-			err := m.ForEachOutlink(id, func(dst uint64) bool {
+			idx, ok := pv.IndexOf(id)
+			if !ok {
+				continue // dangling edge target
+			}
+			for _, dst := range pv.Out(idx) {
 				if !seen[dst] {
 					seen[dst] = true
 					neighbors = append(neighbors, dst)
 				}
-				return true
-			})
-			if err != nil && !errors.Is(err, graph.ErrNoNode) && !errors.Is(err, memcloud.ErrNotFound) {
-				// Dangling edges (targets that were never created) are
-				// tolerated; anything else is a real failure.
-				return nil, err
 			}
 		}
 	}

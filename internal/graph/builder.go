@@ -117,6 +117,14 @@ func (b *Builder) Flush(g *Graph) error {
 	}
 	wg.Wait()
 	b.nodes = make(map[uint64]*Node)
+	// The bulk writes above go through the slaves directly, so bump every
+	// touched machine's partition epoch: cached partition views must not
+	// survive a load.
+	for owner, nodes := range perOwner {
+		if len(nodes) > 0 {
+			g.On(owner).InvalidatePartition()
+		}
+	}
 	select {
 	case err := <-errCh:
 		return err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"trinity/internal/hash"
 	"trinity/internal/memcloud"
@@ -38,6 +39,13 @@ type Machine struct {
 	// stripes serialize read-modify-write mutations of local node cells;
 	// plain reads stay lock-free (trunk spin locks suffice).
 	stripes [128]sync.Mutex
+	// epoch counts mutations of this machine's local partition. The
+	// partition-view layer (internal/graph/view) compares it against a
+	// cached snapshot's epoch to decide whether the snapshot is stale.
+	epoch atomic.Uint64
+	// viewCache is the partition-view layer's cache slot, typed any to
+	// avoid an import cycle (graph/view imports graph).
+	viewCache atomic.Value
 }
 
 // New attaches a graph engine to every slave of the cloud.
@@ -69,14 +77,60 @@ func (m *Machine) stripe(id uint64) *sync.Mutex {
 	return &m.stripes[hash.Mix64(id)&127]
 }
 
+// Epoch returns the machine's partition mutation epoch. Every mutation of
+// a local node cell that flows through the graph layer (AddNode, PutNode,
+// either endpoint of AddEdge landing here, a Builder flush) bumps it.
+func (m *Machine) Epoch() uint64 { return m.epoch.Load() }
+
+// InvalidatePartition bumps the mutation epoch, marking any cached
+// partition view of this machine stale. Code that mutates node cells
+// through the memory cloud directly (bypassing the graph engine's
+// mutators) must call it on the owner machine.
+func (m *Machine) InvalidatePartition() { m.epoch.Add(1) }
+
+// CachedView returns the partition snapshot last stored by StoreView, or
+// nil. The slot is owned by internal/graph/view; it lives here only
+// because Go import cycles prevent the view package from hanging state
+// off Machine itself.
+func (m *Machine) CachedView() any { return m.viewCache.Load() }
+
+// StoreView caches a partition snapshot on the machine.
+func (m *Machine) StoreView(v any) { m.viewCache.Store(v) }
+
+// ownerMachine returns the graph engine bound to the slave with the given
+// machine id, or nil if no such machine is in this graph's cluster.
+func (m *Machine) ownerMachine(id msg.MachineID) *Machine {
+	for _, om := range m.g.machines {
+		if om.s.ID() == id {
+			return om
+		}
+	}
+	return nil
+}
+
+// invalidateOwner bumps the partition epoch of the machine owning key.
+func (m *Machine) invalidateOwner(key uint64) {
+	if om := m.ownerMachine(m.s.Owner(key)); om != nil {
+		om.InvalidatePartition()
+	}
+}
+
 // AddNode creates a node cell. It can be called from any machine.
 func (m *Machine) AddNode(n *Node) error {
-	return m.s.Add(n.ID, EncodeNode(n))
+	err := m.s.Add(n.ID, EncodeNode(n))
+	if err == nil {
+		m.invalidateOwner(n.ID)
+	}
+	return err
 }
 
 // PutNode creates or replaces a node cell.
 func (m *Machine) PutNode(n *Node) error {
-	return m.s.Put(n.ID, EncodeNode(n))
+	err := m.s.Put(n.ID, EncodeNode(n))
+	if err == nil {
+		m.invalidateOwner(n.ID)
+	}
+	return err
 }
 
 // GetNode fetches and decodes a node from wherever it lives.
@@ -160,7 +214,11 @@ func (m *Machine) addLinkLocal(node, other uint64, inlink bool) error {
 	} else {
 		n.Outlinks = append(n.Outlinks, other)
 	}
-	return m.s.Put(node, EncodeNode(n))
+	if err := m.s.Put(node, EncodeNode(n)); err != nil {
+		return err
+	}
+	m.InvalidatePartition()
+	return nil
 }
 
 func (m *Machine) onAddEdge(_ msg.MachineID, req []byte) ([]byte, error) {

@@ -1,0 +1,368 @@
+package view
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"trinity/internal/graph"
+	"trinity/internal/memcloud"
+	"trinity/internal/msg"
+)
+
+func newCloud(t testing.TB, machines int) *memcloud.Cloud {
+	c := memcloud.New(memcloud.Config{
+		Machines: machines,
+		Msg:      msg.Options{FlushInterval: time.Millisecond, CallTimeout: 2 * time.Second},
+	})
+	t.Cleanup(c.Close)
+	return c
+}
+
+// localID returns an id owned by machine m, scanning from start.
+func localID(m *graph.Machine, start uint64) uint64 {
+	for i := start; ; i++ {
+		if m.Slave().Owner(i) == m.Slave().ID() {
+			return i
+		}
+	}
+}
+
+// remoteID returns an id NOT owned by machine m, scanning from start.
+func remoteID(m *graph.Machine, start uint64) uint64 {
+	for i := start; ; i++ {
+		if m.Slave().Owner(i) != m.Slave().ID() {
+			return i
+		}
+	}
+}
+
+func sortedU64(s []uint64) []uint64 {
+	out := append([]uint64(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestViewMatchesGraph cross-checks every accessor of every machine's
+// view against the graph layer's per-cell reads.
+func TestViewMatchesGraph(t *testing.T) {
+	cloud := newCloud(t, 4)
+	b := graph.NewBuilder(true)
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		b.AddNode(i, int64(i%5), "")
+	}
+	for i := uint64(0); i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+		b.AddEdge(i, (i+7)%n)
+	}
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for mi := 0; mi < g.Machines(); mi++ {
+		m := g.On(mi)
+		v, err := Acquire(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += v.NumVertices()
+		ids := v.IDs()
+		if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+			t.Fatalf("machine %d: ids not ascending", mi)
+		}
+		for idx, id := range ids {
+			if got, ok := v.IndexOf(id); !ok || got != idx {
+				t.Fatalf("machine %d: IndexOf(%d) = %d,%v want %d", mi, id, got, ok, idx)
+			}
+			if v.IDOf(idx) != id {
+				t.Fatalf("machine %d: IDOf(%d) != %d", mi, idx, id)
+			}
+			if m.Slave().Owner(id) != m.Slave().ID() {
+				t.Fatalf("machine %d: view contains non-local vertex %d", mi, id)
+			}
+			if v.Label(idx) != int64(id%5) {
+				t.Fatalf("label(%d) = %d", id, v.Label(idx))
+			}
+			wantOut, _ := m.Outlinks(id)
+			if !reflect.DeepEqual(sortedU64(v.Out(idx)), sortedU64(wantOut)) {
+				t.Fatalf("out(%d) = %v want %v", id, v.Out(idx), wantOut)
+			}
+			if v.OutDegree(idx) != len(wantOut) {
+				t.Fatalf("outdeg(%d) = %d", id, v.OutDegree(idx))
+			}
+			wantIn, _ := m.Inlinks(id)
+			if !reflect.DeepEqual(sortedU64(v.In(idx)), sortedU64(wantIn)) {
+				t.Fatalf("in(%d) = %v want %v", id, v.In(idx), wantIn)
+			}
+			if v.InDegree(idx) != len(wantIn) {
+				t.Fatalf("indeg(%d) = %d", id, v.InDegree(idx))
+			}
+			if v.OutWeights(idx) != nil {
+				t.Fatalf("unweighted graph has weights at %d", id)
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("views cover %d vertices, want %d", total, n)
+	}
+}
+
+func TestViewWeights(t *testing.T) {
+	// One machine so every vertex shares a snapshot and the weighted
+	// vertex forces the weight arena to exist.
+	cloud := newCloud(t, 1)
+	b := graph.NewBuilder(true)
+	b.AddWeightedEdge(1, 2, 5)
+	b.AddWeightedEdge(1, 3, 9)
+	b.AddEdge(2, 3) // unweighted vertex in a weighted graph: padded with 1s
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi := 0; mi < g.Machines(); mi++ {
+		v, err := Acquire(g.On(mi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx, ok := v.IndexOf(1); ok {
+			if w := v.OutWeights(idx); !reflect.DeepEqual(w, []int64{5, 9}) {
+				t.Fatalf("weights(1) = %v", w)
+			}
+		}
+		if idx, ok := v.IndexOf(2); ok {
+			if w := v.OutWeights(idx); len(w) != 1 || w[0] != 1 {
+				t.Fatalf("padded weights(2) = %v", w)
+			}
+		}
+	}
+}
+
+// TestViewRemoteSources checks the §5.4 bipartite split: every remote
+// in-source with its local targets, no local vertex listed as remote.
+func TestViewRemoteSources(t *testing.T) {
+	cloud := newCloud(t, 3)
+	b := graph.NewBuilder(true)
+	const n = 60
+	for i := uint64(0); i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+		b.AddEdge(i, (i+11)%n)
+	}
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi := 0; mi < g.Machines(); mi++ {
+		m := g.On(mi)
+		v, err := Acquire(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Recompute the expected split from the in arenas.
+		want := map[uint64]map[int32]bool{}
+		for idx := 0; idx < v.NumVertices(); idx++ {
+			for _, src := range v.In(idx) {
+				if _, local := v.IndexOf(src); !local {
+					if want[src] == nil {
+						want[src] = map[int32]bool{}
+					}
+					want[src][int32(idx)] = true
+				}
+			}
+		}
+		rs := v.RemoteInSources()
+		if len(rs) != len(want) {
+			t.Fatalf("machine %d: %d remote sources, want %d", mi, len(rs), len(want))
+		}
+		var prev uint64
+		for i, r := range rs {
+			if i > 0 && r.ID <= prev {
+				t.Fatalf("machine %d: remote sources not sorted", mi)
+			}
+			prev = r.ID
+			if _, local := v.IndexOf(r.ID); local {
+				t.Fatalf("machine %d: local vertex %d listed remote", mi, r.ID)
+			}
+			if m.Slave().Owner(r.ID) == m.Slave().ID() {
+				t.Fatalf("machine %d: owned vertex %d listed remote", mi, r.ID)
+			}
+			if len(r.Targets) != len(want[r.ID]) {
+				t.Fatalf("machine %d: source %d targets %v want %v", mi, r.ID, r.Targets, want[r.ID])
+			}
+			for _, tgt := range r.Targets {
+				if !want[r.ID][tgt] {
+					t.Fatalf("machine %d: source %d bogus target %d", mi, r.ID, tgt)
+				}
+			}
+		}
+	}
+}
+
+func TestViewCacheHit(t *testing.T) {
+	cloud := newCloud(t, 2)
+	b := graph.NewBuilder(true)
+	b.AddEdge(1, 2)
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.On(0)
+	v1, err := Acquire(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Acquire(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatal("unchanged partition rebuilt instead of cache hit")
+	}
+}
+
+// TestViewInvalidation is the satellite regression test: mutate the graph
+// mid-job with AddEdge on a local and on a remote endpoint, assert the
+// epoch bumps, a re-Acquired view reflects the new edge, and the held
+// snapshot stays stable.
+func TestViewInvalidation(t *testing.T) {
+	cloud := newCloud(t, 3)
+	gg := graph.New(cloud, true)
+	m0 := gg.On(0)
+	src := localID(m0, 0)
+	dstLocal := localID(m0, src+1)
+	dstRemote := remoteID(m0, 1000)
+	for _, id := range []uint64{src, dstLocal, dstRemote} {
+		if err := m0.AddNode(&graph.Node{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	held, err := Acquire(m0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heldEdges := held.NumEdges()
+	epoch0 := m0.Epoch()
+
+	// Local mutation: both endpoints on machine 0.
+	if err := m0.AddEdge(src, dstLocal); err != nil {
+		t.Fatal(err)
+	}
+	if m0.Epoch() == epoch0 {
+		t.Fatal("local AddEdge did not bump owner epoch")
+	}
+	v2, err := Acquire(m0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 == held {
+		t.Fatal("stale view returned after local mutation")
+	}
+	idx, ok := v2.IndexOf(src)
+	if !ok {
+		t.Fatalf("src %d missing from rebuilt view", src)
+	}
+	if got := v2.Out(idx); len(got) != 1 || got[0] != dstLocal {
+		t.Fatalf("rebuilt out(src) = %v", got)
+	}
+
+	// Remote mutation: dst owned by another machine; the directed inlink
+	// write must bump the DST owner's epoch, and issuing the AddEdge from
+	// a non-owner machine must still bump the SRC owner's epoch.
+	owner := int(m0.Slave().Owner(dstRemote))
+	mOwner := gg.On(owner)
+	vRemoteBefore, err := Acquire(mOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochSrc := m0.Epoch()
+	other := gg.On((owner + 1) % gg.Machines())
+	if err := other.AddEdge(src, dstRemote); err != nil {
+		t.Fatal(err)
+	}
+	if m0.Epoch() == epochSrc {
+		t.Fatal("AddEdge via non-owner machine did not bump src owner epoch")
+	}
+	if mOwner.Epoch() == vRemoteBefore.Epoch() {
+		t.Fatal("inlink write did not bump dst owner epoch")
+	}
+	vRemoteAfter, err := Acquire(mOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridx, ok := vRemoteAfter.IndexOf(dstRemote)
+	if !ok {
+		t.Fatalf("dstRemote %d missing from its owner view", dstRemote)
+	}
+	if got := vRemoteAfter.In(ridx); len(got) != 1 || got[0] != src {
+		t.Fatalf("rebuilt in(dstRemote) = %v", got)
+	}
+	// src is not local on the dst owner, so it must appear as a remote
+	// in-source feeding dstRemote.
+	foundRemoteSrc := false
+	for _, rs := range vRemoteAfter.RemoteInSources() {
+		if rs.ID == src {
+			foundRemoteSrc = true
+			if len(rs.Targets) != 1 || int(rs.Targets[0]) != ridx {
+				t.Fatalf("remote source %d targets = %v want [%d]", src, rs.Targets, ridx)
+			}
+		}
+	}
+	if !foundRemoteSrc {
+		t.Fatalf("src %d not in dst owner's remote sources", src)
+	}
+
+	// The held snapshot never changed.
+	if held.NumEdges() != heldEdges {
+		t.Fatal("held snapshot mutated")
+	}
+	if idxH, ok := held.IndexOf(src); ok && len(held.Out(idxH)) != 0 {
+		t.Fatal("held snapshot grew an edge")
+	}
+}
+
+// TestViewEmptyPartition: a machine with no local vertices yields an
+// empty view, not an error.
+func TestViewEmptyPartition(t *testing.T) {
+	cloud := newCloud(t, 4)
+	g := graph.New(cloud, true)
+	m := g.On(0)
+	id := localID(m, 0)
+	if err := m.AddNode(&graph.Node{ID: id}); err != nil {
+		t.Fatal(err)
+	}
+	for mi := 0; mi < g.Machines(); mi++ {
+		v, err := Acquire(g.On(mi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := v.IndexOf(id); ok != (g.On(mi).Slave().Owner(id) == g.On(mi).Slave().ID()) {
+			t.Fatalf("machine %d: wrong locality for %d", mi, id)
+		}
+		if v.NumVertices() == 0 && v.NumEdges() != 0 {
+			t.Fatalf("machine %d: empty view with edges", mi)
+		}
+	}
+}
+
+// TestViewMalformedBlob: a corrupt cell written behind the graph layer's
+// back surfaces as an Acquire error, not a panic or a silent skip.
+func TestViewMalformedBlob(t *testing.T) {
+	cloud := newCloud(t, 1)
+	g := graph.New(cloud, true)
+	m := g.On(0)
+	if err := m.AddNode(&graph.Node{ID: 1, Outlinks: nil}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated blob: label only, no name/list headers.
+	if err := m.Slave().Put(7, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	m.InvalidatePartition()
+	if _, err := Acquire(m); err == nil {
+		t.Fatal("Acquire accepted a truncated cell blob")
+	}
+}

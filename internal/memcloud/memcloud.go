@@ -506,6 +506,32 @@ func (s *Slave) LocalKeys() []uint64 {
 	return keys
 }
 
+// LocalTrunkIDs returns the trunk numbers currently hosted on this
+// machine. Combined with ForEachInTrunk it lets engines walk the local
+// partition trunk by trunk — the unit of parallelism for snapshot builds
+// (the paper's trunk-level parallelism, §3).
+func (s *Slave) LocalTrunkIDs() []uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]uint32, 0, len(s.trunks))
+	for tid := range s.trunks {
+		ids = append(ids, tid)
+	}
+	return ids
+}
+
+// ForEachInTrunk iterates the cells of one local trunk zero-copy (do not
+// retain payloads). It reports false when the trunk is not — or no
+// longer — hosted on this machine.
+func (s *Slave) ForEachInTrunk(tid uint32, fn func(key uint64, payload []byte) bool) bool {
+	t := s.localTrunk(tid)
+	if t == nil {
+		return false
+	}
+	t.ForEach(fn)
+	return true
+}
+
 // ForEachLocal iterates over all local cells (zero-copy payloads; do not
 // retain). Iteration order is unspecified.
 func (s *Slave) ForEachLocal(fn func(key uint64, payload []byte) bool) {
