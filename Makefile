@@ -3,8 +3,17 @@
 
 GO ?= go
 CHAOS_SEEDS ?= 1,2,3
+CHAOS_TIMEOUT ?= 10m
 
-.PHONY: all build vet fmt-check test race chaos bench-smoke check bench
+# The graph-stack benchmark set: archived, baselined and gated in CI.
+BENCH_PKGS = ./internal/graph/ ./internal/graph/view/ \
+	./internal/compute/bsp/ ./internal/compute/traversal/
+BENCH_TIME ?= 2s
+BENCH_JSON ?= BENCH_graph.json
+BENCH_TOL ?= 0.20
+
+.PHONY: all build vet fmt-check test race chaos bench-smoke check \
+	bench bench-json bench-baseline bench-compare
 
 all: build
 
@@ -29,9 +38,11 @@ race:
 	$(GO) test -race ./internal/...
 
 # Fault-injecting transport tests on the CI seed set; override the env
-# var to replay one failing seed (CHAOS_SEEDS=7 make chaos).
+# var to replay one failing seed (CHAOS_SEEDS=7 make chaos). The nightly
+# workflow widens both knobs: CHAOS_SEEDS=1..10, CHAOS_TIMEOUT=20m.
 chaos:
-	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run Chaos ./internal/...
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run Chaos \
+		-timeout $(CHAOS_TIMEOUT) ./internal/...
 
 # One iteration of every benchmark: proves benchmark code still compiles
 # and runs; measures nothing.
@@ -45,8 +56,21 @@ check: build vet fmt-check test race chaos bench-smoke
 # results are archived as BENCH_graph.json via cmd/benchjson so runs can
 # be diffed across commits.
 bench:
-	$(GO) test -run=NONE -bench=. -benchtime=2s ./internal/obs/
-	$(GO) test -run=NONE -bench=. -benchtime=2s \
-		./internal/graph/ ./internal/graph/view/ \
-		./internal/compute/bsp/ ./internal/compute/traversal/ \
-		| $(GO) run ./cmd/benchjson -o BENCH_graph.json
+	$(GO) test -run=NONE -bench=. -benchtime=$(BENCH_TIME) ./internal/obs/
+	$(MAKE) bench-json
+
+# Graph-stack benchmarks alone, straight to JSON.
+bench-json:
+	$(GO) test -run=NONE -bench=. -benchtime=$(BENCH_TIME) $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+
+# Refresh the committed regression-gate baseline (run on quiet hardware,
+# then commit BENCH_baseline.json).
+bench-baseline:
+	$(MAKE) bench-json BENCH_JSON=BENCH_baseline.json
+
+# Local version of the CI gate: fresh run vs committed baseline.
+bench-compare:
+	$(MAKE) bench-json BENCH_JSON=/tmp/bench_new.json
+	$(GO) run ./cmd/benchjson -compare -tol $(BENCH_TOL) \
+		BENCH_baseline.json /tmp/bench_new.json

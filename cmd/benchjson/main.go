@@ -8,6 +8,15 @@
 // package (from the interleaved "pkg:" / "ok" lines), the iteration
 // count, and every reported metric (ns/op, B/op, allocs/op, custom
 // ReportMetric units) keyed by unit name.
+//
+// With -compare, benchjson instead diffs two archived JSON documents and
+// fails when any benchmark's ns/op regressed beyond the tolerance:
+//
+//	benchjson -compare -tol 0.20 BENCH_baseline.json BENCH_new.json
+//
+// Benchmarks present in only one file are reported but never fail the
+// comparison (new benchmarks appear, old ones get renamed); only a
+// measured slowdown does.
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -29,7 +39,26 @@ type result struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files: benchjson -compare old.json new.json")
+	tol := flag.Float64("tol", 0.20, "allowed fractional ns/op regression in -compare mode (0.20 = 20%)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *tol, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n", regressed, *tol*100)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var results []result
 	pkg := ""
@@ -68,6 +97,67 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d results -> %s\n", len(results), *out)
+}
+
+// runCompare diffs two archived benchmark documents on ns/op and writes a
+// report. It returns how many benchmarks slowed down by more than tol.
+func runCompare(oldPath, newPath string, tol float64, w io.Writer) (int, error) {
+	oldRes, err := loadResults(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRes, err := loadResults(newPath)
+	if err != nil {
+		return 0, err
+	}
+	key := func(r result) string { return r.Package + "." + r.Name }
+	oldBy := make(map[string]result, len(oldRes))
+	for _, r := range oldRes {
+		oldBy[key(r)] = r
+	}
+	regressed := 0
+	seen := make(map[string]bool, len(newRes))
+	for _, nr := range newRes {
+		k := key(nr)
+		seen[k] = true
+		or, ok := oldBy[k]
+		if !ok {
+			fmt.Fprintf(w, "NEW   %-60s %12.0f ns/op\n", k, nr.Metrics["ns/op"])
+			continue
+		}
+		oldNs, newNs := or.Metrics["ns/op"], nr.Metrics["ns/op"]
+		if oldNs <= 0 || newNs <= 0 {
+			continue // no timing metric to compare
+		}
+		delta := (newNs - oldNs) / oldNs
+		verdict := "ok   "
+		if delta > tol {
+			verdict = "SLOW "
+			regressed++
+		} else if delta < -tol {
+			verdict = "fast "
+		}
+		fmt.Fprintf(w, "%s %-60s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
+			verdict, k, oldNs, newNs, delta*100)
+	}
+	for _, or := range oldRes {
+		if !seen[key(or)] {
+			fmt.Fprintf(w, "GONE  %-60s %12.0f ns/op\n", key(or), or.Metrics["ns/op"])
+		}
+	}
+	return regressed, nil
+}
+
+func loadResults(path string) ([]result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(b, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
 }
 
 // parseLine parses one benchmark result line of the form

@@ -403,6 +403,49 @@ func TestOracleEstimateIsUpperBound(t *testing.T) {
 	}
 }
 
+func TestOracleMaterializedMatchesInMemory(t *testing.T) {
+	cloud := newCloud(t, 4)
+	b := graph.NewBuilder(false)
+	gen.BuildSocial(gen.SocialConfig{People: 300, AvgDegree: 8, Seed: 3}, b)
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := BuildOracle(g, 8, ByDegree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	// Query through machine 1 so most landmark cells are remote and ride
+	// multi-get batches; include a self pair and a vertex with no cell.
+	pairs := [][2]uint64{{7, 7}, {0, 99999}}
+	for u := uint64(0); u < 60; u++ {
+		pairs = append(pairs, [2]uint64{u, 299 - u})
+	}
+	got, err := o.EstimateFetched(1, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		want := o.Estimate(p[0], p[1])
+		if got[i] != want && !(math.IsInf(got[i], 1) && math.IsInf(want, 1)) {
+			t.Fatalf("pair %v: fetched estimate %v, in-memory %v", p, got[i], want)
+		}
+	}
+	// The sweep must have gone through the fetch pipeline, batched.
+	scope := cloud.Metrics().Scope("fetch.m1")
+	wireKeys := scope.Counter("keys").Load()
+	batches := scope.Counter("batches").Load()
+	if wireKeys == 0 {
+		t.Fatal("no landmark cells fetched over the wire")
+	}
+	if batches >= wireKeys {
+		t.Fatalf("no batching: %d batches for %d keys", batches, wireKeys)
+	}
+}
+
 func TestPartitionBeatsRandom(t *testing.T) {
 	cloud := newCloud(t, 2)
 	b := graph.NewBuilder(false)

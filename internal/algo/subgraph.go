@@ -17,7 +17,6 @@ import (
 const (
 	protoScanLabel   msg.ProtocolID = 0x0601 // find local vertices with a label
 	protoFilterLabel msg.ProtocolID = 0x0602 // filter ids by label
-	protoHasEdge     msg.ProtocolID = 0x0603 // does u have out-edge to v?
 )
 
 // Pattern is a small labeled query graph. Patterns are generated from the
@@ -179,9 +178,6 @@ func NewMatcher(g *graph.Graph) *Matcher {
 		node.HandleSync(protoFilterLabel, func(_ msg.MachineID, req []byte) ([]byte, error) {
 			return mt.filterLabelLocal(mm, req)
 		})
-		node.HandleSync(protoHasEdge, func(_ msg.MachineID, req []byte) ([]byte, error) {
-			return mt.hasEdgeLocal(mm, req)
-		})
 	}
 	return mt
 }
@@ -247,6 +243,7 @@ func (mt *Matcher) MatchBudget(via int, p *Pattern, limit, maxSteps int) ([][]ui
 				assign:   make([]uint64, p.Size()),
 				assigned: make([]bool, p.Size()),
 				used:     map[uint64]bool{},
+				cells:    map[uint64]*graph.Node{},
 				steps:    &steps,
 				maxSteps: maxSteps,
 				emit: func(match []uint64) bool {
@@ -310,9 +307,52 @@ type searchState struct {
 	assign   []uint64
 	assigned []bool
 	used     map[uint64]bool
+	cells    map[uint64]*graph.Node // read-through cache of remote cells
 	steps    *atomic.Int64
 	maxSteps int
 	emit     func([]uint64) bool
+}
+
+// fetchCell resolves a vertex that is not in the coordinator's partition
+// view, going through the cell-fetch pipeline with a per-worker
+// read-through cache. Backtracking consults the same remote anchor many
+// times — adjacency expansion plus one edge probe per assigned neighbor —
+// and a single cached cell answers all of them with one round trip, where
+// the old wire protocols paid one call each.
+func (st *searchState) fetchCell(id uint64) (*graph.Node, error) {
+	if n, ok := st.cells[id]; ok {
+		return n, nil
+	}
+	n, err := st.mt.g.On(st.via).GetNode(id)
+	if err != nil {
+		return nil, err
+	}
+	st.cells[id] = n
+	return n, nil
+}
+
+// hasEdge checks the data edge u -> v against the partition view when u
+// is local, or u's cached cell when it is remote.
+func (st *searchState) hasEdge(u, v uint64) (bool, error) {
+	var out []uint64
+	if idx, ok := st.pv.IndexOf(u); ok {
+		out = st.pv.Out(idx)
+	} else {
+		n, err := st.fetchCell(u)
+		if errors.Is(err, graph.ErrNoNode) {
+			return false, nil // dangling candidate: no cell, no edges
+		}
+		if err != nil {
+			return false, err
+		}
+		out = n.Outlinks
+	}
+	for _, dst := range out {
+		if dst == v {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // anchorEdge describes one way to derive candidates for query vertex q:
@@ -403,10 +443,12 @@ func (st *searchState) extend(depth int) error {
 			} else {
 				cands = st.pv.In(idx)
 			}
+		} else if n, ferr := st.fetchCell(anchor); ferr != nil {
+			err = ferr
 		} else if best.forward {
-			cands, err = g.Outlinks(anchor)
+			cands = n.Outlinks
 		} else {
-			cands, err = g.Inlinks(anchor)
+			cands = n.Inlinks
 		}
 	}
 	if err != nil {
@@ -445,7 +487,7 @@ func (st *searchState) extend(depth int) error {
 func (st *searchState) checkEdges(q int, c uint64) (bool, error) {
 	for _, v := range st.p.Out[q] {
 		if v != q && st.assigned[v] {
-			ok, err := st.mt.hasEdge(st.via, c, st.assign[v])
+			ok, err := st.hasEdge(c, st.assign[v])
 			if err != nil || !ok {
 				return false, err
 			}
@@ -457,7 +499,7 @@ func (st *searchState) checkEdges(q int, c uint64) (bool, error) {
 		}
 		for _, v := range vs {
 			if v == q {
-				ok, err := st.mt.hasEdge(st.via, st.assign[u], c)
+				ok, err := st.hasEdge(st.assign[u], c)
 				if err != nil || !ok {
 					return false, err
 				}
@@ -576,46 +618,6 @@ func (mt *Matcher) filterLabelLocal(m *graph.Machine, req []byte) ([]byte, error
 		}
 	}
 	return encodeIDs(keep), nil
-}
-
-// hasEdge checks u -> v on u's owner machine.
-func (mt *Matcher) hasEdge(via int, u, v uint64) (bool, error) {
-	coord := mt.g.On(via)
-	owner := coord.Slave().Owner(u)
-	var req [16]byte
-	binary.LittleEndian.PutUint64(req[0:], u)
-	binary.LittleEndian.PutUint64(req[8:], v)
-	var resp []byte
-	var err error
-	if owner == coord.Slave().ID() {
-		resp, err = mt.hasEdgeLocal(coord, req[:])
-	} else {
-		resp, err = coord.Slave().Node().Call(owner, protoHasEdge, req[:])
-	}
-	if err != nil {
-		return false, err
-	}
-	return len(resp) == 1 && resp[0] == 1, nil
-}
-
-func (mt *Matcher) hasEdgeLocal(m *graph.Machine, req []byte) ([]byte, error) {
-	if len(req) != 16 {
-		return nil, errors.New("algo: bad edge request")
-	}
-	u := binary.LittleEndian.Uint64(req[0:])
-	v := binary.LittleEndian.Uint64(req[8:])
-	pv, err := view.Acquire(m)
-	if err != nil {
-		return nil, err
-	}
-	if idx, ok := pv.IndexOf(u); ok {
-		for _, dst := range pv.Out(idx) {
-			if dst == v {
-				return []byte{1}, nil
-			}
-		}
-	}
-	return []byte{0}, nil
 }
 
 func encodeIDs(ids []uint64) []byte {

@@ -16,18 +16,25 @@ import (
 // array indexed by its partition view and forwards the out-neighbors,
 // grouped by owner, as follow-up tasks.
 //
+// Vertices absent from the pinned view (added after the snapshot was
+// taken, or reachable only through edges newer than it) are resolved
+// through the cell-fetch pipeline: the handler batch-fetches their cells
+// and expands them like any other vertex, tracking them in a per-machine
+// side map instead of the dense array.
+//
 // Construct with NewBFS, pass Handler() to New, seed the start vertex
 // with Engine.Post, and read Visited after Engine.Wait.
 type BFS struct {
 	g       *graph.Graph
 	views   []*view.View
 	mu      []sync.Mutex
-	visited [][]bool // dense per machine, indexed by view local index
+	visited [][]bool          // dense per machine, indexed by view local index
+	extra   []map[uint64]bool // off-snapshot vertices, resolved via the fetcher
 }
 
 // NewBFS acquires every machine's partition view and prepares dense
-// visited state. The views are pinned for the life of the BFS: vertices
-// added after this point are not explored.
+// visited state. The views are pinned for the life of the BFS; vertices
+// added after this point are still explored, via the fetch pipeline.
 func NewBFS(g *graph.Graph) (*BFS, error) {
 	b := &BFS{g: g, mu: make([]sync.Mutex, g.Machines())}
 	for i := 0; i < g.Machines(); i++ {
@@ -37,6 +44,7 @@ func NewBFS(g *graph.Graph) (*BFS, error) {
 		}
 		b.views = append(b.views, v)
 		b.visited = append(b.visited, make([]bool, v.NumVertices()))
+		b.extra = append(b.extra, make(map[uint64]bool))
 	}
 	return b, nil
 }
@@ -50,11 +58,28 @@ func (b *BFS) handle(ctx *Ctx, task []byte) {
 	m := b.g.On(mi)
 	// A task is a batch of vertex ids to visit on this machine.
 	perOwner := make(map[msg.MachineID][]byte)
+	push := func(dst uint64) {
+		owner := m.Slave().Owner(dst)
+		var enc [8]byte
+		binary.LittleEndian.PutUint64(enc[:], dst)
+		perOwner[owner] = append(perOwner[owner], enc[:]...)
+	}
+	var missing []uint64
 	for off := 0; off+8 <= len(task); off += 8 {
 		id := binary.LittleEndian.Uint64(task[off:])
 		idx, ok := v.IndexOf(id)
 		if !ok {
-			continue // dangling edge target or post-snapshot vertex
+			// Off-snapshot vertex (or dangling edge target): resolve it
+			// through the fetch pipeline below. Mark before fetching so
+			// duplicate posts dedup; a miss unmarks to keep Visited exact.
+			b.mu[mi].Lock()
+			seen := b.extra[mi][id]
+			b.extra[mi][id] = true
+			b.mu[mi].Unlock()
+			if !seen {
+				missing = append(missing, id)
+			}
+			continue
 		}
 		b.mu[mi].Lock()
 		seen := b.visited[mi][idx]
@@ -64,11 +89,24 @@ func (b *BFS) handle(ctx *Ctx, task []byte) {
 			continue
 		}
 		for _, dst := range v.Out(idx) {
-			owner := m.Slave().Owner(dst)
-			var enc [8]byte
-			binary.LittleEndian.PutUint64(enc[:], dst)
-			perOwner[owner] = append(perOwner[owner], enc[:]...)
+			push(dst)
 		}
+	}
+	if len(missing) > 0 {
+		// Fetch synchronously inside the handler: the machine stays active
+		// while the batch is in flight, so Safra counts the follow-up posts
+		// before this machine can be observed passive.
+		m.GetNodes(missing, func(i int, n *graph.Node, err error) {
+			if err != nil {
+				b.mu[mi].Lock()
+				delete(b.extra[mi], missing[i])
+				b.mu[mi].Unlock()
+				return
+			}
+			for _, dst := range n.Outlinks {
+				push(dst)
+			}
+		})
 	}
 	for owner, batch := range perOwner {
 		ctx.Post(owner, batch)
@@ -85,6 +123,7 @@ func (b *BFS) Visited() int {
 				total++
 			}
 		}
+		total += len(b.extra[i])
 		b.mu[i].Unlock()
 	}
 	return total
@@ -98,6 +137,7 @@ func (b *BFS) Reset() {
 		for j := range b.visited[i] {
 			b.visited[i][j] = false
 		}
+		b.extra[i] = make(map[uint64]bool)
 		b.mu[i].Unlock()
 	}
 }

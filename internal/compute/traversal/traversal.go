@@ -21,6 +21,8 @@ import (
 
 	"trinity/internal/graph"
 	"trinity/internal/graph/view"
+	"trinity/internal/memcloud"
+	"trinity/internal/memcloud/fetch"
 	"trinity/internal/msg"
 	"trinity/internal/obs"
 )
@@ -115,6 +117,12 @@ func (e *Engine) Explore(via int, start uint64, hops int, pred Predicate) (*Resu
 		// The final frontier is tested against the predicate but not
 		// expanded further.
 		expandMore := hop < hops
+		if !expandMore && pred.Mode == MatchNone {
+			// Nothing to test and nothing to expand: scattering the last
+			// (and largest) frontier to every machine would be a full
+			// round of round trips for an empty reply.
+			break
+		}
 		// Group the frontier by owner machine.
 		perOwner := make(map[msg.MachineID][]uint64)
 		for _, id := range frontier {
@@ -157,6 +165,98 @@ func (e *Engine) Explore(via int, start uint64, hops int, pred Predicate) (*Resu
 		frontier = next
 	}
 	res.Matches = dedup(res.Matches)
+	e.visited.Add(int64(res.Visited))
+	return res, nil
+}
+
+// ExploreCells runs the same breadth-first exploration as Explore, but
+// client-side over raw node cells through the coordinator's fetch
+// pipeline instead of server-side through partition views. It is the
+// paper's §4 latency-hiding pattern made concrete: the next hop's cell
+// fetches are issued asynchronously while the current hop is still being
+// processed, so remote reads batch into multi-get frames and overlap with
+// the predicate work. Futures are consumed in strict FIFO issue order,
+// which preserves level-synchronous BFS semantics — a node discovered at
+// level L is always processed before anything discovered at L+1.
+//
+// Use Explore when partition views are warm (server-side CSR expansion
+// ships only ids); use ExploreCells when the traversal must read the
+// cells themselves anyway, where it replaces one blocking round trip per
+// remote cell with a pipelined batch stream.
+func (e *Engine) ExploreCells(via int, start uint64, hops int, pred Predicate) (*Result, error) {
+	e.queries.Inc()
+	qStart := time.Now()
+	defer func() { e.exploreNs.Observe(int64(time.Since(qStart))) }()
+	coord := e.g.On(via)
+	f := coord.Fetcher()
+
+	type item struct {
+		id  uint64
+		hop int
+		fut *fetch.Future
+	}
+	visited := map[uint64]bool{start: true}
+	queue := []item{{id: start, hop: 0, fut: f.GetAsync(start)}}
+	res := &Result{Visited: 1}
+	levelCounts := make([]int, hops)
+
+	for head := 0; head < len(queue); head++ {
+		it := queue[head]
+		select {
+		case <-it.fut.Done():
+		default:
+			// About to block on the pipeline: push everything queued onto
+			// the wire rather than waiting out the age watermark.
+			f.Flush()
+		}
+		blob, err := it.fut.Wait()
+		if err != nil {
+			if it.id == start {
+				return nil, fmt.Errorf("traversal: start node %d does not exist", start)
+			}
+			if errors.Is(err, memcloud.ErrNotFound) {
+				continue // dangling edge target, same tolerance as Explore
+			}
+			return nil, err
+		}
+		n, err := graph.DecodeNode(it.id, blob)
+		if err != nil {
+			return nil, err
+		}
+		switch pred.Mode {
+		case MatchLabel:
+			if n.Label == pred.Label {
+				res.Matches = append(res.Matches, it.id)
+			}
+		case MatchNamePrefix:
+			if strings.HasPrefix(n.Name, pred.Prefix) {
+				res.Matches = append(res.Matches, it.id)
+			}
+		}
+		if it.hop >= hops {
+			continue
+		}
+		e.expansions.Inc()
+		for _, dst := range n.Outlinks {
+			if visited[dst] {
+				continue
+			}
+			visited[dst] = true
+			levelCounts[it.hop]++
+			res.Visited++
+			// Issue the fetch at discovery: it rides a batch while this
+			// level's remaining cells are processed.
+			queue = append(queue, item{id: dst, hop: it.hop + 1, fut: f.GetAsync(dst)})
+		}
+	}
+	// Mirror Explore's Levels bookkeeping: one entry per hop whose
+	// frontier was non-empty and expanded (the last such entry may be 0).
+	for h := 0; h < hops; h++ {
+		if h > 0 && levelCounts[h-1] == 0 {
+			break
+		}
+		res.Levels = append(res.Levels, levelCounts[h])
+	}
 	e.visited.Add(int64(res.Visited))
 	return res, nil
 }

@@ -1,6 +1,9 @@
 package traversal
 
 import (
+	"errors"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -286,6 +289,150 @@ func TestCyclesDoNotLoop(t *testing.T) {
 	}
 }
 
+// naiveKHopCells is the pre-pipeline client-side traversal: one blocking
+// per-key Get round trip per remote cell. It exists as the baseline the
+// fetch pipeline is measured against.
+func naiveKHopCells(g *graph.Graph, via int, start uint64, hops int) (int, error) {
+	m := g.On(via)
+	type item struct {
+		id  uint64
+		hop int
+	}
+	visited := map[uint64]bool{start: true}
+	queue := []item{{start, 0}}
+	for head := 0; head < len(queue); head++ {
+		it := queue[head]
+		blob, err := m.Slave().Get(it.id)
+		if err != nil {
+			if errors.Is(err, memcloud.ErrNotFound) {
+				continue
+			}
+			return 0, err
+		}
+		n, err := graph.DecodeNode(it.id, blob)
+		if err != nil {
+			return 0, err
+		}
+		if it.hop >= hops {
+			continue
+		}
+		for _, dst := range n.Outlinks {
+			if !visited[dst] {
+				visited[dst] = true
+				queue = append(queue, item{dst, it.hop + 1})
+			}
+		}
+	}
+	return len(visited), nil
+}
+
+func TestExploreCellsMatchesExplore(t *testing.T) {
+	cloud := newCloud(t, 4)
+	b := graph.NewBuilder(true)
+	gen.BuildUniform(gen.UniformConfig{Nodes: 400, AvgDegree: 5, Seed: 9}, 4, b)
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g)
+	preds := []Predicate{
+		{},
+		{Mode: MatchLabel, Label: 1},
+	}
+	for _, start := range []uint64{0, 17, 399} {
+		for hops := 0; hops <= 4; hops++ {
+			for _, pred := range preds {
+				want, err := e.Explore(int(start)%4, start, hops, pred)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.ExploreCells(int(start)%4, start, hops, pred)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Visited != want.Visited {
+					t.Fatalf("start=%d hops=%d: cells visited %d, explore %d",
+						start, hops, got.Visited, want.Visited)
+				}
+				gm := append([]uint64(nil), got.Matches...)
+				wm := append([]uint64(nil), want.Matches...)
+				sort.Slice(gm, func(i, j int) bool { return gm[i] < gm[j] })
+				sort.Slice(wm, func(i, j int) bool { return wm[i] < wm[j] })
+				if !reflect.DeepEqual(gm, wm) {
+					t.Fatalf("start=%d hops=%d: cells matches %v, explore %v",
+						start, hops, gm, wm)
+				}
+				if !reflect.DeepEqual(got.Levels, want.Levels) {
+					t.Fatalf("start=%d hops=%d: cells levels %v, explore %v",
+						start, hops, got.Levels, want.Levels)
+				}
+			}
+		}
+	}
+}
+
+func TestExploreCellsMissingStart(t *testing.T) {
+	cloud := newCloud(t, 2)
+	g := chainGraph(t, cloud, 5)
+	e := New(g)
+	if _, err := e.ExploreCells(0, 999, 2, Predicate{}); err == nil {
+		t.Fatal("missing start accepted")
+	}
+}
+
+// TestExploreCellsFewerRoundTrips is the acceptance check for the fetch
+// pipeline: the same multi-hop traversal must cost measurably fewer
+// transport round trips through the pipeline than through blocking
+// per-key Gets. Round trips are counted from the coordinator node's
+// sync_calls counter, and the pipeline's own round_trips_saved counter
+// must corroborate.
+func TestExploreCellsFewerRoundTrips(t *testing.T) {
+	cloud := newCloud(t, 4)
+	b := graph.NewBuilder(false)
+	gen.BuildSocial(gen.SocialConfig{People: 2000, AvgDegree: 10, Seed: 3}, b)
+	g, err := b.Load(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g)
+	reg := cloud.Metrics()
+	syncCalls := reg.Scope("msg.m0").Counter("sync_calls")
+
+	const start, hops = 0, 3
+	wantVisited, err := naiveKHopCells(g, 0, start, hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := syncCalls.Load()
+	if _, err := naiveKHopCells(g, 0, start, hops); err != nil {
+		t.Fatal(err)
+	}
+	perKey := syncCalls.Load() - before
+
+	saved := reg.Scope("fetch.m0").Counter("round_trips_saved")
+	savedBefore := saved.Load()
+	before = syncCalls.Load()
+	res, err := e.ExploreCells(0, start, hops, Predicate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipelined := syncCalls.Load() - before
+
+	if res.Visited != wantVisited {
+		t.Fatalf("pipelined traversal visited %d, per-key %d", res.Visited, wantVisited)
+	}
+	if res.Visited < 200 {
+		t.Fatalf("3-hop ball too small (%d) to measure batching", res.Visited)
+	}
+	t.Logf("round trips: per-key=%d pipelined=%d (visited %d)", perKey, pipelined, res.Visited)
+	if pipelined*2 >= perKey {
+		t.Fatalf("pipeline used %d round trips vs %d per-key: batching saved too little", pipelined, perKey)
+	}
+	if got := saved.Load() - savedBefore; got == 0 {
+		t.Fatal("round_trips_saved did not advance during a pipelined traversal")
+	}
+}
+
 func BenchmarkThreeHopExploration(b *testing.B) {
 	// The §5.1 headline: explore the full 3-hop neighborhood of a node in
 	// a power-law social graph spread over 8 simulated machines.
@@ -300,6 +447,45 @@ func BenchmarkThreeHopExploration(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.KHopNeighborhoodSize(0, uint64(i%20000), 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCellsGraph builds the client-side-traversal benchmark fixture: the
+// same social graph as BenchmarkThreeHopExploration but smaller, since
+// cell-mode traversals ship whole cells rather than ids.
+func benchCellsGraph(b *testing.B) *graph.Graph {
+	cloud := newCloud(b, 8)
+	bl := graph.NewBuilder(false)
+	gen.BuildSocial(gen.SocialConfig{People: 5000, AvgDegree: 13, Seed: 1}, bl)
+	g, err := bl.Load(cloud)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkThreeHopCellsPerKeyGet is the pre-pipeline baseline: one
+// blocking round trip per remote cell.
+func BenchmarkThreeHopCellsPerKeyGet(b *testing.B) {
+	g := benchCellsGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := naiveKHopCells(g, 0, uint64(i%5000), 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThreeHopCellsPipelined is the same traversal through the
+// async batched fetch pipeline.
+func BenchmarkThreeHopCellsPipelined(b *testing.B) {
+	g := benchCellsGraph(b)
+	e := New(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ExploreCells(0, uint64(i%5000), 3, Predicate{}); err != nil {
 			b.Fatal(err)
 		}
 	}

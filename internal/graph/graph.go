@@ -10,6 +10,7 @@ import (
 
 	"trinity/internal/hash"
 	"trinity/internal/memcloud"
+	"trinity/internal/memcloud/fetch"
 	"trinity/internal/msg"
 )
 
@@ -46,6 +47,10 @@ type Machine struct {
 	// viewCache is the partition-view layer's cache slot, typed any to
 	// avoid an import cycle (graph/view imports graph).
 	viewCache atomic.Value
+	// fetcher is the machine's batched cell-read pipeline, built lazily:
+	// engines that never read remote cells never pay for it.
+	fetchOnce sync.Once
+	fetcher   *fetch.Fetcher
 }
 
 // New attaches a graph engine to every slave of the cloud.
@@ -72,6 +77,33 @@ func (g *Graph) On(i int) *Machine { return g.machines[i] }
 
 // Slave returns the memory-cloud slave behind machine i.
 func (m *Machine) Slave() *memcloud.Slave { return m.s }
+
+// Fetcher returns the machine's batched cell-read pipeline, creating it
+// on first use. All remote cell reads issued through this graph engine —
+// GetNode, Outlinks, Label, GetNodes — flow through it, so concurrent
+// readers on one machine share frames and coalesce duplicate keys.
+func (m *Machine) Fetcher() *fetch.Fetcher {
+	m.fetchOnce.Do(func() {
+		m.fetcher = fetch.New(m.s, fetch.Options{Metrics: m.s.Metrics()})
+	})
+	return m.fetcher
+}
+
+// cellGet reads one cell through the fetch pipeline. The immediate Flush
+// keeps the synchronous callers' latency at one round trip (no age-timer
+// wait) while still letting concurrent readers ride the same frame.
+func (m *Machine) cellGet(id uint64) ([]byte, error) {
+	f := m.Fetcher()
+	fu := f.GetAsync(id)
+	select {
+	case <-fu.Done():
+		// Local (or coalesced, already-resolved) read: no wire traffic to
+		// flush.
+	default:
+		f.Flush()
+	}
+	return fu.Wait()
+}
 
 func (m *Machine) stripe(id uint64) *sync.Mutex {
 	return &m.stripes[hash.Mix64(id)&127]
@@ -133,9 +165,11 @@ func (m *Machine) PutNode(n *Node) error {
 	return err
 }
 
-// GetNode fetches and decodes a node from wherever it lives.
+// GetNode fetches and decodes a node from wherever it lives. Remote
+// reads go through the fetch pipeline, so concurrent GetNode calls on
+// one machine batch into shared frames.
 func (m *Machine) GetNode(id uint64) (*Node, error) {
-	blob, err := m.s.Get(id)
+	blob, err := m.cellGet(id)
 	if err != nil {
 		if errors.Is(err, memcloud.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %d", ErrNoNode, id)
@@ -143,6 +177,24 @@ func (m *Machine) GetNode(id uint64) (*Node, error) {
 		return nil, err
 	}
 	return DecodeNode(id, blob)
+}
+
+// GetNodes fetches and decodes many nodes in one scatter-gather sweep:
+// keys are grouped per owner machine and each group rides multi-get
+// frames instead of one round trip per node. fn is invoked once per id in
+// argument order; a missing node reports ErrNoNode.
+func (m *Machine) GetNodes(ids []uint64, fn func(i int, n *Node, err error)) {
+	m.Fetcher().GetBatch(ids, func(i int, id uint64, blob []byte, err error) {
+		if err != nil {
+			if errors.Is(err, memcloud.ErrNotFound) {
+				err = fmt.Errorf("%w: %d", ErrNoNode, id)
+			}
+			fn(i, nil, err)
+			return
+		}
+		n, derr := DecodeNode(id, blob)
+		fn(i, n, derr)
+	})
 }
 
 // HasNode reports whether the node exists.
@@ -278,7 +330,7 @@ func (m *Machine) links(id uint64, list int) ([]uint64, error) {
 		}
 		return out, err
 	}
-	blob, err := m.s.Get(id)
+	blob, err := m.cellGet(id)
 	if err != nil {
 		if errors.Is(err, memcloud.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %d", ErrNoNode, id)
@@ -410,7 +462,7 @@ func (m *Machine) Label(id uint64) (int64, error) {
 	if m.s.Owner(id) == m.s.ID() {
 		return label, m.s.View(id, read)
 	}
-	blob, err := m.s.Get(id)
+	blob, err := m.cellGet(id)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,184 @@
+package fetch_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"trinity/internal/memcloud"
+	"trinity/internal/memcloud/fetch"
+	"trinity/internal/msg"
+	"trinity/internal/obs"
+)
+
+// chaosConfig tunes for fault injection: a short call timeout so dropped
+// frames are detected in milliseconds, and a failure timeout high enough
+// that only the explicit failure-report path drives recovery.
+func chaosConfig(machines int, reg *obs.Registry) memcloud.Config {
+	cfg := testConfig(machines, reg)
+	cfg.Msg.CallTimeout = 200 * time.Millisecond
+	cfg.Cluster.FailureTimeout = time.Minute
+	return cfg
+}
+
+// waitAllResolve fails the test if any future is still unresolved after
+// the deadline — the pipeline's core promise is that no future wedges.
+func waitAllResolve(t *testing.T, keys []uint64, futs []*fetch.Future, d time.Duration) (values, errors int) {
+	t.Helper()
+	deadline := time.After(d)
+	for i, fu := range futs {
+		select {
+		case <-fu.Done():
+		case <-deadline:
+			t.Fatalf("future for key %d wedged: unresolved after %v", keys[i], d)
+		}
+		v, err := fu.Wait()
+		if err != nil {
+			errors++
+			continue
+		}
+		values++
+		if !bytes.Equal(v, val(16, byte(keys[i]))) {
+			t.Fatalf("key %d resolved with corrupt value", keys[i])
+		}
+	}
+	return values, errors
+}
+
+// TestChaosFetcherDeliversUnderDupDelay: duplicated and reordered frames
+// are contract-preserving faults — every future must resolve with the
+// correct value, no errors, no spurious recoveries.
+func TestChaosFetcherDeliversUnderDupDelay(t *testing.T) {
+	for _, seed := range msg.Seeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			reg := obs.NewRegistry()
+			c, ch := memcloud.NewChaosCloud(chaosConfig(3, reg), seed)
+			defer c.Close()
+			s0 := c.Slave(0)
+
+			const n = 300
+			keys := make([]uint64, n)
+			for k := uint64(0); k < n; k++ {
+				keys[k] = k
+				if err := s0.Put(k, val(16, byte(k))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ch.SetDefault(msg.Policy{
+				Dup:      0.10,
+				Delay:    0.30,
+				MaxDelay: 2 * time.Millisecond,
+				Jitter:   100 * time.Microsecond,
+			})
+
+			f := fetch.New(s0, fetch.Options{Metrics: reg})
+			defer f.Close()
+			futs := make([]*fetch.Future, n)
+			for i, k := range keys {
+				futs[i] = f.GetAsync(k)
+			}
+			f.Flush()
+			values, errs := waitAllResolve(t, keys, futs, 30*time.Second)
+			if errs != 0 || values != n {
+				t.Fatalf("%d values, %d errors under benign chaos; want %d values", values, errs, n)
+			}
+			if rec := c.Stats().Recoveries; rec != 0 {
+				t.Fatalf("spurious recoveries under benign chaos: %d", rec)
+			}
+		})
+	}
+}
+
+// TestChaosFetcherFuturesAllResolveUnderDrops: with frames silently lost,
+// calls time out, machines get reported, trunks get recovered — and still
+// no future may wedge. Each resolves with a value (correct bytes) or an
+// error, within a bounded time.
+func TestChaosFetcherFuturesAllResolveUnderDrops(t *testing.T) {
+	for _, seed := range msg.Seeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			reg := obs.NewRegistry()
+			c, ch := memcloud.NewChaosCloud(chaosConfig(3, reg), seed)
+			defer c.Close()
+			s0 := c.Slave(0)
+
+			const n = 200
+			keys := make([]uint64, n)
+			for k := uint64(0); k < n; k++ {
+				keys[k] = k
+				if err := s0.Put(k, val(16, byte(k))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Backup first: a dropped frame can escalate into a failure
+			// report, and recovered trunks must have something to recover.
+			if err := c.Backup(); err != nil {
+				t.Fatal(err)
+			}
+			ch.SetDefault(msg.Policy{
+				Drop:     0.03,
+				Dup:      0.05,
+				Delay:    0.20,
+				MaxDelay: 2 * time.Millisecond,
+			})
+
+			f := fetch.New(s0, fetch.Options{Metrics: reg})
+			defer f.Close()
+			futs := make([]*fetch.Future, n)
+			for i, k := range keys {
+				futs[i] = f.GetAsync(k)
+			}
+			f.Flush()
+			values, errs := waitAllResolve(t, keys, futs, 60*time.Second)
+			t.Logf("seed %d: %d values, %d errors, retries=%d",
+				seed, values, errs, reg.Scope("fetch.m0").Counter("retries").Load())
+			if values == 0 {
+				t.Fatal("no future resolved with a value under lossy chaos")
+			}
+		})
+	}
+}
+
+// TestChaosFetcherIsolatedOwnerResolves: the owner of a batch of keys is
+// partitioned away mid-pipeline. The batch times out, the failure report
+// recovers the trunks to survivors, and every future must still resolve —
+// with the recovered value.
+func TestChaosFetcherIsolatedOwnerResolves(t *testing.T) {
+	for _, seed := range msg.Seeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			reg := obs.NewRegistry()
+			c, ch := memcloud.NewChaosCloud(chaosConfig(3, reg), seed)
+			defer c.Close()
+			s0 := c.Slave(0)
+
+			var keys []uint64
+			for k := uint64(0); len(keys) < 30; k++ {
+				if s0.Owner(k) == 2 {
+					if err := s0.Put(k, val(16, byte(k))); err != nil {
+						t.Fatal(err)
+					}
+					keys = append(keys, k)
+				}
+			}
+			if err := c.Backup(); err != nil {
+				t.Fatal(err)
+			}
+			ch.Isolate(2)
+
+			f := fetch.New(s0, fetch.Options{Metrics: reg})
+			defer f.Close()
+			futs := make([]*fetch.Future, len(keys))
+			for i, k := range keys {
+				futs[i] = f.GetAsync(k)
+			}
+			f.Flush()
+			values, errs := waitAllResolve(t, keys, futs, 60*time.Second)
+			if values != len(keys) {
+				t.Fatalf("%d of %d keys recovered, %d errors", values, len(keys), errs)
+			}
+			if owner := s0.Owner(keys[0]); owner == 2 {
+				t.Fatal("table still names the isolated machine as owner")
+			}
+		})
+	}
+}

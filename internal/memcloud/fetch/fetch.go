@@ -1,0 +1,486 @@
+// Package fetch is the asynchronous batched cell-read pipeline: the
+// client side of the paper's latency-hiding story (§4). Trinity observes
+// that a distributed graph computation is network-bound not because it
+// moves much data but because it makes many small reads, so the remedy is
+// to (a) issue reads asynchronously and overlap them with computation,
+// (b) batch reads per destination machine so one frame answers N keys,
+// and (c) keep a bounded pipeline of batches in flight per machine.
+//
+// A Fetcher fronts a memcloud endpoint (slave or proxy). GetAsync returns
+// a Future immediately; duplicate in-flight keys coalesce onto one wire
+// request. Queued keys are grouped by owner machine and shipped as
+// ProtoMultiGet batches when a queue reaches its target size, when the
+// oldest queued key has waited MaxDelay, or when Flush is called. The
+// target size adapts: it doubles while completions find a backlog
+// (throughput-bound) and halves when timer flushes ship small batches
+// (latency-bound), within [MinBatch, MaxBatch].
+//
+// Failure contract: every Future resolves, with a value or an error —
+// under message drops, duplicates, delays, and machine failures. A key
+// answered MultiGetWrongOwner, or stranded by a transport error, is
+// re-routed through the §6.2 protocol (report failure, refresh the
+// addressing table, retry against the new owner) a bounded number of
+// times (maxRetries, mirroring the memcloud client); exhausting the bound
+// resolves the future with the error. Close resolves all queued futures
+// with ErrClosed; in-flight batches resolve when their call returns
+// (bounded by the msg-layer call timeout).
+package fetch
+
+import (
+	"errors"
+	"time"
+
+	"sync"
+
+	"trinity/internal/memcloud"
+	"trinity/internal/msg"
+	"trinity/internal/obs"
+)
+
+// ErrClosed resolves futures that were still queued when the fetcher was
+// closed.
+var ErrClosed = errors.New("fetch: fetcher closed")
+
+// Client is the slice of a memcloud endpoint the pipeline needs. Both
+// *memcloud.Slave and *memcloud.Proxy satisfy it.
+type Client interface {
+	ID() msg.MachineID
+	Node() *msg.Node
+	// Owner returns the machine currently believed to host the key.
+	Owner(key uint64) msg.MachineID
+	// LocalGet answers the key from local trunks; ok=false means the key
+	// is remote and must go over the wire.
+	LocalGet(key uint64) (val []byte, ok bool, err error)
+	// RefreshTable re-reads the addressing table (§6.2 step 2).
+	RefreshTable()
+	// ReportFailure tells the leader machine m is unreachable (§6.2 step 1).
+	ReportFailure(m msg.MachineID)
+}
+
+// Options tune the pipeline. Zero values select the defaults.
+type Options struct {
+	// MaxBatch caps keys per wire frame (default 512).
+	MaxBatch int
+	// MinBatch floors the adaptive target (default 8).
+	MinBatch int
+	// MaxDelay bounds how long a queued key may wait before a timer
+	// flush ships it regardless of batch size (default 2ms, matching the
+	// msg layer's packing flush interval). Synchronous callers should
+	// Flush before blocking rather than lean on this timer: it is the
+	// safety net that keeps forgotten futures from stalling, and its
+	// firing is the signal that shrinks the adaptive batch target.
+	MaxDelay time.Duration
+	// Window bounds concurrent in-flight batches per destination
+	// machine (default 4).
+	Window int
+	// Metrics selects the registry (default obs.Default()). Metrics land
+	// under scope "fetch.m<id>".
+	Metrics *obs.Registry
+}
+
+func (o *Options) fill() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 512
+	}
+	if o.MinBatch <= 0 {
+		o.MinBatch = 8
+	}
+	if o.MinBatch > o.MaxBatch {
+		o.MinBatch = o.MaxBatch
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Millisecond
+	}
+	if o.Window <= 0 {
+		o.Window = 4
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.Default()
+	}
+}
+
+// Future is one pending cell read. Wait blocks until the pipeline
+// resolves it with the cell's value or an error.
+type Future struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Wait blocks until the future resolves.
+func (f *Future) Wait() ([]byte, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// Done exposes the completion channel for select-based callers.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+func resolved(val []byte, err error) *Future {
+	f := &Future{done: make(chan struct{}), val: val, err: err}
+	close(f.done)
+	return f
+}
+
+// maxRetries bounds how many times one key may be re-routed through a
+// refreshed addressing table before its future resolves with the error.
+// It mirrors the memcloud client's §6.2 retry bound: recovery publishes
+// the new table before the new owner has necessarily acquired its trunks,
+// so the first re-route can draw another wrong-owner disclaimer.
+const maxRetries = 3
+
+// entry is one key's place in the pipeline. It lives in the pending map
+// from GetAsync until its future resolves, so later GetAsync calls for
+// the same key coalesce onto it whether it is queued or in flight.
+type entry struct {
+	key      uint64
+	fut      *Future
+	attempts int // re-routes consumed, capped at maxRetries
+}
+
+// dest is the per-destination-machine batch queue.
+type dest struct {
+	queue    []*entry
+	inflight int // batches on the wire
+	target   int // adaptive batch-size watermark
+	// mustShip counts queue-front entries that ship regardless of the
+	// size watermark: Flush and the age timer promise "everything queued
+	// NOW goes out", without also destroying the batching of keys that
+	// arrive afterwards.
+	mustShip int
+	timer    *time.Timer
+}
+
+// Fetcher is the asynchronous scatter-gather cell-read pipeline.
+type Fetcher struct {
+	c   Client
+	opt Options
+
+	mu      sync.Mutex
+	pending map[uint64]*entry
+	dests   map[msg.MachineID]*dest
+	closed  bool
+
+	batchSize    *obs.Histogram
+	coalesceHits *obs.Counter
+	localHits    *obs.Counter
+	keysTotal    *obs.Counter
+	batches      *obs.Counter
+	savedRT      *obs.Counter
+	retries      *obs.Counter
+	errorsCtr    *obs.Counter
+	inflight     *obs.Gauge
+}
+
+// New builds a fetcher over the endpoint.
+func New(c Client, opt Options) *Fetcher {
+	opt.fill()
+	scope := opt.Metrics.Scope("fetch").Scope(machineScope(c.ID()))
+	return &Fetcher{
+		c:       c,
+		opt:     opt,
+		pending: make(map[uint64]*entry),
+		dests:   make(map[msg.MachineID]*dest),
+
+		batchSize:    scope.Histogram("batch_size"),
+		coalesceHits: scope.Counter("coalesce_hits"),
+		localHits:    scope.Counter("local_hits"),
+		keysTotal:    scope.Counter("keys"),
+		batches:      scope.Counter("batches"),
+		savedRT:      scope.Counter("round_trips_saved"),
+		retries:      scope.Counter("retries"),
+		errorsCtr:    scope.Counter("errors"),
+		inflight:     scope.Gauge("inflight"),
+	}
+}
+
+func machineScope(id msg.MachineID) string {
+	// Hand-rolled itoa keeps obs scope names allocation-cheap at startup;
+	// ids are small non-negative integers.
+	if id == 0 {
+		return "m0"
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n := uint64(id); n > 0; n /= 10 {
+		i--
+		buf[i] = byte('0' + n%10)
+	}
+	return "m" + string(buf[i:])
+}
+
+// GetAsync schedules a cell read and returns its future immediately.
+// Local keys resolve synchronously without touching the pipeline.
+func (f *Fetcher) GetAsync(key uint64) *Future {
+	if val, ok, err := f.c.LocalGet(key); ok {
+		f.localHits.Add(1)
+		return resolved(val, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return resolved(nil, ErrClosed)
+	}
+	if e, ok := f.pending[key]; ok {
+		// Coalesce: this read rides the request already queued or on the
+		// wire, saving a round trip a per-key Get would have made.
+		f.coalesceHits.Add(1)
+		f.savedRT.Add(1)
+		return e.fut
+	}
+	e := &entry{key: key, fut: &Future{done: make(chan struct{})}}
+	f.pending[key] = e
+	f.enqueueLocked(e)
+	return e.fut
+}
+
+// GetBatch schedules all keys, flushes the pipeline, and waits; fn (if
+// non-nil) is invoked once per key in argument order.
+func (f *Fetcher) GetBatch(keys []uint64, fn func(i int, key uint64, val []byte, err error)) {
+	futs := make([]*Future, len(keys))
+	for i, k := range keys {
+		futs[i] = f.GetAsync(k)
+	}
+	f.Flush()
+	for i, fu := range futs {
+		val, err := fu.Wait()
+		if fn != nil {
+			fn(i, keys[i], val, err)
+		}
+	}
+}
+
+// Flush ships every queued key without waiting for size or age
+// watermarks. It does not wait for responses.
+func (f *Fetcher) Flush() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for m, d := range f.dests {
+		d.mustShip = len(d.queue)
+		f.pumpLocked(m, d)
+	}
+}
+
+// Close resolves every queued future with ErrClosed and stops the
+// pipeline. Batches already on the wire resolve when their call returns.
+func (f *Fetcher) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for _, d := range f.dests {
+		if d.timer != nil {
+			d.timer.Stop()
+			d.timer = nil
+		}
+		for _, e := range d.queue {
+			f.resolveLocked(e, nil, ErrClosed)
+		}
+		d.queue = nil
+	}
+}
+
+// enqueueLocked routes the entry to its owner's queue and pumps.
+func (f *Fetcher) enqueueLocked(e *entry) {
+	owner := f.c.Owner(e.key)
+	d := f.dests[owner]
+	if d == nil {
+		d = &dest{target: f.opt.MinBatch}
+		f.dests[owner] = d
+	}
+	d.queue = append(d.queue, e)
+	f.pumpLocked(owner, d)
+}
+
+// pumpLocked ships as many batches as the watermarks allow: full batches
+// whenever the queue reaches the adaptive target, plus whatever a Flush
+// or timer promised to drain. It re-arms the age timer for anything that
+// stays queued.
+func (f *Fetcher) pumpLocked(m msg.MachineID, d *dest) {
+	for len(d.queue) > 0 && d.inflight < f.opt.Window &&
+		(len(d.queue) >= d.target || d.mustShip > 0) {
+		f.shipLocked(m, d)
+	}
+	if len(d.queue) > 0 && d.timer == nil && !f.closed {
+		d.timer = time.AfterFunc(f.opt.MaxDelay, func() { f.timerFlush(m) })
+	}
+}
+
+// shipLocked puts one batch (up to target keys) on the wire.
+func (f *Fetcher) shipLocked(m msg.MachineID, d *dest) {
+	n := min(len(d.queue), d.target)
+	batch := make([]*entry, n)
+	copy(batch, d.queue[:n])
+	rest := d.queue[n:]
+	d.queue = append(d.queue[:0:0], rest...)
+	d.mustShip = max(0, d.mustShip-n)
+	d.inflight++
+	f.inflight.Add(1)
+	f.batches.Add(1)
+	f.keysTotal.Add(int64(n))
+	f.batchSize.Observe(int64(n))
+	// A per-key Get client would have made n round trips; this frame
+	// makes one.
+	f.savedRT.Add(int64(n - 1))
+	go f.send(m, batch)
+}
+
+// timerFlush is the age watermark: whatever queued since the oldest key
+// arrived ships now, even below target. Shipping well under target on a
+// timer means the workload is latency-bound, so the target shrinks.
+func (f *Fetcher) timerFlush(m msg.MachineID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := f.dests[m]
+	if d == nil {
+		return
+	}
+	d.timer = nil
+	if len(d.queue) == 0 || f.closed {
+		return
+	}
+	if len(d.queue) < d.target/2 {
+		d.target = max(d.target/2, f.opt.MinBatch)
+	}
+	d.mustShip = len(d.queue)
+	f.pumpLocked(m, d)
+}
+
+// send performs one wire exchange off the lock and resolves or requeues
+// its batch.
+func (f *Fetcher) send(m msg.MachineID, batch []*entry) {
+	keys := make([]uint64, len(batch))
+	for i, e := range batch {
+		keys[i] = e.key
+	}
+	resp, err := f.c.Node().Call(m, memcloud.ProtoMultiGet, memcloud.EncodeMultiGetReq(keys))
+	switch {
+	case err != nil:
+		f.transportFailed(m, batch, err)
+	default:
+		results, derr := memcloud.DecodeMultiGetResp(resp, len(keys))
+		if derr != nil {
+			f.errorsCtr.Add(1)
+			f.failBatch(batch, derr)
+		} else {
+			f.deliver(batch, results)
+		}
+	}
+	f.completed(m)
+}
+
+// deliver resolves each entry from its per-key status; wrong-owner keys
+// get re-routed through a refreshed table, up to maxRetries times.
+func (f *Fetcher) deliver(batch []*entry, results []memcloud.MultiGetResult) {
+	var moved []*entry
+	for i, e := range batch {
+		switch results[i].Status {
+		case memcloud.MultiGetOK:
+			f.resolve(e, results[i].Val, nil)
+		case memcloud.MultiGetNotFound:
+			f.resolve(e, nil, memcloud.ErrNotFound)
+		default: // MultiGetWrongOwner
+			if e.attempts >= maxRetries {
+				f.resolve(e, nil, memcloud.ErrWrongOwner)
+			} else {
+				moved = append(moved, e)
+			}
+		}
+	}
+	if len(moved) > 0 {
+		f.requeue(moved)
+	}
+}
+
+// transportFailed handles a batch whose call never got an answer: report
+// the machine, refresh the table, and give each key its single retry.
+func (f *Fetcher) transportFailed(m msg.MachineID, batch []*entry, err error) {
+	f.errorsCtr.Add(1)
+	if errors.Is(err, msg.ErrUnreachable) || errors.Is(err, msg.ErrTimeout) {
+		f.c.ReportFailure(m)
+	}
+	var retry []*entry
+	for _, e := range batch {
+		if e.attempts >= maxRetries {
+			f.resolve(e, nil, err)
+		} else {
+			retry = append(retry, e)
+		}
+	}
+	if len(retry) > 0 {
+		f.requeue(retry)
+	}
+}
+
+// requeue re-routes entries after a failure: refresh the addressing table
+// once for the whole group, then resolve each key locally if its trunk
+// moved to this very machine, or re-batch it toward the new owner. Runs
+// in a send goroutine, so the brief settling pause for repeat offenders
+// (recovery publishes the table before every new owner has acquired its
+// trunks) blocks no caller.
+func (f *Fetcher) requeue(entries []*entry) {
+	for _, e := range entries {
+		if e.attempts > 1 {
+			time.Sleep(time.Millisecond)
+			break
+		}
+	}
+	f.c.RefreshTable()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, e := range entries {
+		e.attempts++
+		f.retries.Add(1)
+		if f.closed {
+			f.resolveLocked(e, nil, ErrClosed)
+			continue
+		}
+		if val, ok, err := f.c.LocalGet(e.key); ok {
+			f.localHits.Add(1)
+			f.resolveLocked(e, val, err)
+			continue
+		}
+		f.enqueueLocked(e)
+	}
+}
+
+// completed retires one in-flight batch and adapts: a backlog at
+// completion time means the pipeline is throughput-bound, so the target
+// grows to amortize more keys per frame.
+func (f *Fetcher) completed(m msg.MachineID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := f.dests[m]
+	if d == nil {
+		return
+	}
+	d.inflight--
+	f.inflight.Add(-1)
+	if len(d.queue) >= d.target {
+		d.target = min(d.target*2, f.opt.MaxBatch)
+	}
+	f.pumpLocked(m, d)
+}
+
+func (f *Fetcher) failBatch(batch []*entry, err error) {
+	for _, e := range batch {
+		f.resolve(e, nil, err)
+	}
+}
+
+func (f *Fetcher) resolve(e *entry, val []byte, err error) {
+	f.mu.Lock()
+	f.resolveLocked(e, val, err)
+	f.mu.Unlock()
+}
+
+// resolveLocked completes a future. The pending-map delete happens under
+// the same lock as coalescing lookups, so a GetAsync after resolution
+// starts a fresh read instead of receiving a stale value.
+func (f *Fetcher) resolveLocked(e *entry, val []byte, err error) {
+	delete(f.pending, e.key)
+	e.fut.val, e.fut.err = val, err
+	close(e.fut.done)
+}

@@ -56,6 +56,27 @@ const (
 	protoContains
 )
 
+// ProtoMultiGet is the batched cell-read protocol (paper §4: batching
+// messages per destination machine to hide network latency): one request
+// carries N keys and one response answers all of them, each with its own
+// per-key status, so a stale table entry for one key cannot fail the
+// whole frame. The fetch pipeline (internal/memcloud/fetch) is its only
+// intended client; the protocol is exported so that package can speak it
+// without an import cycle.
+const ProtoMultiGet msg.ProtocolID = 0x0110
+
+// Per-key status codes in a ProtoMultiGet response.
+const (
+	// MultiGetOK precedes a u32 length and the cell payload.
+	MultiGetOK byte = iota
+	// MultiGetNotFound reports the cell does not exist on the owner.
+	MultiGetNotFound
+	// MultiGetWrongOwner reports the serving machine no longer (or never
+	// did) host the key's trunk; the caller should refresh its addressing
+	// table and retry elsewhere.
+	MultiGetWrongOwner
+)
+
 // Config configures a memory cloud.
 type Config struct {
 	// Machines is the number of slaves in the simulated cluster.
@@ -367,6 +388,9 @@ type Slave struct {
 	getNs      *obs.Histogram
 	setNs      *obs.Histogram
 	multiOpNs  *obs.Histogram
+
+	multigetBatches *obs.Counter
+	multigetKeys    *obs.Counter
 }
 
 func newSlave(node *msg.Node, fs *tfs.FS, initial *cluster.Table, cfg Config) *Slave {
@@ -388,6 +412,9 @@ func newSlave(node *msg.Node, fs *tfs.FS, initial *cluster.Table, cfg Config) *S
 		getNs:      scope.Histogram("get_ns"),
 		setNs:      scope.Histogram("set_ns"),
 		multiOpNs:  scope.Histogram("multiop_ns"),
+
+		multigetBatches: scope.Counter("multiget_batches"),
+		multigetKeys:    scope.Counter("multiget_keys"),
 	}
 	s.registerTrunkGauges()
 	s.alive.Store(true)
@@ -405,6 +432,7 @@ func newSlave(node *msg.Node, fs *tfs.FS, initial *cluster.Table, cfg Config) *S
 	node.HandleSync(protoRemoveCell, s.onRemove)
 	node.HandleSync(protoAppendCell, s.onAppend)
 	node.HandleSync(protoContains, s.onContains)
+	node.HandleSync(ProtoMultiGet, s.onMultiGet)
 	if cfg.DefragInterval > 0 {
 		s.defrag = trunk.NewDaemon(cfg.DefragInterval)
 		s.mu.RLock()
@@ -485,6 +513,28 @@ func (s *Slave) trunkFor(key uint64) uint32 {
 func (s *Slave) Owner(key uint64) msg.MachineID {
 	return s.member.Table().Machine(s.trunkFor(key))
 }
+
+// LocalGet serves a cell read from this slave's own trunks without
+// touching the network. ok reports whether the key is local: when false,
+// the caller must go remote (via the fetch pipeline or a per-key Get).
+func (s *Slave) LocalGet(key uint64) (val []byte, ok bool, err error) {
+	t := s.localTrunk(s.trunkFor(key))
+	if t == nil {
+		return nil, false, nil
+	}
+	s.localOps.Add(1)
+	v, err := t.Get(key)
+	return v, true, mapTrunkErr(err)
+}
+
+// RefreshTable synchronously refreshes this slave's addressing-table
+// replica from the leader (§6.2 step 2 of the failure protocol).
+func (s *Slave) RefreshTable() { _ = s.member.RefreshTable() }
+
+// ReportFailure reports machine m as unreachable to the leader (§6.2
+// step 1), which will eventually publish a table that reassigns m's
+// trunks to survivors.
+func (s *Slave) ReportFailure(m msg.MachineID) { _ = s.member.ReportFailure(m) }
 
 // localTrunk returns the local trunk for the number, or nil.
 func (s *Slave) localTrunk(tid uint32) *trunk.Trunk {
@@ -576,6 +626,71 @@ func decodeKV(b []byte) (uint64, []byte, error) {
 		return 0, nil, errors.New("memcloud: short request")
 	}
 	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+// EncodeMultiGetReq builds a ProtoMultiGet request: u32 count, then count
+// 64-bit keys.
+func EncodeMultiGetReq(keys []uint64) []byte {
+	out := make([]byte, 4+8*len(keys))
+	binary.LittleEndian.PutUint32(out, uint32(len(keys)))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(out[4+8*i:], k)
+	}
+	return out
+}
+
+// decodeMultiGetReq parses a ProtoMultiGet request.
+func decodeMultiGetReq(b []byte) ([]uint64, error) {
+	if len(b) < 4 {
+		return nil, errors.New("memcloud: short multi-get request")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if len(b) != 4+8*n {
+		return nil, errors.New("memcloud: truncated multi-get request")
+	}
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint64(b[4+8*i:])
+	}
+	return keys, nil
+}
+
+// MultiGetResult is one key's answer inside a ProtoMultiGet response.
+type MultiGetResult struct {
+	Status byte
+	Val    []byte // set only when Status == MultiGetOK
+}
+
+// DecodeMultiGetResp parses a ProtoMultiGet response into per-key results
+// in request order. want is the number of keys the request carried; a
+// response answering a different number of keys is malformed.
+func DecodeMultiGetResp(b []byte, want int) ([]MultiGetResult, error) {
+	out := make([]MultiGetResult, 0, want)
+	for len(b) > 0 {
+		status := b[0]
+		b = b[1:]
+		switch status {
+		case MultiGetOK:
+			if len(b) < 4 {
+				return nil, errors.New("memcloud: truncated multi-get value header")
+			}
+			n := int(binary.LittleEndian.Uint32(b))
+			b = b[4:]
+			if n > len(b) {
+				return nil, errors.New("memcloud: truncated multi-get value")
+			}
+			out = append(out, MultiGetResult{Status: status, Val: b[:n:n]})
+			b = b[n:]
+		case MultiGetNotFound, MultiGetWrongOwner:
+			out = append(out, MultiGetResult{Status: status})
+		default:
+			return nil, fmt.Errorf("memcloud: unknown multi-get status %d", status)
+		}
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("memcloud: multi-get answered %d of %d keys", len(out), want)
+	}
+	return out, nil
 }
 
 // Wire error codes: handlers tag their sentinel errors with msg.WithCode
@@ -721,6 +836,38 @@ func (s *Slave) onContains(_ msg.MachineID, req []byte) ([]byte, error) {
 		return []byte{1}, nil
 	}
 	return []byte{0}, nil
+}
+
+// onMultiGet answers N cell reads in one frame. Every key gets its own
+// status byte, so a stale addressing-table entry for one key degrades to a
+// per-key MultiGetWrongOwner instead of failing the whole batch — the
+// fetch pipeline retries just that key after a table refresh.
+func (s *Slave) onMultiGet(_ msg.MachineID, req []byte) ([]byte, error) {
+	keys, err := decodeMultiGetReq(req)
+	if err != nil {
+		return nil, err
+	}
+	s.multigetBatches.Add(1)
+	s.multigetKeys.Add(int64(len(keys)))
+	var out []byte
+	var lenBuf [4]byte
+	for _, key := range keys {
+		t, err := s.serveTrunk(key)
+		if err != nil {
+			out = append(out, MultiGetWrongOwner)
+			continue
+		}
+		val, err := t.Get(key)
+		if err != nil {
+			out = append(out, MultiGetNotFound)
+			continue
+		}
+		out = append(out, MultiGetOK)
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(val)))
+		out = append(out, lenBuf[:]...)
+		out = append(out, val...)
+	}
+	return out, nil
 }
 
 // --- client-side operations ---

@@ -18,10 +18,11 @@ type Proxy struct {
 }
 
 // NewProxy attaches a proxy to the cloud's network. Proxies get machine
-// IDs above the slave range.
+// IDs above the slave range. The endpoint goes through c.endpoint so
+// proxies sit behind the same TransportWrap (chaos injection) as slaves.
 func (c *Cloud) NewProxy() *Proxy {
 	id := msg.MachineID(len(c.slaves) + 1000)
-	node := msg.NewNode(c.bus.Endpoint(id), c.cfg.Msg)
+	node := msg.NewNode(c.endpoint(id), c.cfg.Msg)
 	return &Proxy{cloud: c, node: node, id: id}
 }
 
@@ -54,6 +55,21 @@ func (p *Proxy) Put(key uint64, val []byte) error {
 func (p *Proxy) ownerOf(key uint64) msg.MachineID {
 	return p.cloud.slaves[0].Owner(key)
 }
+
+// Owner exposes the proxy's view of a key's owning machine, so the fetch
+// pipeline can route batches through a proxy endpoint.
+func (p *Proxy) Owner(key uint64) msg.MachineID { return p.ownerOf(key) }
+
+// RefreshTable refreshes the addressing-table replica the proxy routes by.
+func (p *Proxy) RefreshTable() { p.cloud.slaves[0].RefreshTable() }
+
+// ReportFailure reports machine m as unreachable through the proxy's
+// table source.
+func (p *Proxy) ReportFailure(m msg.MachineID) { p.cloud.slaves[0].ReportFailure(m) }
+
+// LocalGet never serves a read locally: a proxy "only handles messages
+// but does not own any data" (paper Figure 1), so every key is remote.
+func (p *Proxy) LocalGet(key uint64) ([]byte, bool, error) { return nil, false, nil }
 
 // ScatterGather is the aggregator pattern the paper describes ("a proxy
 // may serve as an information aggregator: it dispatches requests from
