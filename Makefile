@@ -12,7 +12,7 @@ BENCH_TIME ?= 2s
 BENCH_JSON ?= BENCH_graph.json
 BENCH_TOL ?= 0.20
 
-.PHONY: all build vet fmt-check test race chaos bench-smoke check \
+.PHONY: all build vet fmt-check lint-ctx test race chaos bench-smoke check \
 	bench bench-json bench-baseline bench-compare
 
 all: build
@@ -30,6 +30,11 @@ fmt-check:
 		echo "$$out" >&2; \
 		exit 1; \
 	fi
+
+# Cancellation conventions: no time.After in internal/ selects (timer
+# leak), exported blocking APIs in msg/memcloud/compute take ctx first.
+lint-ctx:
+	$(GO) run ./cmd/lintctx
 
 test:
 	$(GO) test ./...
@@ -49,7 +54,7 @@ chaos:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-check: build vet fmt-check test race chaos bench-smoke
+check: build vet fmt-check lint-ctx test race chaos bench-smoke
 
 # Real benchmark runs: the obs hot paths plus the graph stack — view CSR
 # scans/builds, BSP supersteps and multi-hop traversal. The graph-stack

@@ -8,6 +8,7 @@
 package trinity_test
 
 import (
+	"context"
 	"os"
 	"sync"
 	"testing"
@@ -20,10 +21,10 @@ var printOnce sync.Map
 // runFigure executes the experiment b.N times (it is a macro-benchmark:
 // one iteration is one full figure regeneration) and prints the resulting
 // table on the first run.
-func runFigure(b *testing.B, name string, fn func(bench.Scale) (*bench.Table, error)) {
+func runFigure(b *testing.B, name string, fn func(context.Context, bench.Scale) (*bench.Table, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		table, err := fn(bench.Scale{Factor: 1})
+		table, err := fn(context.Background(), bench.Scale{Factor: 1})
 		if err != nil {
 			b.Fatal(err)
 		}

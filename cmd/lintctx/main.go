@@ -1,0 +1,236 @@
+// Command lintctx enforces the repo's cancellation conventions with two
+// AST checks over the internal/ tree (tests excluded):
+//
+//  1. No time.After inside a select statement anywhere under internal/.
+//     time.After leaks its timer until it fires — in a select that has
+//     another ready arm the timer outlives the wait by the full duration,
+//     and a hot loop accumulates one live timer per iteration (the msg.Call
+//     wait path had exactly this leak; BenchmarkCallTimerChurn guards the
+//     fix). Use time.NewTimer with a deferred/explicit Stop instead.
+//
+//  2. Exported blocking functions in internal/msg, internal/memcloud and
+//     internal/compute must take a context.Context as their first
+//     parameter. "Blocking" is detected structurally: the body contains a
+//     channel receive, a channel send, a select, or a *.Wait(...) call.
+//     Lifecycle entry points that intentionally block without a context
+//     (Close, Flush, ...) are allowlisted below; extend the list only for
+//     teardown-shaped APIs, never for request-shaped ones.
+//
+// Exit status is non-zero if any violation is found, so `make lint-ctx`
+// can gate CI. The tool has no dependencies outside the standard library.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ctxPackages are the trees whose exported blocking APIs must be
+// context-first. Paths are slash-separated prefixes relative to the repo
+// root.
+var ctxPackages = []string{
+	"internal/msg",
+	"internal/memcloud",
+	"internal/compute",
+}
+
+// allowNoCtx names exported functions that block by design without a
+// context: lifecycle teardown and drain points where callers have no
+// deadline to offer (Close tears down, Flush pushes buffered frames,
+// Stop/Shutdown quiesce, Done exposes a channel, Run on long-lived
+// servers owns its own lifetime). Request-shaped APIs never belong here.
+var allowNoCtx = map[string]bool{
+	"Close":    true,
+	"Flush":    true,
+	"Stop":     true,
+	"Shutdown": true,
+	"Drain":    true,
+	"Done":     true,
+	"Start":    true,
+	"Serve":    true,
+}
+
+type violation struct {
+	pos token.Position
+	msg string
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations []violation
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		rel := filepath.ToSlash(path)
+		if r, e := filepath.Rel(root, path); e == nil {
+			rel = filepath.ToSlash(r)
+		}
+		violations = append(violations, checkTimeAfterInSelect(fset, file)...)
+		if inCtxPackage(rel) {
+			violations = append(violations, checkExportedBlocking(fset, file)...)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintctx:", err)
+		os.Exit(2)
+	}
+	for _, v := range violations {
+		fmt.Printf("%s: %s\n", v.pos, v.msg)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "lintctx: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+func inCtxPackage(rel string) bool {
+	for _, p := range ctxPackages {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTimeAfterInSelect flags every time.After call that appears inside
+// a select statement.
+func checkTimeAfterInSelect(fset *token.FileSet, file *ast.File) []violation {
+	var out []violation
+	var selectDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			selectDepth++
+			ast.Inspect(n.Body, walk)
+			selectDepth--
+			return false
+		case *ast.CallExpr:
+			if selectDepth > 0 && isPkgCall(n, "time", "After") {
+				out = append(out, violation{
+					pos: fset.Position(n.Pos()),
+					msg: "time.After inside select leaks its timer until it fires; use time.NewTimer + Stop",
+				})
+			}
+		}
+		return true
+	}
+	ast.Inspect(file, walk)
+	return out
+}
+
+// checkExportedBlocking flags exported functions whose body blocks on
+// channels but whose first parameter is not a context.Context.
+func checkExportedBlocking(fset *token.FileSet, file *ast.File) []violation {
+	var out []violation
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || !fn.Name.IsExported() || allowNoCtx[fn.Name.Name] {
+			continue
+		}
+		if fn.Recv != nil && !exportedRecv(fn.Recv) {
+			continue // method on an unexported type: not API surface
+		}
+		if firstParamIsContext(fn.Type) || !bodyBlocks(fn.Body) {
+			continue
+		}
+		out = append(out, violation{
+			pos: fset.Position(fn.Pos()),
+			msg: fmt.Sprintf("exported blocking func %s lacks a context.Context first parameter", fn.Name.Name),
+		})
+	}
+	return out
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func firstParamIsContext(ft *ast.FuncType) bool {
+	if ft.Params == nil || len(ft.Params.List) == 0 {
+		return false
+	}
+	sel, ok := ft.Params.List[0].Type.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && sel.Sel.Name == "Context"
+}
+
+// bodyBlocks reports whether the function body itself contains a channel
+// receive, channel send, select statement, or a *.Wait(...) call —
+// the structural signatures of an unbounded wait. Function literals
+// inside the body are skipped: a goroutine the function launches blocks
+// on its own time, not the caller's.
+func bodyBlocks(body *ast.BlockStmt) bool {
+	blocks := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blocks = true
+			}
+		case *ast.SendStmt:
+			blocks = true
+		case *ast.SelectStmt:
+			blocks = true
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				blocks = true
+			}
+		}
+		return !blocks
+	}
+	ast.Inspect(body, walk)
+	return blocks
+}
+
+func isPkgCall(call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg && sel.Sel.Name == name
+}

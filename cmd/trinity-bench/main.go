@@ -11,18 +11,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"trinity/internal/bench"
 	"trinity/internal/obs"
 )
 
-var experiments = map[string]func(bench.Scale) (*bench.Table, error){
+var experiments = map[string]func(context.Context, bench.Scale) (*bench.Table, error){
 	"fig8a":  bench.Fig8a,
 	"fig8b":  bench.Fig8b,
 	"fig12a": bench.Fig12a,
@@ -42,7 +45,18 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	metrics := flag.Bool("metrics", false,
 		"after the experiments, dump the observability registry (name value lines)")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	flag.Parse()
+
+	// Ctrl-C cancels the sweep: the context threads down to every Call, so
+	// a long experiment aborts within one call timeout instead of running out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	names := make([]string, 0, len(experiments))
 	for name := range experiments {
@@ -69,7 +83,7 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		table, err := fn(s)
+		table, err := fn(ctx, s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trinity-bench: %s: %v\n", name, err)
 			failed = true

@@ -28,14 +28,20 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"trinity/internal/algo"
 	"trinity/internal/compute/traversal"
@@ -49,14 +55,23 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7700", "client listen address")
 	metricsListen := flag.String("metrics-listen", "127.0.0.1:7701",
 		"HTTP metrics listen address serving /debug/metrics (empty disables)")
+	cmdTimeout := flag.Duration("cmd-timeout", 30*time.Second,
+		"per-command deadline (propagated over the wire; 0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second,
+		"grace period for in-flight work on SIGINT/SIGTERM")
 	flag.Parse()
+
+	// ctx is the daemon's root: SIGINT/SIGTERM cancels it, which drains
+	// the servers instead of dying mid-frame.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	metrics := obs.Default()
 	cloud := memcloud.New(memcloud.Config{Machines: *machines, Metrics: metrics})
-	defer cloud.Close()
 	g := graph.New(cloud, true)
 	trav := traversal.New(g)
 
+	var metricsSrv *http.Server
 	if *metricsListen != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -68,7 +83,8 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("trinityd: metrics on http://%s/debug/metrics", ml.Addr())
-		go http.Serve(ml, mux)
+		metricsSrv = &http.Server{Handler: mux}
+		go metricsSrv.Serve(ml)
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -76,16 +92,52 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("trinityd: %d-machine memory cloud serving on %s", *machines, l.Addr())
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return
+
+	var conns sync.WaitGroup
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed during shutdown
+			}
+			conns.Add(1)
+			go func() {
+				defer conns.Done()
+				serve(ctx, conn, cloud, g, trav, *cmdTimeout)
+			}()
 		}
-		go serve(conn, cloud, g, trav)
+	}()
+
+	<-ctx.Done()
+	log.Printf("trinityd: signal received, draining (timeout %v)", *drainTimeout)
+	// The root ctx is spent; shutdown gets its own budget.
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	l.Close()
+	if metricsSrv != nil {
+		if err := metricsSrv.Shutdown(shCtx); err != nil {
+			log.Printf("trinityd: metrics shutdown: %v", err)
+		}
 	}
+	// Wait out in-flight commands (they observe the cancelled root ctx and
+	// return quickly), bounded by the drain budget.
+	drained := make(chan struct{})
+	go func() { conns.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-shCtx.Done():
+		log.Printf("trinityd: drain timeout, closing with connections active")
+	}
+	// Flush every machine's outbox so acknowledged writes are on the wire,
+	// then tear the cloud down cleanly.
+	for i := 0; i < cloud.Slaves(); i++ {
+		cloud.Slave(i).Node().Flush()
+	}
+	cloud.Close()
+	log.Printf("trinityd: shutdown complete")
 }
 
-func serve(conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal.Engine) {
+func serve(ctx context.Context, conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal.Engine, cmdTimeout time.Duration) {
 	defer conn.Close()
 	s := cloud.Slave(0)
 	sc := bufio.NewScanner(conn)
@@ -95,7 +147,20 @@ func serve(conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal
 		fmt.Fprintf(w, format+"\r\n", args...)
 		w.Flush()
 	}
+	// cmdCtx derives one command's context: the daemon root (so shutdown
+	// aborts in-flight commands) bounded by the per-command deadline, which
+	// Call propagates over the wire.
+	cmdCtx := func() (context.Context, context.CancelFunc) {
+		if cmdTimeout > 0 {
+			return context.WithTimeout(ctx, cmdTimeout)
+		}
+		return context.WithCancel(ctx)
+	}
 	for sc.Scan() {
+		if ctx.Err() != nil {
+			reply("ERR shutting down")
+			return
+		}
 		line := sc.Text()
 		cmd, rest, _ := strings.Cut(line, " ")
 		switch strings.ToUpper(cmd) {
@@ -106,11 +171,13 @@ func serve(conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal
 				reply("ERR usage: %s <key> <value>", strings.ToUpper(cmd))
 				continue
 			}
+			cctx, cancel := cmdCtx()
 			if strings.EqualFold(cmd, "SET") {
-				err = s.Put(key, []byte(val))
+				err = s.Put(cctx, key, []byte(val))
 			} else {
-				err = s.Append(key, []byte(val))
+				err = s.Append(cctx, key, []byte(val))
 			}
+			cancel()
 			if err != nil {
 				reply("ERR %v", err)
 				continue
@@ -122,7 +189,9 @@ func serve(conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal
 				reply("ERR usage: GET <key>")
 				continue
 			}
-			val, err := s.Get(key)
+			cctx, cancel := cmdCtx()
+			val, err := s.Get(cctx, key)
+			cancel()
 			if errors.Is(err, memcloud.ErrNotFound) {
 				reply("NOT_FOUND")
 				continue
@@ -138,7 +207,10 @@ func serve(conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal
 				reply("ERR usage: DEL <key>")
 				continue
 			}
-			if err := s.Remove(key); err != nil {
+			cctx, cancel := cmdCtx()
+			err = s.Remove(cctx, key)
+			cancel()
+			if err != nil {
 				reply("ERR %v", err)
 				continue
 			}
@@ -149,7 +221,10 @@ func serve(conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal
 				reply("ERR usage: ADDNODE <id>")
 				continue
 			}
-			if err := g.On(0).PutNode(&graph.Node{ID: key}); err != nil {
+			cctx, cancel := cmdCtx()
+			err = g.On(0).PutNode(cctx, &graph.Node{ID: key})
+			cancel()
+			if err != nil {
 				reply("ERR %v", err)
 				continue
 			}
@@ -166,7 +241,10 @@ func serve(conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal
 				reply("ERR usage: ADDEDGE <src> <dst>")
 				continue
 			}
-			if err := g.On(0).AddEdge(src, dst); err != nil {
+			cctx, cancel := cmdCtx()
+			err := g.On(0).AddEdge(cctx, src, dst)
+			cancel()
+			if err != nil {
 				reply("ERR %v", err)
 				continue
 			}
@@ -181,7 +259,9 @@ func serve(conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal
 				}
 				iters = n
 			}
-			res, err := algo.PageRank(g, iters, 0)
+			cctx, cancel := cmdCtx()
+			res, err := algo.PageRank(cctx, g, iters, 0)
+			cancel()
 			if err != nil {
 				reply("ERR %v", err)
 				continue
@@ -199,7 +279,9 @@ func serve(conn net.Conn, cloud *memcloud.Cloud, g *graph.Graph, trav *traversal
 				reply("ERR usage: KHOP <node> <hops>")
 				continue
 			}
-			n, err := trav.KHopNeighborhoodSize(0, node, hops)
+			cctx, cancel := cmdCtx()
+			n, err := trav.KHopNeighborhoodSize(cctx, 0, node, hops)
+			cancel()
 			if err != nil {
 				reply("ERR %v", err)
 				continue

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	people := flag.Int("people", 3000, "graph size")
 	landmarks := flag.Int("landmarks", 20, "landmark count")
 	flag.Parse()
@@ -44,7 +46,7 @@ func main() {
 		DenseSatellites:    communities / 8,
 		Seed:               3,
 	}, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(ctx, cloud)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,12 +57,12 @@ func main() {
 		algo.ByDegree, algo.ByLocalBetweenness, algo.ByGlobalBetweenness,
 	} {
 		start := time.Now()
-		o, err := algo.BuildOracle(g, *landmarks, strat, 1)
+		o, err := algo.BuildOracle(ctx, g, *landmarks, strat, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
 		build := time.Since(start)
-		acc, err := o.Accuracy(40, 2)
+		acc, err := o.Accuracy(ctx, 40, 2)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,7 +73,7 @@ func main() {
 	// A single estimate is a few map lookups — the online half of the
 	// online/offline split the paper opens with. (Skip the rare isolated
 	// vertices the random generator can produce.)
-	o, _ := algo.BuildOracle(g, *landmarks, algo.ByLocalBetweenness, 1)
+	o, _ := algo.BuildOracle(ctx, g, *landmarks, algo.ByLocalBetweenness, 1)
 	for v := uint64(g.NodeCount() - 1); v > 1; v-- {
 		start := time.Now()
 		est := o.Estimate(1, v)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cloud := memcloud.New(memcloud.Config{Machines: 3})
 	defer cloud.Close()
 	s := cloud.Slave(0)
@@ -36,7 +38,7 @@ func main() {
 			Actors: []int64{int64(keanu)}}},
 	}
 	for _, mv := range movies {
-		if err := mv.m.Save(s, mv.id); err != nil {
+		if err := mv.m.Save(ctx, s, mv.id); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -48,19 +50,19 @@ func main() {
 		{carrie, Actor{Name: "Carrie-Anne Moss", Movies: []int64{int64(matrix)}}},
 	}
 	for _, ac := range actors {
-		if err := ac.a.Save(s, ac.id); err != nil {
+		if err := ac.a.Save(ctx, s, ac.id); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	// --- typed load: cells decode into generated structs ---
-	m, err := LoadMovie(s, matrix)
+	m, err := LoadMovie(ctx, s, matrix)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s (%d), rating %.1f, %d actors\n", m.Name, m.Year, m.Rating, len(m.Actors))
 	for _, aid := range m.Actors {
-		a, err := LoadActor(s, uint64(aid))
+		a, err := LoadActor(ctx, s, uint64(aid))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,15 +79,15 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	m, _ = LoadMovie(s, matrix)
+	m, _ = LoadMovie(ctx, s, matrix)
 	fmt.Printf("after accessor write: %s year = %d\n", m.Name, m.Year)
 
 	// --- the Figure 5 Echo protocol: calling a remote machine reads like
 	//     calling a local method ---
-	RegisterEcho(cloud.Slave(1).Node(), func(from msg.MachineID, req *MyMessage) (*MyMessage, error) {
+	RegisterEcho(cloud.Slave(1).Node(), func(_ context.Context, from msg.MachineID, req *MyMessage) (*MyMessage, error) {
 		return &MyMessage{Text: "echo from machine 1: " + req.Text}, nil
 	})
-	resp, err := CallEcho(s.Node(), cloud.Slave(1).ID(), &MyMessage{Text: "hello TSL"})
+	resp, err := CallEcho(ctx, s.Node(), cloud.Slave(1).ID(), &MyMessage{Text: "hello TSL"})
 	if err != nil {
 		log.Fatal(err)
 	}

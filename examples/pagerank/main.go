@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	scale := flag.Uint("scale", 14, "log2 of node count")
 	machines := flag.Int("machines", 8, "simulated cluster size")
 	iters := flag.Int("iters", 10, "power iterations")
@@ -30,7 +32,7 @@ func main() {
 	fmt.Printf("generating R-MAT graph: 2^%d nodes, avg degree 13...\n", *scale)
 	b := graph.NewBuilder(true)
 	gen.BuildRMAT(gen.RMATConfig{Scale: *scale, AvgDegree: 13, Seed: 1}, 0, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(ctx, cloud)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +45,7 @@ func main() {
 			mode = fmt.Sprintf("hub buffering ON (threshold %d)", hub)
 		}
 		start := time.Now()
-		res, err := algo.PageRankInstrumented(g, *iters, hub)
+		res, err := algo.PageRankInstrumented(ctx, g, *iters, hub)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	people := flag.Int("people", 20000, "social graph size")
 	degree := flag.Int("degree", 50, "average friend count")
 	name := flag.String("name", "David", "first name to search for")
@@ -32,25 +34,25 @@ func main() {
 		*people, *degree)
 	b := graph.NewBuilder(false)
 	gen.BuildSocial(gen.SocialConfig{People: *people, AvgDegree: *degree, Seed: 42}, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(ctx, cloud)
 	if err != nil {
 		log.Fatal(err)
 	}
 	t := traversal.New(g)
 
 	me := uint64(7) // an arbitrary member
-	myName, _ := g.On(0).Name(me)
+	myName, _ := g.On(0).Name(ctx, me)
 	fmt.Printf("logged in as %q\n\n", myName)
 
 	label := int64(hash.String(*name))
 	for hops := 1; hops <= 3; hops++ {
 		start := time.Now()
-		matches, err := t.PeopleSearch(0, me, label, hops)
+		matches, err := t.PeopleSearch(ctx, 0, me, label, hops)
 		if err != nil {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
-		ball, _ := t.Explore(0, me, hops, traversal.Predicate{})
+		ball, _ := t.Explore(ctx, 0, me, hops, traversal.Predicate{})
 		fmt.Printf("%d-hop search: %3d %ss among %6d people, in %s\n",
 			hops, len(matches), *name, ball.Visited, elapsed.Round(time.Microsecond))
 		if hops == 3 {
@@ -59,7 +61,7 @@ func main() {
 					fmt.Printf("  ... and %d more\n", len(matches)-5)
 					break
 				}
-				full, _ := g.On(0).Name(id)
+				full, _ := g.On(0).Name(ctx, id)
 				fmt.Printf("  found: %s\n", full)
 			}
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A memory cloud of 4 simulated machines. Every machine hosts several
 	// memory trunks; cells are addressed by hashed 64-bit keys.
 	cloud := memcloud.New(memcloud.Config{Machines: 4})
@@ -24,15 +26,15 @@ func main() {
 
 	// 1. The memory cloud is a distributed key-value store.
 	s := cloud.Slave(0)
-	if err := s.Put(42, []byte("any blob, globally addressable")); err != nil {
+	if err := s.Put(ctx, 42, []byte("any blob, globally addressable")); err != nil {
 		log.Fatal(err)
 	}
-	v, _ := cloud.Slave(3).Get(42) // visible from every machine
+	v, _ := cloud.Slave(3).Get(ctx, 42) // visible from every machine
 	fmt.Printf("cell 42 = %q (owner: machine %d)\n", v, s.Owner(42))
 	// Graph engines enumerate every cell on a machine, so applications
 	// keep graph cells and plain KV cells in separate clouds or disjoint
 	// key ranges; this demo simply removes the scratch cell.
-	s.Remove(42)
+	s.Remove(ctx, 42)
 
 	// 2. Graphs are cells: build a small follower graph.
 	b := graph.NewBuilder(true)
@@ -44,7 +46,7 @@ func main() {
 	for _, e := range edges {
 		b.AddEdge(e[0], e[1])
 	}
-	g, err := b.Load(cloud)
+	g, err := b.Load(ctx, cloud)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,14 +55,14 @@ func main() {
 
 	// 3. Online query: explore ada's 2-hop neighborhood.
 	t := traversal.New(g)
-	res, err := t.Explore(0, 0, 2, traversal.Predicate{})
+	res, err := t.Explore(ctx, 0, 0, 2, traversal.Predicate{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("ada reaches %d people within 2 hops (levels %v)\n", res.Visited-1, res.Levels)
 
 	// 4. Offline analytics: PageRank over the same graph.
-	pr, err := algo.PageRank(g, 20, 0)
+	pr, err := algo.PageRank(ctx, g, 20, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

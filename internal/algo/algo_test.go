@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -23,7 +24,7 @@ func newCloud(t testing.TB, machines int) *memcloud.Cloud {
 func loadUniform(t testing.TB, cloud *memcloud.Cloud, nodes, deg, labels int, seed uint64) *graph.Graph {
 	b := graph.NewBuilder(true)
 	gen.BuildUniform(gen.UniformConfig{Nodes: nodes, AvgDegree: deg, Seed: seed}, labels, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,11 +42,11 @@ func TestPageRankRanksHubsHigher(t *testing.T) {
 	for i := uint64(1); i < n; i++ {
 		b.AddEdge(i, 0)
 	}
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := PageRank(g, 10, 0)
+	res, err := PageRank(context.Background(), g, 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +69,11 @@ func TestBFSLevels(t *testing.T) {
 		b.AddEdge(i, 2*i+1)
 		b.AddEdge(i, 2*i+2)
 	}
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := BFS(g, 0, 0)
+	res, err := BFS(context.Background(), g, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +104,11 @@ func TestBFSUnreachable(t *testing.T) {
 	b.AddNode(2, 0, "")
 	b.AddNode(3, 0, "")
 	b.AddEdge(1, 2)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := BFS(g, 1, 0)
+	res, err := BFS(context.Background(), g, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,13 +123,13 @@ func TestBFSUnreachable(t *testing.T) {
 func TestBFSWithHubOptimizationMatches(t *testing.T) {
 	cloud1 := newCloud(t, 4)
 	g1 := loadUniform(t, cloud1, 400, 5, 0, 7)
-	plain, err := BFS(g1, 0, 0)
+	plain, err := BFS(context.Background(), g1, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cloud2 := newCloud(t, 4)
 	g2 := loadUniform(t, cloud2, 400, 5, 0, 7)
-	hub, err := BFS(g2, 0, 3)
+	hub, err := BFS(context.Background(), g2, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +150,11 @@ func TestSSSPWeighted(t *testing.T) {
 	b.AddWeightedEdge(1, 2, 10)
 	b.AddWeightedEdge(1, 3, 1)
 	b.AddWeightedEdge(3, 2, 2)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := SSSP(g, 1)
+	res, err := SSSP(context.Background(), g, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +169,11 @@ func TestSSSPWeighted(t *testing.T) {
 func TestSSSPUnweightedEqualsBFS(t *testing.T) {
 	cloud := newCloud(t, 3)
 	g := loadUniform(t, cloud, 300, 4, 0, 3)
-	bfs, err := BFS(g, 5, 0)
+	bfs, err := BFS(context.Background(), g, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sssp, err := SSSP(g, 5)
+	sssp, err := SSSP(context.Background(), g, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,11 +201,11 @@ func TestWCC(t *testing.T) {
 	for i := uint64(100); i < 105; i++ {
 		b.AddEdge(i, 100+((i+1)-100)%5)
 	}
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := WCC(g)
+	res, err := WCC(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestGenerateQueryHasEmbedding(t *testing.T) {
 			t.Fatalf("query has %d edges, want a connected pattern", len(edges))
 		}
 		mt := NewMatcher(g)
-		matches, err := mt.Match(0, p, 1)
+		matches, err := mt.Match(context.Background(), 0, p, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,13 +252,13 @@ func verifyEmbedding(t *testing.T, g *graph.Graph, p *Pattern, m []uint64) {
 			t.Fatalf("embedding not injective: %v", m)
 		}
 		seen[did] = true
-		l, err := g.On(0).Label(did)
+		l, err := g.On(0).Label(context.Background(), did)
 		if err != nil || l != p.Labels[qi] {
 			t.Fatalf("query %d: label %d != %d", qi, l, p.Labels[qi])
 		}
 	}
 	for u, vs := range p.Out {
-		out, err := g.On(0).Outlinks(m[u])
+		out, err := g.On(0).Outlinks(context.Background(), m[u])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -284,13 +285,13 @@ func TestMatchCountsTriangles(t *testing.T) {
 	b.AddEdge(2, 3)
 	b.AddEdge(3, 1)
 	b.AddEdge(4, 5) // noise
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := &Pattern{Labels: []int64{0, 0, 0}, Out: [][]int{{1}, {2}, {0}}}
 	mt := NewMatcher(g)
-	matches, err := mt.Match(0, p, 0)
+	matches, err := mt.Match(context.Background(), 0, p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,14 +307,14 @@ func TestMatchNoEmbedding(t *testing.T) {
 	b.AddNode(1, 7, "")
 	b.AddNode(2, 7, "")
 	b.AddEdge(1, 2)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mt := NewMatcher(g)
 	// Label 9 does not exist.
 	p := &Pattern{Labels: []int64{9, 9}, Out: [][]int{{1}, {}}}
-	matches, err := mt.Match(0, p, 0)
+	matches, err := mt.Match(context.Background(), 0, p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,13 +332,13 @@ func TestMatchLimit(t *testing.T) {
 			b.AddEdge(s, d)
 		}
 	}
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := &Pattern{Labels: []int64{0, 0}, Out: [][]int{{1}, {}}}
 	mt := NewMatcher(g)
-	matches, err := mt.Match(0, p, 5)
+	matches, err := mt.Match(context.Background(), 0, p, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,19 +351,19 @@ func TestOracleStrategies(t *testing.T) {
 	cloud := newCloud(t, 4)
 	b := graph.NewBuilder(false) // undirected for distances
 	gen.BuildSocial(gen.SocialConfig{People: 600, AvgDegree: 8, Seed: 5}, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, strat := range []LandmarkStrategy{ByDegree, ByGlobalBetweenness, ByLocalBetweenness} {
-		o, err := BuildOracle(g, 10, strat, 1)
+		o, err := BuildOracle(context.Background(), g, 10, strat, 1)
 		if err != nil {
 			t.Fatalf("%v: %v", strat, err)
 		}
 		if len(o.Landmarks) != 10 {
 			t.Fatalf("%v: %d landmarks", strat, len(o.Landmarks))
 		}
-		acc, err := o.Accuracy(30, 2)
+		acc, err := o.Accuracy(context.Background(), 30, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -377,15 +378,15 @@ func TestOracleEstimateIsUpperBound(t *testing.T) {
 	cloud := newCloud(t, 2)
 	b := graph.NewBuilder(false)
 	gen.BuildSocial(gen.SocialConfig{People: 200, AvgDegree: 8, Seed: 9}, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
-	o, err := BuildOracle(g, 8, ByDegree, 1)
+	o, err := BuildOracle(context.Background(), g, 8, ByDegree, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := BFS(g, 0, 0)
+	res, err := BFS(context.Background(), g, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,15 +408,15 @@ func TestOracleMaterializedMatchesInMemory(t *testing.T) {
 	cloud := newCloud(t, 4)
 	b := graph.NewBuilder(false)
 	gen.BuildSocial(gen.SocialConfig{People: 300, AvgDegree: 8, Seed: 3}, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
-	o, err := BuildOracle(g, 8, ByDegree, 1)
+	o, err := BuildOracle(context.Background(), g, 8, ByDegree, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := o.Materialize(); err != nil {
+	if err := o.Materialize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Query through machine 1 so most landmark cells are remote and ride
@@ -424,7 +425,7 @@ func TestOracleMaterializedMatchesInMemory(t *testing.T) {
 	for u := uint64(0); u < 60; u++ {
 		pairs = append(pairs, [2]uint64{u, 299 - u})
 	}
-	got, err := o.EstimateFetched(1, pairs)
+	got, err := o.EstimateFetched(context.Background(), 1, pairs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,7 +464,7 @@ func TestPartitionBeatsRandom(t *testing.T) {
 	for c := 0; c < 4; c++ {
 		b.AddEdge(id(c, 0), id((c+1)%4, 0))
 	}
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -58,7 +59,7 @@ type Oracle struct {
 // BuildOracle selects `k` landmarks with the strategy and runs one BFS
 // per landmark to index distances. The graph should be loaded undirected
 // for meaningful distance estimates.
-func BuildOracle(g *graph.Graph, k int, strategy LandmarkStrategy, seed uint64) (*Oracle, error) {
+func BuildOracle(ctx context.Context, g *graph.Graph, k int, strategy LandmarkStrategy, seed uint64) (*Oracle, error) {
 	var landmarks []uint64
 	var err error
 	switch strategy {
@@ -76,7 +77,7 @@ func BuildOracle(g *graph.Graph, k int, strategy LandmarkStrategy, seed uint64) 
 	}
 	o := &Oracle{g: g, Landmarks: landmarks}
 	for _, l := range landmarks {
-		res, err := BFS(g, l, 0)
+		res, err := BFS(ctx, g, l, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +121,7 @@ func LandmarkKey(u uint64) uint64 { return landmarkKeyBase | u }
 //
 // The vector layout is u32 landmark count followed by one i32 hop
 // distance per landmark, Unreached encoded as -1.
-func (o *Oracle) Materialize() error {
+func (o *Oracle) Materialize(ctx context.Context) error {
 	k := len(o.dist)
 	vecs := map[uint64][]int32{}
 	for i, d := range o.dist {
@@ -143,7 +144,7 @@ func (o *Oracle) Materialize() error {
 		for i, d := range v {
 			binary.LittleEndian.PutUint32(buf[4+4*i:], uint32(d))
 		}
-		if err := s.Put(LandmarkKey(u), buf); err != nil {
+		if err := s.Put(ctx, LandmarkKey(u), buf); err != nil {
 			return err
 		}
 	}
@@ -170,7 +171,7 @@ func decodeLandmarkVec(b []byte) ([]int32, error) {
 // scatter-gather sweep through machine via's cell-fetch pipeline. A pair
 // whose endpoint has no materialized cell, or that shares no landmark,
 // estimates +Inf; u == v estimates 0.
-func (o *Oracle) EstimateFetched(via int, pairs [][2]uint64) ([]float64, error) {
+func (o *Oracle) EstimateFetched(ctx context.Context, via int, pairs [][2]uint64) ([]float64, error) {
 	var keys []uint64
 	seen := map[uint64]bool{}
 	for _, p := range pairs {
@@ -183,7 +184,7 @@ func (o *Oracle) EstimateFetched(via int, pairs [][2]uint64) ([]float64, error) 
 	}
 	vecs := make(map[uint64][]int32, len(keys))
 	var firstErr error
-	o.g.On(via).Fetcher().GetBatch(keys, func(_ int, key uint64, blob []byte, err error) {
+	o.g.On(via).Fetcher().GetBatch(ctx, keys, func(_ int, key uint64, blob []byte, err error) {
 		if err != nil {
 			if !errors.Is(err, memcloud.ErrNotFound) && firstErr == nil {
 				firstErr = err
@@ -225,7 +226,7 @@ func (o *Oracle) EstimateFetched(via int, pairs [][2]uint64) ([]float64, error) 
 // Accuracy samples `pairs` random connected vertex pairs, compares the
 // estimate against the true BFS distance, and returns the mean accuracy
 // percentage (100% = exact), the Figure 8(b) metric.
-func (o *Oracle) Accuracy(pairs int, seed uint64) (float64, error) {
+func (o *Oracle) Accuracy(ctx context.Context, pairs int, seed uint64) (float64, error) {
 	rng := hash.NewRNG(seed)
 	// Collect the vertex universe once.
 	var ids []uint64
@@ -239,7 +240,7 @@ func (o *Oracle) Accuracy(pairs int, seed uint64) (float64, error) {
 	for counted < pairs {
 		u := ids[rng.Intn(len(ids))]
 		// True distances from u (one BFS serves many pairs).
-		res, err := BFS(o.g, u, 0)
+		res, err := BFS(ctx, o.g, u, 0)
 		if err != nil {
 			return 0, err
 		}

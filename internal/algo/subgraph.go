@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -172,10 +173,10 @@ func NewMatcher(g *graph.Graph) *Matcher {
 		m := g.On(i)
 		mm := m
 		node := m.Slave().Node()
-		node.HandleSync(protoScanLabel, func(_ msg.MachineID, req []byte) ([]byte, error) {
+		node.HandleSync(protoScanLabel, func(_ context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 			return mt.scanLabelLocal(mm, req)
 		})
-		node.HandleSync(protoFilterLabel, func(_ msg.MachineID, req []byte) ([]byte, error) {
+		node.HandleSync(protoFilterLabel, func(_ context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 			return mt.filterLabelLocal(mm, req)
 		})
 	}
@@ -185,21 +186,21 @@ func NewMatcher(g *graph.Graph) *Matcher {
 // Match finds embeddings of the pattern, stopping after `limit` (0 = all).
 // An embedding maps query vertex i to data vertex result[i]; embeddings
 // are injective.
-func (mt *Matcher) Match(via int, p *Pattern, limit int) ([][]uint64, error) {
-	return mt.MatchBudget(via, p, limit, 0)
+func (mt *Matcher) Match(ctx context.Context, via int, p *Pattern, limit int) ([][]uint64, error) {
+	return mt.MatchBudget(ctx, via, p, limit, 0)
 }
 
 // MatchBudget is Match with a step budget: the search aborts (returning
 // whatever it has found) after maxSteps candidate extensions across all
 // workers. Zero means no budget. The benchmark harness uses budgets so
 // adversarial R-MAT hub structures cannot stall a sweep.
-func (mt *Matcher) MatchBudget(via int, p *Pattern, limit, maxSteps int) ([][]uint64, error) {
+func (mt *Matcher) MatchBudget(ctx context.Context, via int, p *Pattern, limit, maxSteps int) ([][]uint64, error) {
 	if p.Size() == 0 {
 		return nil, nil
 	}
 	// Root: the query vertex with the most constraints (highest degree).
 	root := rootOf(p)
-	rootCands, err := mt.scanLabel(via, p.Labels[root])
+	rootCands, err := mt.scanLabel(ctx, via, p.Labels[root])
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +240,7 @@ func (mt *Matcher) MatchBudget(via int, p *Pattern, limit, maxSteps int) ([][]ui
 		go func(cands []uint64) {
 			defer wg.Done()
 			st := &searchState{
-				mt: mt, via: via, p: p, pv: pv,
+				mt: mt, ctx: ctx, via: via, p: p, pv: pv,
 				assign:   make([]uint64, p.Size()),
 				assigned: make([]bool, p.Size()),
 				used:     map[uint64]bool{},
@@ -301,6 +302,7 @@ func rootOf(p *Pattern) int {
 // searchState is one worker's backtracking state.
 type searchState struct {
 	mt       *Matcher
+	ctx      context.Context
 	via      int
 	p        *Pattern
 	pv       *view.View // the via machine's partition snapshot
@@ -323,7 +325,7 @@ func (st *searchState) fetchCell(id uint64) (*graph.Node, error) {
 	if n, ok := st.cells[id]; ok {
 		return n, nil
 	}
-	n, err := st.mt.g.On(st.via).GetNode(id)
+	n, err := st.mt.g.On(st.via).GetNode(st.ctx, id)
 	if err != nil {
 		return nil, err
 	}
@@ -373,6 +375,9 @@ func (st *searchState) extend(depth int) error {
 	if st.maxSteps > 0 && st.steps.Add(1) > int64(st.maxSteps) {
 		return errStop
 	}
+	if err := st.ctx.Err(); err != nil {
+		return err
+	}
 	if depth == st.p.Size() {
 		if !st.emit(st.assign) {
 			return errStop
@@ -409,9 +414,9 @@ func (st *searchState) extend(depth int) error {
 			// Remote anchor: the wire degree protocol.
 			var err error
 			if a.forward {
-				size, err = g.OutDegree(anchor)
+				size, err = g.OutDegree(st.ctx, anchor)
 			} else {
-				size, err = g.InDegree(anchor)
+				size, err = g.InDegree(st.ctx, anchor)
 			}
 			if err != nil {
 				return err
@@ -432,7 +437,7 @@ func (st *searchState) extend(depth int) error {
 				break
 			}
 		}
-		cands, err = st.mt.scanLabel(st.via, st.p.Labels[q])
+		cands, err = st.mt.scanLabel(st.ctx, st.via, st.p.Labels[q])
 	} else {
 		q = best.q
 		anchor := st.assign[best.from]
@@ -454,7 +459,7 @@ func (st *searchState) extend(depth int) error {
 	if err != nil {
 		return err
 	}
-	cands, err = st.mt.filterLabel(st.via, cands, st.p.Labels[q])
+	cands, err = st.mt.filterLabel(st.ctx, st.via, cands, st.p.Labels[q])
 	if err != nil {
 		return err
 	}
@@ -513,7 +518,7 @@ func (st *searchState) checkEdges(q int, c uint64) (bool, error) {
 
 // scanLabel collects all data vertices with the label, scanning every
 // machine in parallel (no index).
-func (mt *Matcher) scanLabel(via int, label int64) ([]uint64, error) {
+func (mt *Matcher) scanLabel(ctx context.Context, via int, label int64) ([]uint64, error) {
 	coord := mt.g.On(via)
 	var req [8]byte
 	binary.LittleEndian.PutUint64(req[:], uint64(label))
@@ -530,7 +535,7 @@ func (mt *Matcher) scanLabel(via int, label int64) ([]uint64, error) {
 			if target == coord.Slave().ID() {
 				resp, err = mt.scanLabelLocal(coord, req[:])
 			} else {
-				resp, err = coord.Slave().Node().Call(target, protoScanLabel, req[:])
+				resp, err = coord.Slave().Node().Call(ctx, target, protoScanLabel, req[:])
 			}
 			if err != nil {
 				ch <- reply{nil, err}
@@ -569,7 +574,7 @@ func (mt *Matcher) scanLabelLocal(m *graph.Machine, req []byte) ([]byte, error) 
 }
 
 // filterLabel keeps the ids whose label matches, batching by owner.
-func (mt *Matcher) filterLabel(via int, ids []uint64, label int64) ([]uint64, error) {
+func (mt *Matcher) filterLabel(ctx context.Context, via int, ids []uint64, label int64) ([]uint64, error) {
 	if len(ids) == 0 {
 		return nil, nil
 	}
@@ -591,7 +596,7 @@ func (mt *Matcher) filterLabel(via int, ids []uint64, label int64) ([]uint64, er
 		if owner == coord.Slave().ID() {
 			resp, err = mt.filterLabelLocal(coord, req)
 		} else {
-			resp, err = coord.Slave().Node().Call(owner, protoFilterLabel, req)
+			resp, err = coord.Slave().Node().Call(ctx, owner, protoFilterLabel, req)
 		}
 		if err != nil {
 			return nil, err

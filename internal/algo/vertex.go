@@ -8,6 +8,7 @@
 package algo
 
 import (
+	"context"
 	"math"
 
 	"trinity/internal/compute/bsp"
@@ -48,13 +49,13 @@ func (p *pageRankProg) Compute(ctx *bsp.Context, id uint64, val float64, msgs []
 
 // PageRank runs `iters` power iterations over the distributed graph.
 // HubThreshold > 0 enables the §5.4 hub optimization.
-func PageRank(g *graph.Graph, iters, hubThreshold int) (*PageRankResult, error) {
+func PageRank(ctx context.Context, g *graph.Graph, iters, hubThreshold int) (*PageRankResult, error) {
 	e := bsp.New(g, bsp.Options{
 		Combine:       func(a, b float64) float64 { return a + b },
 		HubThreshold:  hubThreshold,
 		MaxSupersteps: iters + 1,
 	})
-	steps, err := e.Run(&pageRankProg{iters: iters})
+	steps, err := e.Run(ctx, &pageRankProg{iters: iters})
 	if err != nil {
 		return nil, err
 	}
@@ -71,13 +72,13 @@ type InstrumentedPageRank struct {
 
 // PageRankInstrumented is PageRank with wire-message accounting, used by
 // the §5.4 hub-buffering ablation.
-func PageRankInstrumented(g *graph.Graph, iters, hubThreshold int) (*InstrumentedPageRank, error) {
+func PageRankInstrumented(ctx context.Context, g *graph.Graph, iters, hubThreshold int) (*InstrumentedPageRank, error) {
 	e := bsp.New(g, bsp.Options{
 		Combine:       func(a, b float64) float64 { return a + b },
 		HubThreshold:  hubThreshold,
 		MaxSupersteps: iters + 1,
 	})
-	steps, err := e.Run(&pageRankProg{iters: iters})
+	steps, err := e.Run(ctx, &pageRankProg{iters: iters})
 	if err != nil {
 		return nil, err
 	}
@@ -130,12 +131,12 @@ type BFSResult struct {
 }
 
 // BFS computes hop distances from source over the distributed graph.
-func BFS(g *graph.Graph, source uint64, hubThreshold int) (*BFSResult, error) {
+func BFS(ctx context.Context, g *graph.Graph, source uint64, hubThreshold int) (*BFSResult, error) {
 	e := bsp.New(g, bsp.Options{
 		Combine:      func(a, b float64) float64 { return math.Min(a, b) },
 		HubThreshold: hubThreshold,
 	})
-	steps, err := e.Run(&bfsProg{source: source})
+	steps, err := e.Run(ctx, &bfsProg{source: source})
 	if err != nil {
 		return nil, err
 	}
@@ -185,11 +186,11 @@ type SSSPResult struct {
 
 // SSSP computes single-source shortest paths over the distributed graph,
 // using edge weights when present (weight 1 otherwise).
-func SSSP(g *graph.Graph, source uint64) (*SSSPResult, error) {
+func SSSP(ctx context.Context, g *graph.Graph, source uint64) (*SSSPResult, error) {
 	e := bsp.New(g, bsp.Options{
 		Combine: func(a, b float64) float64 { return math.Min(a, b) },
 	})
-	steps, err := e.Run(&ssspProg{source: source})
+	steps, err := e.Run(ctx, &ssspProg{source: source})
 	if err != nil {
 		return nil, err
 	}
@@ -225,11 +226,11 @@ type WCCResult struct {
 }
 
 // WCC computes connected components by max-label propagation.
-func WCC(g *graph.Graph) (*WCCResult, error) {
+func WCC(ctx context.Context, g *graph.Graph) (*WCCResult, error) {
 	e := bsp.New(g, bsp.Options{
 		Combine: func(a, b float64) float64 { return math.Max(a, b) },
 	})
-	steps, err := e.Run(wccProg{})
+	steps, err := e.Run(ctx, wccProg{})
 	if err != nil {
 		return nil, err
 	}

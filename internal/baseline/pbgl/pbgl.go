@@ -15,6 +15,7 @@
 package pbgl
 
 import (
+	"context"
 	"encoding/binary"
 	"sync"
 
@@ -75,7 +76,7 @@ func New(machines int, adjacency map[uint64][]uint64) *Engine {
 		}
 		// Two-sided exchange: the owner applies the batch and replies,
 		// so the sender knows the round trip completed (MPI-style).
-		node.HandleSync(protoGhostExchange, func(_ msg.MachineID, b []byte) ([]byte, error) {
+		node.HandleSync(protoGhostExchange, func(_ context.Context, _ msg.MachineID, b []byte) ([]byte, error) {
 			w.inMu.Lock()
 			for off := 0; off+16 <= len(b); off += 16 {
 				w.inbound = append(w.inbound, ghostUpdate{
@@ -232,7 +233,7 @@ func (e *Engine) BFS(source uint64) (map[uint64]int64, int) {
 					if len(buf) == 0 || msg.MachineID(dst) == w.id {
 						continue
 					}
-					w.node.Call(msg.MachineID(dst), protoGhostExchange, buf)
+					w.node.Call(context.Background(), msg.MachineID(dst), protoGhostExchange, buf)
 				}
 			}(w)
 		}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -54,14 +55,14 @@ func TestExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment harness smoke test")
 	}
-	tab, err := ThreeHop(Scale{Factor: 1})
+	tab, err := ThreeHop(context.Background(), Scale{Factor: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tab.Rows) != 1 || len(tab.Rows[0]) != 3 {
 		t.Fatalf("3hop table shape: %+v", tab.Rows)
 	}
-	tab, err = Fig14b(Scale{Factor: 1})
+	tab, err = Fig14b(context.Background(), Scale{Factor: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

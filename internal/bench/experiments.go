@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,27 +40,27 @@ func newCloud(machines int) *memcloud.Cloud {
 }
 
 // loadSocial builds an undirected named social graph on a fresh cloud.
-func loadSocial(machines, people, degree int, seed uint64) (*memcloud.Cloud, *graph.Graph, error) {
+func loadSocial(ctx context.Context, machines, people, degree int, seed uint64) (*memcloud.Cloud, *graph.Graph, error) {
 	cloud := newCloud(machines)
 	b := graph.NewBuilder(false)
 	gen.BuildSocial(gen.SocialConfig{People: people, AvgDegree: degree, Seed: seed}, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(ctx, cloud)
 	return cloud, g, err
 }
 
 // loadRMAT builds a directed R-MAT graph on a fresh cloud.
-func loadRMAT(machines int, scale uint, degree, labels int, seed uint64) (*memcloud.Cloud, *graph.Graph, error) {
+func loadRMAT(ctx context.Context, machines int, scale uint, degree, labels int, seed uint64) (*memcloud.Cloud, *graph.Graph, error) {
 	cloud := newCloud(machines)
 	b := graph.NewBuilder(true)
 	gen.BuildRMAT(gen.RMATConfig{Scale: scale, AvgDegree: degree, Seed: seed}, labels, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(ctx, cloud)
 	return cloud, g, err
 }
 
 // Fig12a reproduces Figure 12(a): people-search response time on a
 // social graph as node degree sweeps, for 2-hop and 3-hop queries, on 8
 // machines. Paper: 2-hop always < 10 ms; 3-hop at degree 130 ≈ 96 ms.
-func Fig12a(s Scale) (*Table, error) {
+func Fig12a(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:   "Figure 12(a): People Search — response time vs node degree (8 machines)",
 		Columns: []string{"degree", "2-hop", "3-hop"},
@@ -67,7 +68,7 @@ func Fig12a(s Scale) (*Table, error) {
 	people := 4000 * s.factor()
 	davidLabel := int64(hash.String("David"))
 	for _, degree := range []int{10, 50, 90, 130, 170, 200} {
-		cloud, g, err := loadSocial(8, people, degree, uint64(degree))
+		cloud, g, err := loadSocial(ctx, 8, people, degree, uint64(degree))
 		if err != nil {
 			return nil, err
 		}
@@ -76,8 +77,8 @@ func Fig12a(s Scale) (*Table, error) {
 		var d2, d3 time.Duration
 		for q := 0; q < queries; q++ {
 			start := uint64(q * 17 % people)
-			d2 += Timed(func() { e.PeopleSearch(0, start, davidLabel, 2) })
-			d3 += Timed(func() { e.PeopleSearch(0, start, davidLabel, 3) })
+			d2 += Timed(func() { e.PeopleSearch(ctx, 0, start, davidLabel, 2) })
+			d3 += Timed(func() { e.PeopleSearch(ctx, 0, start, davidLabel, 3) })
 		}
 		t.AddRow(degree, d2/queries, d3/queries)
 		cloud.Close()
@@ -88,7 +89,7 @@ func Fig12a(s Scale) (*Table, error) {
 // Fig12b reproduces Figure 12(b): one PageRank iteration on R-MAT graphs
 // as the node count sweeps, for several cluster sizes. Paper: 1B nodes,
 // one iteration ≈ 1 minute on 8 machines; more machines help.
-func Fig12b(s Scale) (*Table, error) {
+func Fig12b(ctx context.Context, s Scale) (*Table, error) {
 	machinesSeries := []int{8, 10, 12, 14}
 	t := &Table{
 		Title:   "Figure 12(b): PageRank — seconds per iteration vs node count",
@@ -97,13 +98,13 @@ func Fig12b(s Scale) (*Table, error) {
 	for _, scale := range rmatScales(s, 12) {
 		row := []any{1 << scale}
 		for _, machines := range machinesSeries {
-			cloud, g, err := loadRMAT(machines, scale, 13, 0, uint64(scale))
+			cloud, g, err := loadRMAT(ctx, machines, scale, 13, 0, uint64(scale))
 			if err != nil {
 				return nil, err
 			}
 			const iters = 3
 			var res *algo.PageRankResult
-			d := Timed(func() { res, err = algo.PageRank(g, iters, 8) })
+			d := Timed(func() { res, err = algo.PageRank(ctx, g, iters, 8) })
 			cloud.Close()
 			if err != nil {
 				return nil, err
@@ -118,7 +119,7 @@ func Fig12b(s Scale) (*Table, error) {
 
 // Fig12c reproduces Figure 12(c): full BFS on the same R-MAT graphs.
 // Paper: 1B nodes on 8 machines ≈ 1028 s, 14 machines ≈ 644 s.
-func Fig12c(s Scale) (*Table, error) {
+func Fig12c(ctx context.Context, s Scale) (*Table, error) {
 	machinesSeries := []int{8, 10, 12, 14}
 	t := &Table{
 		Title:   "Figure 12(c): Breadth-first Search — execution time vs node count",
@@ -127,12 +128,12 @@ func Fig12c(s Scale) (*Table, error) {
 	for _, scale := range rmatScales(s, 12) {
 		row := []any{1 << scale}
 		for _, machines := range machinesSeries {
-			cloud, g, err := loadRMAT(machines, scale, 13, 0, uint64(scale))
+			cloud, g, err := loadRMAT(ctx, machines, scale, 13, 0, uint64(scale))
 			if err != nil {
 				return nil, err
 			}
 			var d time.Duration
-			d = Timed(func() { _, err = algo.BFS(g, 0, 8) })
+			d = Timed(func() { _, err = algo.BFS(ctx, g, 0, 8) })
 			cloud.Close()
 			if err != nil {
 				return nil, err
@@ -147,7 +148,7 @@ func Fig12c(s Scale) (*Table, error) {
 // Fig12d reproduces Figure 12(d): PageRank on the Giraph-style baseline.
 // Paper: Giraph is slower than Trinity by two orders of magnitude and
 // runs out of memory first.
-func Fig12d(s Scale) (*Table, error) {
+func Fig12d(ctx context.Context, s Scale) (*Table, error) {
 	machinesSeries := []int{4, 8, 16}
 	t := &Table{
 		Title:   "Figure 12(d): PageRank on Giraph-style baseline — time per iteration",
@@ -172,7 +173,7 @@ func Fig12d(s Scale) (*Table, error) {
 // PBGL-style ghost-cell baseline vs Trinity, sweeping node count and
 // average degree on 16 machines. Paper: Trinity ~10x faster with ~10x
 // less memory; PBGL's ghosts blow up on high degrees.
-func Fig13(s Scale) (*Table, error) {
+func Fig13(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title: "Figure 13: BFS in PBGL-style baseline vs Trinity (16 machines)",
 		Columns: []string{"nodes", "avg deg", "PBGL time", "Trinity time",
@@ -189,13 +190,13 @@ func Fig13(s Scale) (*Table, error) {
 			ghostsPerVertex := float64(pe.GhostCount()) / float64(pe.VertexCount())
 			pe.Close()
 
-			cloud, g, err := loadRMAT(16, scale, degree, 0, uint64(scale*31+uint(degree)))
+			cloud, g, err := loadRMAT(ctx, 16, scale, degree, 0, uint64(scale*31+uint(degree)))
 			if err != nil {
 				return nil, err
 			}
 			trinityMem := cloud.MemoryUsage()
 			var trinityTime time.Duration
-			trinityTime = Timed(func() { _, err = algo.BFS(g, 0, 8) })
+			trinityTime = Timed(func() { _, err = algo.BFS(ctx, g, 0, 8) })
 			cloud.Close()
 			if err != nil {
 				return nil, err
@@ -211,7 +212,7 @@ func Fig13(s Scale) (*Table, error) {
 // Fig8a reproduces Figure 8(a): subgraph matching time vs graph size for
 // DFS- and RANDOM-generated 10-node queries, avg degree 16, 8 machines.
 // Paper: ~1 second per query at 128M nodes with no structural index.
-func Fig8a(s Scale) (*Table, error) {
+func Fig8a(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:   "Figure 8(a): Subgraph matching — query time vs node count (8 machines)",
 		Columns: []string{"nodes", "DFS queries", "RANDOM queries"},
@@ -219,7 +220,7 @@ func Fig8a(s Scale) (*Table, error) {
 	const labels = 20
 	querySize := 10
 	for _, scale := range rmatScales(s, 11) {
-		cloud, g, err := loadRMAT(8, scale, 16, labels, uint64(scale))
+		cloud, g, err := loadRMAT(ctx, 8, scale, 16, labels, uint64(scale))
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +235,7 @@ func Fig8a(s Scale) (*Table, error) {
 				if err != nil {
 					continue // rare dead-end walks at tiny scales
 				}
-				total += Timed(func() { mt.MatchBudget(0, p, 1, 500_000) })
+				total += Timed(func() { mt.MatchBudget(ctx, 0, p, 1, 500_000) })
 				ran++
 			}
 			if ran == 0 {
@@ -253,7 +254,7 @@ func Fig8a(s Scale) (*Table, error) {
 // landmark count for the three selection strategies. Paper: global
 // betweenness best, local betweenness within a whisker of it, largest
 // degree worst.
-func Fig8b(s Scale) (*Table, error) {
+func Fig8b(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:   "Figure 8(b): Distance oracle — estimation accuracy (%) vs #landmarks",
 		Columns: []string{"landmarks", "LargestDegree", "LocalBetweenness", "GlobalBetweenness"},
@@ -273,18 +274,18 @@ func Fig8b(s Scale) (*Table, error) {
 		DenseSatellites:    6 * s.factor(),
 		Seed:               77,
 	}, bld)
-	g, err := bld.Load(cloud)
+	g, err := bld.Load(ctx, cloud)
 	if err != nil {
 		return nil, err
 	}
 	for _, k := range []int{20, 40, 60, 80, 100} {
 		row := []any{k}
 		for _, strat := range []algo.LandmarkStrategy{algo.ByDegree, algo.ByLocalBetweenness, algo.ByGlobalBetweenness} {
-			o, err := algo.BuildOracle(g, k, strat, 5)
+			o, err := algo.BuildOracle(ctx, g, k, strat, 5)
 			if err != nil {
 				return nil, err
 			}
-			acc, err := o.Accuracy(64, 9)
+			acc, err := o.Accuracy(ctx, 64, 9)
 			if err != nil {
 				return nil, err
 			}
@@ -297,7 +298,7 @@ func Fig8b(s Scale) (*Table, error) {
 
 // Fig14a reproduces Figure 14(a): subgraph-matching parallel speedup on
 // the Wordnet-like and patent-like graphs as machines increase.
-func Fig14a(s Scale) (*Table, error) {
+func Fig14a(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:   "Figure 14(a): Subgraph match query time vs machine count",
 		Columns: []string{"machines", "Wordnet-like", "Patent-like"},
@@ -317,7 +318,7 @@ func Fig14a(s Scale) (*Table, error) {
 			cloud := newCloud(machines)
 			b := graph.NewBuilder(true)
 			l.build(b)
-			g, err := b.Load(cloud)
+			g, err := b.Load(ctx, cloud)
 			if err != nil {
 				return nil, err
 			}
@@ -332,7 +333,7 @@ func Fig14a(s Scale) (*Table, error) {
 				}
 				// Enumerate many embeddings so per-query work dwarfs
 				// round-trip overhead, as with the paper's full queries.
-				total += Timed(func() { mt.MatchBudget(0, p, 2000, 2_000_000) })
+				total += Timed(func() { mt.MatchBudget(ctx, 0, p, 2000, 2_000_000) })
 				ran++
 			}
 			if ran == 0 {
@@ -349,7 +350,7 @@ func Fig14a(s Scale) (*Table, error) {
 
 // Fig14b reproduces Figure 14(b): the four LUBM-style SPARQL queries as
 // machine count sweeps.
-func Fig14b(s Scale) (*Table, error) {
+func Fig14b(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:   "Figure 14(b): SPARQL query time vs machine count (LUBM-style data)",
 		Columns: []string{"machines", "Q1", "Q3", "Q5", "Q7"},
@@ -358,7 +359,7 @@ func Fig14b(s Scale) (*Table, error) {
 	for _, machines := range []int{1, 2, 4, 8} {
 		cloud := newCloud(machines)
 		store := rdf.NewStore(cloud)
-		if _, err := rdf.GenerateLUBM(store, rdf.LUBMConfig{Universities: universities, Seed: 6}); err != nil {
+		if _, err := rdf.GenerateLUBM(ctx, store, rdf.LUBMConfig{Universities: universities, Seed: 6}); err != nil {
 			return nil, err
 		}
 		queries := []*rdf.Query{
@@ -370,7 +371,7 @@ func Fig14b(s Scale) (*Table, error) {
 		row := []any{machines}
 		for _, q := range queries {
 			var err error
-			d := Timed(func() { _, err = store.Execute(q) })
+			d := Timed(func() { _, err = store.Execute(ctx, q) })
 			if err != nil {
 				return nil, err
 			}
@@ -385,13 +386,13 @@ func Fig14b(s Scale) (*Table, error) {
 // ThreeHop reproduces the §5.1 headline claim: exploring the entire 3-hop
 // neighborhood of a node in a power-law social graph on 8 machines takes
 // ~100 ms at Facebook scale (here, scaled down).
-func ThreeHop(s Scale) (*Table, error) {
+func ThreeHop(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:   "§5.1: full 3-hop neighborhood exploration (8 machines, power-law, deg 13)",
 		Columns: []string{"people", "avg time", "avg nodes visited"},
 	}
 	people := 10000 * s.factor()
-	cloud, g, err := loadSocial(8, people, 13, 21)
+	cloud, g, err := loadSocial(ctx, 8, people, 13, 21)
 	if err != nil {
 		return nil, err
 	}
@@ -403,7 +404,7 @@ func ThreeHop(s Scale) (*Table, error) {
 	for q := 0; q < queries; q++ {
 		start := uint64(q * 997 % people)
 		var n int
-		total += Timed(func() { n, err = e.KHopNeighborhoodSize(0, start, 3) })
+		total += Timed(func() { n, err = e.KHopNeighborhoodSize(ctx, 0, start, 3) })
 		if err != nil {
 			return nil, err
 		}
@@ -415,20 +416,20 @@ func ThreeHop(s Scale) (*Table, error) {
 
 // MsgOptAblation quantifies the §5.4 hub-vertex buffering: wire messages
 // and time for one PageRank run with the optimization off and on.
-func MsgOptAblation(s Scale) (*Table, error) {
+func MsgOptAblation(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:   "§5.4 ablation: hub-vertex buffering (PageRank, R-MAT, 8 machines)",
 		Columns: []string{"hub threshold", "wire messages", "time"},
 	}
 	scale := uint(11 + intLog2(s.factor()))
 	for _, hub := range []int{0, 16, 8, 4} {
-		cloud, g, err := loadRMAT(8, scale, 13, 0, 3)
+		cloud, g, err := loadRMAT(ctx, 8, scale, 13, 0, 3)
 		if err != nil {
 			return nil, err
 		}
 		var wire int64
 		d := Timed(func() {
-			res, err2 := algo.PageRankInstrumented(g, 3, hub)
+			res, err2 := algo.PageRankInstrumented(ctx, g, 3, hub)
 			if err2 != nil {
 				err = err2
 				return

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -224,7 +225,7 @@ func TestFailureRecoveryReassignsTrunks(t *testing.T) {
 	tc.bus.Disconnect(victim)
 
 	// A survivor notices while accessing data and reports the failure.
-	if err := tc.members[1].ReportFailure(victim); err != nil {
+	if err := tc.members[1].ReportFailure(context.Background(), victim); err != nil {
 		t.Fatal(err)
 	}
 	// Leader must have rewritten and broadcast the table; the broadcast
@@ -323,7 +324,7 @@ func TestRefreshTableAfterMissedBroadcast(t *testing.T) {
 	}
 	// Refresh falls back to leader (whose replica is old) then TFS; force
 	// the TFS path by asking a member whose replica is also stale.
-	if err := m2.RefreshTable(); err != nil {
+	if err := m2.RefreshTable(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if m2.Table().Version < nt.Version {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -130,7 +131,7 @@ func NewMember(node *msg.Node, fs *tfs.FS, initial *Table, hooks RecoveryHooks, 
 	node.HandleAsync(protoTableUpdate, m.onTableUpdate)
 	node.HandleSync(protoReportFail, m.onReportFailure)
 	node.HandleSync(protoGetTable, m.onGetTable)
-	node.HandleSync(protoPing, func(msg.MachineID, []byte) ([]byte, error) { return []byte{1}, nil })
+	node.HandleSync(protoPing, func(context.Context, msg.MachineID, []byte) ([]byte, error) { return []byte{1}, nil })
 	return m
 }
 
@@ -260,7 +261,7 @@ func (m *Member) heartbeatLoop() {
 			m.heartbeatNs.Observe(int64(time.Since(start)))
 			if err != nil {
 				// Confirm before racing to replace the leader.
-				if _, perr := m.ping(leader); perr != nil {
+				if _, perr := m.ping(context.Background(), leader); perr != nil {
 					m.tryBecomeLeader(encodeID(leader))
 				}
 			}
@@ -289,14 +290,14 @@ func (m *Member) checkHeartbeats() {
 	}
 	m.mu.Unlock()
 	for _, id := range expired {
-		m.confirmAndRecover(id)
+		m.confirmAndRecover(context.Background(), id)
 	}
 }
 
 // onReportFailure handles a slave's report that machine B is down
 // (§6.2: "machine A will inform the leader machine of the failure of
 // machine B"). The leader confirms by pinging the suspect itself.
-func (m *Member) onReportFailure(_ msg.MachineID, req []byte) ([]byte, error) {
+func (m *Member) onReportFailure(ctx context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 	if !m.IsLeader() {
 		return nil, errors.New("cluster: not the leader")
 	}
@@ -305,14 +306,14 @@ func (m *Member) onReportFailure(_ msg.MachineID, req []byte) ([]byte, error) {
 	}
 	m.failReports.Inc()
 	suspect := msg.MachineID(int32(binary.LittleEndian.Uint32(req)))
-	m.confirmAndRecover(suspect)
+	m.confirmAndRecover(ctx, suspect)
 	return []byte{1}, nil
 }
 
 // ping round-trips a sync ping to the target, recording its RTT.
-func (m *Member) ping(target msg.MachineID) ([]byte, error) {
+func (m *Member) ping(ctx context.Context, target msg.MachineID) ([]byte, error) {
 	start := time.Now()
-	resp, err := m.node.Call(target, protoPing, nil)
+	resp, err := m.node.Call(ctx, target, protoPing, nil)
 	if err == nil {
 		m.pingRttNs.Observe(int64(time.Since(start)))
 	}
@@ -323,11 +324,11 @@ func (m *Member) ping(target msg.MachineID) ([]byte, error) {
 // recovery protocol: reassign its trunks, persist the table, broadcast.
 // The elapsed time from confirmed suspicion to the committed table is the
 // paper's failover latency; it lands in cluster.m<id>.failover_ns.
-func (m *Member) confirmAndRecover(suspect msg.MachineID) {
+func (m *Member) confirmAndRecover(ctx context.Context, suspect msg.MachineID) {
 	if suspect == m.id {
 		return
 	}
-	if _, err := m.ping(suspect); err == nil {
+	if _, err := m.ping(ctx, suspect); err == nil {
 		return // false alarm
 	}
 	failStart := time.Now()
@@ -436,21 +437,24 @@ func released(old, new *Table, m msg.MachineID) []uint32 {
 // by the memory cloud when a data access fails. The call is synchronous:
 // when it returns nil, the leader has run recovery and the caller should
 // refresh its table and retry.
-func (m *Member) ReportFailure(b msg.MachineID) error {
+func (m *Member) ReportFailure(ctx context.Context, b msg.MachineID) error {
 	if m.IsLeader() {
-		m.confirmAndRecover(b)
+		m.confirmAndRecover(ctx, b)
 		return nil
 	}
 	leader := m.Leader()
-	_, err := m.node.Call(leader, protoReportFail, encodeID(b))
+	_, err := m.node.Call(ctx, leader, protoReportFail, encodeID(b))
 	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		// The leader itself is down; elect and retry once.
 		m.tryBecomeLeader(encodeID(leader))
 		if m.IsLeader() {
-			m.confirmAndRecover(b)
+			m.confirmAndRecover(ctx, b)
 			return nil
 		}
-		_, err = m.node.Call(m.Leader(), protoReportFail, encodeID(b))
+		_, err = m.node.Call(ctx, m.Leader(), protoReportFail, encodeID(b))
 	}
 	return err
 }
@@ -460,7 +464,7 @@ func (m *Member) ReportFailure(b msg.MachineID) error {
 // primary table must be applied to the persistent replica before
 // committing"), so it is consulted first; if TFS is unreadable the leader
 // is asked directly.
-func (m *Member) RefreshTable() error {
+func (m *Member) RefreshTable(ctx context.Context) error {
 	m.tableSyncs.Inc()
 	if payload, err := m.fs.ReadFile(tableFile); err == nil {
 		if nt, derr := DecodeTable(payload); derr == nil {
@@ -468,7 +472,7 @@ func (m *Member) RefreshTable() error {
 			return nil
 		}
 	}
-	payload, err := m.node.Call(m.Leader(), protoGetTable, nil)
+	payload, err := m.node.Call(ctx, m.Leader(), protoGetTable, nil)
 	if err != nil {
 		return fmt.Errorf("cluster: refresh: %w", err)
 	}
@@ -482,6 +486,6 @@ func (m *Member) RefreshTable() error {
 
 // onGetTable serves the current table (leader side, but any member can
 // answer from its replica).
-func (m *Member) onGetTable(msg.MachineID, []byte) ([]byte, error) {
+func (m *Member) onGetTable(context.Context, msg.MachineID, []byte) ([]byte, error) {
 	return m.Table().Encode(), nil
 }

@@ -23,8 +23,10 @@
 package async
 
 import (
+	"context"
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trinity/internal/memcloud"
@@ -53,6 +55,19 @@ type Ctx struct {
 // Machine returns the id of the machine executing the handler.
 func (c *Ctx) Machine() msg.MachineID { return c.m.id }
 
+// Context returns the context of the current Wait, or context.Background
+// before the first Wait. Handlers doing blocking work (cell fetches,
+// sync calls) should pass it downstream: when the run is cancelled the
+// handler's I/O fails fast, the handler posts no follow-ups, and the
+// system quiesces — Safra's counters only track posts actually made, so
+// termination detection stays sound.
+func (c *Ctx) Context() context.Context {
+	if v := c.m.e.runCtx.Load(); v != nil {
+		return v.(context.Context)
+	}
+	return context.Background()
+}
+
 // Post enqueues a task on the destination machine.
 func (c *Ctx) Post(to msg.MachineID, task []byte) {
 	c.m.post(to, task)
@@ -68,6 +83,9 @@ type Engine struct {
 	termMu   sync.Mutex
 	termCond *sync.Cond
 	done     bool
+
+	// runCtx is the context of the Wait in progress, read by Ctx.Context.
+	runCtx atomic.Value // context.Context
 
 	// Registry-backed metrics (scope "async" on the cloud's registry).
 	tasksExecuted *obs.Counter
@@ -138,21 +156,42 @@ func (e *Engine) Post(to msg.MachineID, task []byte) {
 	e.machines[0].post(to, task)
 }
 
-// Wait blocks until Safra's algorithm detects global termination: every
-// machine passive and no tasks in flight. The engine is reusable after
-// Wait returns.
-func (e *Engine) Wait() {
+// Wait blocks until Safra's algorithm detects global termination (every
+// machine passive and no tasks in flight) and returns nil, or until ctx
+// fires and returns ctx.Err(). A cancelled Wait abandons only the wait:
+// executors keep draining (handlers observe the cancelled context via
+// Ctx.Context and go passive quickly), the token keeps circulating, and
+// a later Wait with a fresh context is still sound. The engine is
+// reusable after Wait returns nil.
+func (e *Engine) Wait(ctx context.Context) error {
 	start := time.Now()
+	e.runCtx.Store(ctx)
 	e.termMu.Lock()
 	e.done = false
 	e.termMu.Unlock()
 	e.machines[0].startProbe()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			e.termMu.Lock()
+			e.termCond.Broadcast()
+			e.termMu.Unlock()
+		case <-watchDone:
+		}
+	}()
 	e.termMu.Lock()
-	for !e.done {
+	for !e.done && ctx.Err() == nil {
 		e.termCond.Wait()
 	}
+	done := e.done
 	e.termMu.Unlock()
 	e.waitNs.Observe(int64(time.Since(start)))
+	if !done {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Stop shuts the executors down. The engine cannot be reused.

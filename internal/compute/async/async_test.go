@@ -1,6 +1,7 @@
 package async
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -29,7 +30,7 @@ func TestWaitOnIdleSystem(t *testing.T) {
 	defer e.Stop()
 	done := make(chan struct{})
 	go func() {
-		e.Wait()
+		e.Wait(context.Background())
 		close(done)
 	}()
 	select {
@@ -49,7 +50,7 @@ func TestSingleMachineTermination(t *testing.T) {
 	})
 	defer e.Stop()
 	e.Post(0, []byte{1})
-	e.Wait()
+	e.Wait(context.Background())
 	if count.Load() != 10 {
 		t.Fatalf("tasks run = %d", count.Load())
 	}
@@ -73,7 +74,7 @@ func TestTaskChainAcrossMachines(t *testing.T) {
 	var seed [4]byte
 	binary.LittleEndian.PutUint32(seed[:], 99)
 	e.Post(1, seed[:])
-	e.Wait()
+	e.Wait(context.Background())
 	if got := hops.Load(); got != 100 {
 		t.Fatalf("hops = %d, want 100 (terminated early or late)", got)
 	}
@@ -93,7 +94,7 @@ func TestFanOutTasks(t *testing.T) {
 	})
 	defer e.Stop()
 	e.Post(0, []byte{9})
-	e.Wait()
+	e.Wait(context.Background())
 	if got := count.Load(); got != (1<<10)-1 {
 		t.Fatalf("tasks = %d, want %d", got, (1<<10)-1)
 	}
@@ -106,7 +107,7 @@ func TestEngineReusableAfterWait(t *testing.T) {
 	defer e.Stop()
 	for round := 1; round <= 3; round++ {
 		e.Post(msg.MachineID(round%2), []byte{1})
-		e.Wait()
+		e.Wait(context.Background())
 		if got := count.Load(); got != int64(round) {
 			t.Fatalf("round %d: count = %d", round, got)
 		}
@@ -117,14 +118,14 @@ func TestAsyncBFSMatchesReference(t *testing.T) {
 	cloud := newCloud(t, 4)
 	bl := graph.NewBuilder(true)
 	gen.BuildUniform(gen.UniformConfig{Nodes: 500, AvgDegree: 4, Seed: 3}, 0, bl)
-	g, err := bl.Load(cloud)
+	g, err := bl.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Sequential reference reachability from node 0.
 	adj := make([][]uint64, 500)
 	for i := range adj {
-		adj[i], _ = g.On(0).Outlinks(uint64(i))
+		adj[i], _ = g.On(0).Outlinks(context.Background(), uint64(i))
 	}
 	ref := map[uint64]bool{0: true}
 	stack := []uint64{0}
@@ -147,7 +148,7 @@ func TestAsyncBFSMatchesReference(t *testing.T) {
 	var seed [8]byte
 	owner := g.On(0).Slave().Owner(0)
 	e.Post(owner, seed[:])
-	e.Wait()
+	e.Wait(context.Background())
 	if got := bfs.Visited(); got != len(ref) {
 		t.Fatalf("async BFS visited %d, reference %d", got, len(ref))
 	}
@@ -166,7 +167,7 @@ func TestAsyncBFSReachesPostSnapshotVertices(t *testing.T) {
 			bl.AddEdge(i-1, i)
 		}
 	}
-	g, err := bl.Load(cloud)
+	g, err := bl.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,12 +175,12 @@ func TestAsyncBFSReachesPostSnapshotVertices(t *testing.T) {
 	// Tail points at a vertex that does not exist yet (1000) and one that
 	// never will (2000) — the forever-dangling id exercises the fetch-miss
 	// path, which must not inflate Visited.
-	tail, err := m0.GetNode(49)
+	tail, err := m0.GetNode(context.Background(), 49)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tail.Outlinks = append(tail.Outlinks, 1000, 2000)
-	if err := m0.PutNode(tail); err != nil {
+	if err := m0.PutNode(context.Background(), tail); err != nil {
 		t.Fatal(err)
 	}
 
@@ -189,10 +190,10 @@ func TestAsyncBFSReachesPostSnapshotVertices(t *testing.T) {
 	}
 	// Materialize the off-snapshot chain: 1000 -> 1001 -> 0 (back into the
 	// pinned world, which is already visited by then).
-	if err := m0.AddNode(&graph.Node{ID: 1000, Outlinks: []uint64{1001}}); err != nil {
+	if err := m0.AddNode(context.Background(), &graph.Node{ID: 1000, Outlinks: []uint64{1001}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := m0.AddNode(&graph.Node{ID: 1001, Outlinks: []uint64{0}}); err != nil {
+	if err := m0.AddNode(context.Background(), &graph.Node{ID: 1001, Outlinks: []uint64{0}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -200,7 +201,7 @@ func TestAsyncBFSReachesPostSnapshotVertices(t *testing.T) {
 	defer e.Stop()
 	var seed [8]byte
 	e.Post(m0.Slave().Owner(0), seed[:])
-	e.Wait()
+	e.Wait(context.Background())
 	if got, want := bfs.Visited(), 52; got != want {
 		t.Fatalf("visited %d vertices, want %d (50 in-view + 2 fetched)", got, want)
 	}
@@ -219,7 +220,7 @@ func TestAsyncBFSReachesPostSnapshotVertices(t *testing.T) {
 	// Reset clears the side map too: a re-run lands on the same count.
 	bfs.Reset()
 	e.Post(m0.Slave().Owner(0), seed[:])
-	e.Wait()
+	e.Wait(context.Background())
 	if got := bfs.Visited(); got != 52 {
 		t.Fatalf("after Reset, visited %d, want 52", got)
 	}
@@ -245,12 +246,12 @@ func TestSnapshotAndRestore(t *testing.T) {
 	unblocked = true
 	close(block)
 	states := map[int][]byte{}
-	if err := e.Snapshot("snap/test", func(i int) []byte {
+	if err := e.Snapshot(context.Background(), "snap/test", func(i int) []byte {
 		return []byte{byte(i * 11)}
 	}); err != nil {
 		t.Fatal(err)
 	}
-	e.Wait()
+	e.Wait(context.Background())
 	if processed.Load() != 9 {
 		t.Fatalf("processed = %d", processed.Load())
 	}
@@ -266,7 +267,7 @@ func TestSnapshotAndRestore(t *testing.T) {
 		}
 	}
 	// Restored queues (possibly empty) re-execute without hanging.
-	e.Wait()
+	e.Wait(context.Background())
 }
 
 func TestSnapshotCapturesPendingTasks(t *testing.T) {
@@ -292,10 +293,10 @@ func TestSnapshotCapturesPendingTasks(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 		close(release)
 	}()
-	if err := e.Snapshot("snap/pending", nil); err != nil {
+	if err := e.Snapshot(context.Background(), "snap/pending", nil); err != nil {
 		t.Fatal(err)
 	}
-	e.Wait()
+	e.Wait(context.Background())
 	mu.Lock()
 	ran := len(order)
 	mu.Unlock()
@@ -310,6 +311,6 @@ func BenchmarkSafraRound(b *testing.B) {
 	defer e.Stop()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.Wait() // each Wait completes at least one full token round
+		e.Wait(context.Background()) // each Wait completes at least one full token round
 	}
 }

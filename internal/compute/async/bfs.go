@@ -96,7 +96,7 @@ func (b *BFS) handle(ctx *Ctx, task []byte) {
 		// Fetch synchronously inside the handler: the machine stays active
 		// while the batch is in flight, so Safra counts the follow-up posts
 		// before this machine can be observed passive.
-		m.GetNodes(missing, func(i int, n *graph.Node, err error) {
+		m.GetNodes(ctx.Context(), missing, func(i int, n *graph.Node, err error) {
 			if err != nil {
 				b.mu[mi].Lock()
 				delete(b.extra[mi], missing[i])

@@ -1,6 +1,7 @@
 package async
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"testing"
@@ -40,14 +41,14 @@ func TestChaosAsyncBFSMatchesReference(t *testing.T) {
 			cloud := newChaosCloud(t, 4, seed)
 			bl := graph.NewBuilder(true)
 			gen.BuildUniform(gen.UniformConfig{Nodes: 500, AvgDegree: 4, Seed: 3}, 0, bl)
-			g, err := bl.Load(cloud)
+			g, err := bl.Load(context.Background(), cloud)
 			if err != nil {
 				t.Fatal(err)
 			}
 			// Sequential reference reachability from node 0.
 			adj := make([][]uint64, 500)
 			for i := range adj {
-				adj[i], _ = g.On(0).Outlinks(uint64(i))
+				adj[i], _ = g.On(0).Outlinks(context.Background(), uint64(i))
 			}
 			ref := map[uint64]bool{0: true}
 			stack := []uint64{0}
@@ -71,7 +72,7 @@ func TestChaosAsyncBFSMatchesReference(t *testing.T) {
 			binary.LittleEndian.PutUint64(seedTask[:], 0)
 			owner := g.On(0).Slave().Owner(0)
 			e.Post(owner, seedTask[:])
-			e.Wait()
+			e.Wait(context.Background())
 			if got := bfs.Visited(); got != len(ref) {
 				t.Fatalf("async BFS under chaos visited %d, reference %d", got, len(ref))
 			}

@@ -1,6 +1,7 @@
 package async
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,7 +12,7 @@ import (
 // Safra's algorithm confirm the system has ceased (paused machines count
 // as passive and in-flight tasks drain into queues), then write each
 // machine's user state and undelivered task queue to TFS, and resume.
-func (e *Engine) Snapshot(name string, state func(machine int) []byte) error {
+func (e *Engine) Snapshot(ctx context.Context, name string, state func(machine int) []byte) error {
 	// Interruption signal: "all vertices will pause after finishing the
 	// job in hand".
 	for _, m := range e.machines {
@@ -21,7 +22,16 @@ func (e *Engine) Snapshot(name string, state func(machine int) []byte) error {
 		m.mu.Unlock()
 	}
 	// Safra confirms the system ceased: executors idle, network drained.
-	e.Wait()
+	// On cancellation resume the machines so the engine is not left paused.
+	if err := e.Wait(ctx); err != nil {
+		for _, m := range e.machines {
+			m.mu.Lock()
+			m.paused = false
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		}
+		return err
+	}
 	// Write the snapshot: pending tasks plus user state per machine.
 	for i, m := range e.machines {
 		m.mu.Lock()

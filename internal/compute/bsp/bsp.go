@@ -31,6 +31,7 @@
 package bsp
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -192,16 +193,17 @@ type Engine struct {
 // across runs sharing one cloud; the per-step numbers the paper tables
 // need still flow through Options.OnSuperstep.
 type engineMetrics struct {
-	scope        *obs.Scope
-	supersteps   *obs.Counter
-	msgsSent     *obs.Counter // logical vertex messages
-	msgsWire     *obs.Counter // messages that crossed the wire
-	msgsCombined *obs.Counter // messages merged by the combiner
-	msgsDropped  *obs.Counter // messages to vertices absent from the snapshot
-	hubRetries   *obs.Counter // action-script calls that needed a retry
-	hubFailures  *obs.Counter // action-script subscriptions abandoned after retry
-	activeVerts  *obs.Gauge
-	superstepNs  *obs.Histogram
+	scope         *obs.Scope
+	supersteps    *obs.Counter
+	msgsSent      *obs.Counter // logical vertex messages
+	msgsWire      *obs.Counter // messages that crossed the wire
+	msgsCombined  *obs.Counter // messages merged by the combiner
+	msgsDropped   *obs.Counter // messages to vertices absent from the snapshot
+	hubRetries    *obs.Counter // action-script calls that needed a retry
+	hubFailures   *obs.Counter // action-script subscriptions abandoned after retry
+	runsCancelled *obs.Counter // Run calls that returned a context error
+	activeVerts   *obs.Gauge
+	superstepNs   *obs.Histogram
 }
 
 // worker is the per-machine execution state. Vertex state is dense,
@@ -252,16 +254,17 @@ func New(g *graph.Graph, opts Options) *Engine {
 	e := &Engine{g: g, opts: opts, aggGlobal: map[string]float64{}}
 	scope := g.On(0).Slave().Metrics().Scope("bsp")
 	e.metrics = engineMetrics{
-		scope:        scope,
-		supersteps:   scope.Counter("supersteps"),
-		msgsSent:     scope.Counter("messages_sent"),
-		msgsWire:     scope.Counter("messages_wire"),
-		msgsCombined: scope.Counter("messages_combined"),
-		msgsDropped:  scope.Counter("messages_dropped"),
-		hubRetries:   scope.Counter("hub_script_retries"),
-		hubFailures:  scope.Counter("hub_script_failures"),
-		activeVerts:  scope.Gauge("active_vertices"),
-		superstepNs:  scope.Histogram("superstep_ns"),
+		scope:         scope,
+		supersteps:    scope.Counter("supersteps"),
+		msgsSent:      scope.Counter("messages_sent"),
+		msgsWire:      scope.Counter("messages_wire"),
+		msgsCombined:  scope.Counter("messages_combined"),
+		msgsDropped:   scope.Counter("messages_dropped"),
+		hubRetries:    scope.Counter("hub_script_retries"),
+		hubFailures:   scope.Counter("hub_script_failures"),
+		runsCancelled: scope.Counter("runs_cancelled"),
+		activeVerts:   scope.Gauge("active_vertices"),
+		superstepNs:   scope.Histogram("superstep_ns"),
 	}
 	for i := 0; i < g.Machines(); i++ {
 		m := g.On(i)
@@ -298,18 +301,48 @@ func New(g *graph.Graph, opts Options) *Engine {
 // Run executes the program to convergence (all vertices halted and no
 // messages in flight) or MaxSupersteps, returning the number of
 // supersteps executed.
-func (e *Engine) Run(p Program) (int, error) {
+//
+// Cancellation is observed at superstep granularity plus compute-phase
+// poll points: when ctx fires, workers stop computing within ~1024
+// vertices, the marker barrier unblocks, and Run returns ctx.Err()
+// without checkpointing the half-finished step — on-disk checkpoints
+// only ever hold complete supersteps. The engine is not reusable after
+// a cancelled run (matching every other error return).
+func (e *Engine) Run(ctx context.Context, p Program) (int, error) {
 	if e.prepErr != nil {
 		return 0, e.prepErr
 	}
+	// The barrier watcher: workers parked on their marker conds cannot
+	// select on ctx, so one goroutine turns ctx.Done into a broadcast.
+	// Waiters re-check ctx.Err in their loop condition and bail out.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, w := range e.workers {
+				w.doneMu.Lock()
+				w.doneCond.Broadcast()
+				w.doneMu.Unlock()
+			}
+		case <-watchDone:
+		}
+	}()
 	e.initVertices(p)
 	if e.opts.HubThreshold > 0 {
-		e.setupHubSubscriptions()
+		e.setupHubSubscriptions(ctx)
 	}
 	step := 0
 	for ; step < e.opts.MaxSupersteps; step++ {
-		active, sent, err := e.superstep(p, step)
+		if err := ctx.Err(); err != nil {
+			e.metrics.runsCancelled.Inc()
+			return step, err
+		}
+		active, sent, err := e.superstep(ctx, p, step)
 		if err != nil {
+			if ctx.Err() != nil {
+				e.metrics.runsCancelled.Inc()
+			}
 			return step, err
 		}
 		if e.opts.OnSuperstep != nil {
@@ -388,7 +421,7 @@ func (e *Engine) WireMessages() int64 {
 }
 
 // superstep drives one synchronized superstep across all machines.
-func (e *Engine) superstep(p Program, step int) (int64, int64, error) {
+func (e *Engine) superstep(ctx context.Context, p Program, step int) (int64, int64, error) {
 	span := e.metrics.scope.StartSpan("superstep")
 	defer span.End()
 	// Phase 1: rotate inboxes (prepared by the previous step).
@@ -405,7 +438,7 @@ func (e *Engine) superstep(p Program, step int) (int64, int64, error) {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			if err := w.computePhase(p, step); err != nil {
+			if err := w.computePhase(ctx, p, step); err != nil {
 				errCh <- err
 			}
 		}(w)
@@ -417,10 +450,15 @@ func (e *Engine) superstep(p Program, step int) (int64, int64, error) {
 		return 0, 0, err
 	default:
 	}
-	// Phase 3: barrier — wait for all markers on every machine.
+	// Phase 3: barrier — wait for all markers on every machine. The wait
+	// is ctx-aware: a peer that was cancelled (or whose markers a chaotic
+	// transport ate) must not park this run forever.
 	barrier := span.Child("barrier")
 	for _, w := range e.workers {
-		w.waitForMarkers(len(e.workers) - 1)
+		if err := w.waitForMarkers(ctx, len(e.workers)-1); err != nil {
+			barrier.End()
+			return 0, 0, err
+		}
 	}
 	barrier.End()
 	// Phase 4: reduce aggregators and counters on the coordinator.
@@ -450,8 +488,11 @@ func (e *Engine) superstep(p Program, step int) (int64, int64, error) {
 }
 
 // computePhase runs Compute over this machine's vertices, then flushes
-// and broadcasts the end-of-step marker.
-func (w *worker) computePhase(p Program, step int) error {
+// and broadcasts the end-of-step marker. Cancellation is polled every
+// 1024 vertices; a cancelled phase returns ctx.Err() before sending its
+// markers (the whole superstep is abandoned, so no peer will wait for
+// them — the barrier itself is ctx-aware).
+func (w *worker) computePhase(ctx context.Context, p Program, step int) error {
 	node := w.m.Slave().Node()
 	n := w.pv.NumVertices()
 	// Shard vertices across a small pool: vertex computation is
@@ -472,26 +513,32 @@ func (w *worker) computePhase(p Program, step int) error {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			ctx := &Context{w: w, step: step, agg: map[string]float64{}}
+			vctx := &Context{w: w, step: step, agg: map[string]float64{}}
 			for idx := lo; idx < hi; idx++ {
+				if idx&1023 == 0 && ctx.Err() != nil {
+					break
+				}
 				msgs := w.inbox[idx]
 				if !w.active[idx] && len(msgs) == 0 {
 					continue
 				}
-				ctx.self = ids[idx]
-				ctx.selfIdx = idx
-				newVal, halt := p.Compute(ctx, ctx.self, w.values[idx], msgs)
+				vctx.self = ids[idx]
+				vctx.selfIdx = idx
+				newVal, halt := p.Compute(vctx, vctx.self, w.values[idx], msgs)
 				w.values[idx] = newVal
 				w.active[idx] = !halt
 			}
 			aggMu.Lock()
-			for k, v := range ctx.agg {
+			for k, v := range vctx.agg {
 				w.aggLocal[k] += v
 			}
 			aggMu.Unlock()
 		}(s, endIdx)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := node.Flush(); err != nil && !errors.Is(err, msg.ErrUnreachable) {
 		return err
 	}
@@ -505,14 +552,18 @@ func (w *worker) computePhase(p Program, step int) error {
 	return node.Flush()
 }
 
-// waitForMarkers blocks until `want` peers have signalled end-of-step.
-func (w *worker) waitForMarkers(want int) {
+// waitForMarkers blocks until `want` peers have signalled end-of-step,
+// or ctx fires (Run's watcher goroutine broadcasts the cond on ctx.Done
+// so parked waiters re-check).
+func (w *worker) waitForMarkers(ctx context.Context, want int) error {
 	w.doneMu.Lock()
-	for len(w.doneFrom) < want {
+	for len(w.doneFrom) < want && ctx.Err() == nil {
 		w.doneCond.Wait()
 	}
+	err := ctx.Err()
 	w.doneFrom = make(map[msg.MachineID]bool)
 	w.doneMu.Unlock()
+	return err
 }
 
 func (w *worker) onStepDone(from msg.MachineID, _ []byte) {
@@ -611,7 +662,7 @@ func (w *worker) onHubMsg(_ msg.MachineID, b []byte) {
 // setupHubSubscriptions implements the §5.4 action-script exchange. The
 // remote/local bipartite split comes straight from the partition view;
 // no in-link re-scan is needed.
-func (e *Engine) setupHubSubscriptions() {
+func (e *Engine) setupHubSubscriptions(ctx context.Context) {
 	for _, w := range e.workers {
 		w.hubSources = make(map[uint64][]int32)
 		w.hubSubscribers = make(map[uint64][]msg.MachineID)
@@ -637,12 +688,12 @@ func (e *Engine) setupHubSubscriptions() {
 				for i, h := range hubs {
 					binary.LittleEndian.PutUint64(script[8*i:], h)
 				}
-				if _, err := node.Call(owner, protoActionScript, script); err != nil {
+				if _, err := node.Call(ctx, owner, protoActionScript, script); err != nil {
 					// Retry once; a transient transport fault must not
 					// silently leave the hub owner unsubscribed while this
 					// machine skips per-edge sends.
 					e.metrics.hubRetries.Inc()
-					if _, err = node.Call(owner, protoActionScript, script); err != nil {
+					if _, err = node.Call(ctx, owner, protoActionScript, script); err != nil {
 						e.metrics.hubFailures.Inc()
 						// Abandon the subscription: without the owner's
 						// acknowledgement these hubs must fall back to
@@ -660,7 +711,7 @@ func (e *Engine) setupHubSubscriptions() {
 
 // onActionScript records a peer's hub subscriptions ("each machine merges
 // the action scripts it receives from other machines", §5.4).
-func (w *worker) onActionScript(from msg.MachineID, script []byte) ([]byte, error) {
+func (w *worker) onActionScript(_ context.Context, from msg.MachineID, script []byte) ([]byte, error) {
 	w.doneMu.Lock() // reuse as a small setup lock
 	defer w.doneMu.Unlock()
 	for off := 0; off+8 <= len(script); off += 8 {

@@ -1,6 +1,7 @@
 package bsp
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func ringGraph(t testing.TB, cloud *memcloud.Cloud, n int) *graph.Graph {
 	for i := 0; i < n; i++ {
 		b.AddEdge(uint64(i), uint64((i+1)%n))
 	}
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestPageRankOnRing(t *testing.T) {
 	cloud := newCloud(t, 2)
 	g := ringGraph(t, cloud, 40)
 	e := New(g, Options{Combine: func(a, b float64) float64 { return a + b }})
-	steps, err := e.Run(&pagerank{iters: 30})
+	steps, err := e.Run(context.Background(), &pagerank{iters: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestPageRankMatchesSequentialReference(t *testing.T) {
 	cloud := newCloud(t, 3)
 	b := graph.NewBuilder(true)
 	gen.BuildUniform(gen.UniformConfig{Nodes: 200, AvgDegree: 6, Seed: 1}, 0, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestPageRankMatchesSequentialReference(t *testing.T) {
 	const iters = 20
 	adj := make([][]uint64, n)
 	for i := 0; i < n; i++ {
-		out, err := g.On(0).Outlinks(uint64(i))
+		out, err := g.On(0).Outlinks(context.Background(), uint64(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func TestPageRankMatchesSequentialReference(t *testing.T) {
 		}
 	}
 	e := New(g, Options{Combine: func(a, b float64) float64 { return a + b }})
-	if _, err := e.Run(&pagerank{iters: iters}); err != nil {
+	if _, err := e.Run(context.Background(), &pagerank{iters: iters}); err != nil {
 		t.Fatal(err)
 	}
 	for id, v := range e.Values() {
@@ -156,7 +157,7 @@ func TestMaxPropagationConverges(t *testing.T) {
 	cloud := newCloud(t, 4)
 	g := ringGraph(t, cloud, 64)
 	e := New(g, Options{})
-	steps, err := e.Run(propagateMax{})
+	steps, err := e.Run(context.Background(), propagateMax{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestVoteToHaltTerminates(t *testing.T) {
 	g := ringGraph(t, cloud, 10)
 	e := New(g, Options{})
 	// A program that halts immediately must terminate in one superstep.
-	steps, err := e.Run(haltNow{})
+	steps, err := e.Run(context.Background(), haltNow{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestMaxSuperstepsBound(t *testing.T) {
 	cloud := newCloud(t, 2)
 	g := ringGraph(t, cloud, 10)
 	e := New(g, Options{MaxSupersteps: 3})
-	steps, err := e.Run(neverHalt{})
+	steps, err := e.Run(context.Background(), neverHalt{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestAggregator(t *testing.T) {
 	cloud := newCloud(t, 2)
 	g := ringGraph(t, cloud, 20)
 	e := New(g, Options{MaxSupersteps: 2})
-	if _, err := e.Run(&aggProg{t: t}); err != nil {
+	if _, err := e.Run(context.Background(), &aggProg{t: t}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -247,7 +248,7 @@ func TestHubOptimizationEquivalence(t *testing.T) {
 		cloud := newCloud(t, 4)
 		b := graph.NewBuilder(true)
 		gen.BuildRMAT(gen.RMATConfig{Scale: 9, AvgDegree: 8, Seed: 11}, 0, b)
-		g, err := b.Load(cloud)
+		g, err := b.Load(context.Background(), cloud)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,7 +259,7 @@ func TestHubOptimizationEquivalence(t *testing.T) {
 			Combine:      func(a, b float64) float64 { return a + b },
 			HubThreshold: hub,
 		})
-		if _, err := e.Run(&pagerank{iters: 5}); err != nil {
+		if _, err := e.Run(context.Background(), &pagerank{iters: 5}); err != nil {
 			t.Fatal(err)
 		}
 		return e.Values(), e.WireMessages()
@@ -284,7 +285,7 @@ func TestCheckpointRestore(t *testing.T) {
 	cloud := newCloud(t, 2)
 	g := ringGraph(t, cloud, 30)
 	e := New(g, Options{MaxSupersteps: 10, CheckpointEvery: 5, CheckpointName: "pr"})
-	if _, err := e.Run(&pagerank{iters: 9}); err != nil {
+	if _, err := e.Run(context.Background(), &pagerank{iters: 9}); err != nil {
 		t.Fatal(err)
 	}
 	want := e.Values()
@@ -307,7 +308,7 @@ func TestEmptyGraph(t *testing.T) {
 	cloud := newCloud(t, 2)
 	g := graph.New(cloud, true)
 	e := New(g, Options{MaxSupersteps: 5})
-	steps, err := e.Run(haltNow{})
+	steps, err := e.Run(context.Background(), haltNow{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func BenchmarkPageRankIteration(b *testing.B) {
 	cloud := newCloud(b, 4)
 	bl := graph.NewBuilder(true)
 	gen.BuildRMAT(gen.RMATConfig{Scale: 12, AvgDegree: 8, Seed: 1}, 0, bl)
-	g, err := bl.Load(cloud)
+	g, err := bl.Load(context.Background(), cloud)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func BenchmarkPageRankIteration(b *testing.B) {
 			Combine:      func(a, b float64) float64 { return a + b },
 			HubThreshold: 8,
 		})
-		if _, err := e.Run(&pagerank{iters: 3}); err != nil {
+		if _, err := e.Run(context.Background(), &pagerank{iters: 3}); err != nil {
 			b.Fatal(err)
 		}
 	}

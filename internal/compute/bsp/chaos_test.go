@@ -1,6 +1,7 @@
 package bsp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -37,7 +38,7 @@ func TestChaosPageRankOnRing(t *testing.T) {
 			cloud := newChaosCloud(t, 2, seed)
 			g := ringGraph(t, cloud, 40)
 			e := New(g, Options{Combine: func(a, b float64) float64 { return a + b }})
-			steps, err := e.Run(&pagerank{iters: 30})
+			steps, err := e.Run(context.Background(), &pagerank{iters: 30})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -13,6 +13,7 @@
 package traversal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -90,8 +91,8 @@ func New(g *graph.Graph) *Engine {
 	for i := 0; i < g.Machines(); i++ {
 		m := g.On(i)
 		mm := m
-		m.Slave().Node().HandleSync(protoExpand, func(from msg.MachineID, req []byte) ([]byte, error) {
-			return e.expandLocal(mm, req)
+		m.Slave().Node().HandleSync(protoExpand, func(ctx context.Context, from msg.MachineID, req []byte) ([]byte, error) {
+			return e.expandLocal(ctx, mm, req)
 		})
 	}
 	return e
@@ -101,12 +102,16 @@ func New(g *graph.Graph) *Engine {
 // away, collecting nodes that satisfy pred. The query is served by
 // machine `via` (any machine can coordinate, like a Trinity client
 // talking to any slave).
-func (e *Engine) Explore(via int, start uint64, hops int, pred Predicate) (*Result, error) {
+func (e *Engine) Explore(ctx context.Context, via int, start uint64, hops int, pred Predicate) (*Result, error) {
 	e.queries.Inc()
 	qStart := time.Now()
 	defer func() { e.exploreNs.Observe(int64(time.Since(qStart))) }()
 	coord := e.g.On(via)
-	if !coord.HasNode(start) {
+	if !coord.HasNode(ctx, start) {
+		// A cancelled lookup is not a missing node.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("traversal: start node %d does not exist", start)
 	}
 	res := &Result{Visited: 1}
@@ -114,6 +119,9 @@ func (e *Engine) Explore(via int, start uint64, hops int, pred Predicate) (*Resu
 
 	frontier := []uint64{start}
 	for hop := 0; hop <= hops && len(frontier) > 0; hop++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// The final frontier is tested against the predicate but not
 		// expanded further.
 		expandMore := hop < hops
@@ -140,7 +148,7 @@ func (e *Engine) Explore(via int, start uint64, hops int, pred Predicate) (*Resu
 		replies := make(chan reply, len(perOwner))
 		for owner, ids := range perOwner {
 			go func(owner msg.MachineID, ids []uint64) {
-				m, n, err := e.expand(coord, owner, ids, pred, expandMore)
+				m, n, err := e.expand(ctx, coord, owner, ids, pred, expandMore)
 				replies <- reply{m, n, err}
 			}(owner, ids)
 		}
@@ -183,7 +191,7 @@ func (e *Engine) Explore(via int, start uint64, hops int, pred Predicate) (*Resu
 // ships only ids); use ExploreCells when the traversal must read the
 // cells themselves anyway, where it replaces one blocking round trip per
 // remote cell with a pipelined batch stream.
-func (e *Engine) ExploreCells(via int, start uint64, hops int, pred Predicate) (*Result, error) {
+func (e *Engine) ExploreCells(ctx context.Context, via int, start uint64, hops int, pred Predicate) (*Result, error) {
 	e.queries.Inc()
 	qStart := time.Now()
 	defer func() { e.exploreNs.Observe(int64(time.Since(qStart))) }()
@@ -202,6 +210,12 @@ func (e *Engine) ExploreCells(via int, start uint64, hops int, pred Predicate) (
 
 	for head := 0; head < len(queue); head++ {
 		it := queue[head]
+		if err := ctx.Err(); err != nil {
+			// Abandon the remaining futures: the pipeline resolves them
+			// within one CallTimeout and nothing wedges (Wait unhooks only
+			// this caller, the pending-map entries drain with their batch).
+			return nil, err
+		}
 		select {
 		case <-it.fut.Done():
 		default:
@@ -209,8 +223,11 @@ func (e *Engine) ExploreCells(via int, start uint64, hops int, pred Predicate) (
 			// the wire rather than waiting out the age watermark.
 			f.Flush()
 		}
-		blob, err := it.fut.Wait()
+		blob, err := it.fut.Wait(ctx)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
 			if it.id == start {
 				return nil, fmt.Errorf("traversal: start node %d does not exist", start)
 			}
@@ -263,8 +280,8 @@ func (e *Engine) ExploreCells(via int, start uint64, hops int, pred Predicate) (
 
 // KHopNeighborhoodSize returns the number of distinct nodes within `hops`
 // hops of start — the §5.1 benchmark operation.
-func (e *Engine) KHopNeighborhoodSize(via int, start uint64, hops int) (int, error) {
-	res, err := e.Explore(via, start, hops, Predicate{})
+func (e *Engine) KHopNeighborhoodSize(ctx context.Context, via int, start uint64, hops int) (int, error) {
+	res, err := e.Explore(ctx, via, start, hops, Predicate{})
 	if err != nil {
 		return 0, err
 	}
@@ -273,8 +290,8 @@ func (e *Engine) KHopNeighborhoodSize(via int, start uint64, hops int) (int, err
 
 // PeopleSearch finds nodes labeled with the interned first name within
 // `hops` hops of start — the paper's Facebook/Bing "David problem".
-func (e *Engine) PeopleSearch(via int, start uint64, firstNameLabel int64, hops int) ([]uint64, error) {
-	res, err := e.Explore(via, start, hops, Predicate{Mode: MatchLabel, Label: firstNameLabel})
+func (e *Engine) PeopleSearch(ctx context.Context, via int, start uint64, firstNameLabel int64, hops int) ([]uint64, error) {
+	res, err := e.Explore(ctx, via, start, hops, Predicate{Mode: MatchLabel, Label: firstNameLabel})
 	if err != nil {
 		return nil, err
 	}
@@ -282,14 +299,14 @@ func (e *Engine) PeopleSearch(via int, start uint64, firstNameLabel int64, hops 
 }
 
 // expand sends one frontier fragment to its owner (or runs locally).
-func (e *Engine) expand(coord *graph.Machine, owner msg.MachineID, ids []uint64, pred Predicate, expandMore bool) (matches, neighbors []uint64, err error) {
+func (e *Engine) expand(ctx context.Context, coord *graph.Machine, owner msg.MachineID, ids []uint64, pred Predicate, expandMore bool) (matches, neighbors []uint64, err error) {
 	e.expansions.Inc()
 	req := encodeExpand(ids, pred, expandMore)
 	var resp []byte
 	if owner == coord.Slave().ID() {
-		resp, err = e.expandLocal(coord, req)
+		resp, err = e.expandLocal(ctx, coord, req)
 	} else {
-		resp, err = coord.Slave().Node().Call(owner, protoExpand, req)
+		resp, err = coord.Slave().Node().Call(ctx, owner, protoExpand, req)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -303,7 +320,7 @@ func (e *Engine) expand(coord *graph.Machine, owner msg.MachineID, ids []uint64,
 // ids absent from the view — dangling edge targets that were never
 // created — are tolerated and skipped, matching the old per-cell path's
 // ErrNoNode tolerance; a corrupt cell instead fails view acquisition.
-func (e *Engine) expandLocal(m *graph.Machine, req []byte) ([]byte, error) {
+func (e *Engine) expandLocal(ctx context.Context, m *graph.Machine, req []byte) ([]byte, error) {
 	ids, pred, expandMore, err := decodeExpand(req)
 	if err != nil {
 		return nil, err
@@ -323,7 +340,7 @@ func (e *Engine) expandLocal(m *graph.Machine, req []byte) ([]byte, error) {
 					matches = append(matches, id)
 				}
 			case MatchNamePrefix:
-				if name, err := m.Name(id); err == nil && strings.HasPrefix(name, pred.Prefix) {
+				if name, err := m.Name(ctx, id); err == nil && strings.HasPrefix(name, pred.Prefix) {
 					matches = append(matches, id)
 				}
 			}

@@ -1,6 +1,7 @@
 package traversal
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sort"
@@ -33,7 +34,7 @@ func chainGraph(t testing.TB, cloud *memcloud.Cloud, n int) *graph.Graph {
 	for i := 0; i < n-1; i++ {
 		b.AddEdge(uint64(i), uint64(i+1))
 	}
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestKHopOnChain(t *testing.T) {
 	g := chainGraph(t, cloud, 20)
 	e := New(g)
 	for hops := 0; hops <= 5; hops++ {
-		got, err := e.KHopNeighborhoodSize(0, 0, hops)
+		got, err := e.KHopNeighborhoodSize(context.Background(), 0, 0, hops)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +55,7 @@ func TestKHopOnChain(t *testing.T) {
 		}
 	}
 	// From the tail nothing is reachable.
-	got, err := e.KHopNeighborhoodSize(1, 19, 3)
+	got, err := e.KHopNeighborhoodSize(context.Background(), 1, 19, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestExploreMissingStart(t *testing.T) {
 	cloud := newCloud(t, 2)
 	g := chainGraph(t, cloud, 5)
 	e := New(g)
-	if _, err := e.Explore(0, 999, 2, Predicate{}); err == nil {
+	if _, err := e.Explore(context.Background(), 0, 999, 2, Predicate{}); err == nil {
 		t.Fatal("missing start accepted")
 	}
 }
@@ -78,14 +79,14 @@ func TestExploreMatchesAgainstReferenceBFS(t *testing.T) {
 	cloud := newCloud(t, 4)
 	b := graph.NewBuilder(true)
 	gen.BuildUniform(gen.UniformConfig{Nodes: 400, AvgDegree: 5, Seed: 9}, 4, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Sequential reference.
 	adj := make([][]uint64, 400)
 	for i := range adj {
-		adj[i], _ = g.On(0).Outlinks(uint64(i))
+		adj[i], _ = g.On(0).Outlinks(context.Background(), uint64(i))
 	}
 	refKHop := func(start uint64, hops int) map[uint64]int {
 		dist := map[uint64]int{start: 0}
@@ -108,7 +109,7 @@ func TestExploreMatchesAgainstReferenceBFS(t *testing.T) {
 	for _, start := range []uint64{0, 17, 399} {
 		for hops := 0; hops <= 4; hops++ {
 			ref := refKHop(start, hops)
-			got, err := e.KHopNeighborhoodSize(int(start)%4, start, hops)
+			got, err := e.KHopNeighborhoodSize(context.Background(), int(start)%4, start, hops)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -123,7 +124,7 @@ func TestPredicateLabel(t *testing.T) {
 	cloud := newCloud(t, 3)
 	g := chainGraph(t, cloud, 10) // labels are id%3
 	e := New(g)
-	res, err := e.Explore(0, 0, 6, Predicate{Mode: MatchLabel, Label: 1})
+	res, err := e.Explore(context.Background(), 0, 0, 6, Predicate{Mode: MatchLabel, Label: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestPredicateIncludesStartAndLastHop(t *testing.T) {
 	g := chainGraph(t, cloud, 5)
 	e := New(g)
 	// Start node 0 has label 0; all label-0 nodes within 3 hops: 0, 3.
-	res, err := e.Explore(0, 0, 3, Predicate{Mode: MatchLabel, Label: 0})
+	res, err := e.Explore(context.Background(), 0, 0, 3, Predicate{Mode: MatchLabel, Label: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,12 +174,12 @@ func TestPredicateNamePrefix(t *testing.T) {
 	b.AddNode(3, 0, "David Lee")
 	b.AddEdge(1, 2)
 	b.AddEdge(2, 3)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e := New(g)
-	res, err := e.Explore(0, 1, 2, Predicate{Mode: MatchNamePrefix, Prefix: "David"})
+	res, err := e.Explore(context.Background(), 0, 1, 2, Predicate{Mode: MatchNamePrefix, Prefix: "David"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestPeopleSearchFindsDavids(t *testing.T) {
 	cloud := newCloud(t, 4)
 	b := graph.NewBuilder(false)
 	gen.BuildSocial(gen.SocialConfig{People: 3000, AvgDegree: 20, Seed: 2}, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,17 +200,17 @@ func TestPeopleSearchFindsDavids(t *testing.T) {
 	davidLabel := int64(hash.String("David"))
 	// Pick a start with decent degree so the 3-hop ball is non-trivial.
 	start := uint64(0)
-	matches, err := e.PeopleSearch(0, start, davidLabel, 3)
+	matches, err := e.PeopleSearch(context.Background(), 0, start, davidLabel, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Verify every match really is a David and within 3 hops.
-	res, _ := e.Explore(0, start, 3, Predicate{})
+	res, _ := e.Explore(context.Background(), 0, start, 3, Predicate{})
 	if res.Visited < 100 {
 		t.Skipf("3-hop ball too small (%d) for a meaningful check", res.Visited)
 	}
 	for _, id := range matches {
-		name, err := g.On(0).Name(id)
+		name, err := g.On(0).Name(context.Background(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,12 +234,12 @@ func TestLevelsReported(t *testing.T) {
 		b.AddEdge(0, i)
 	}
 	b.AddEdge(1, 11)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e := New(g)
-	res, err := e.Explore(0, 0, 2, Predicate{})
+	res, err := e.Explore(context.Background(), 0, 0, 2, Predicate{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestExploreFromEveryMachine(t *testing.T) {
 	g := chainGraph(t, cloud, 30)
 	e := New(g)
 	for via := 0; via < 4; via++ {
-		got, err := e.KHopNeighborhoodSize(via, 0, 10)
+		got, err := e.KHopNeighborhoodSize(context.Background(), via, 0, 10)
 		if err != nil {
 			t.Fatalf("via %d: %v", via, err)
 		}
@@ -275,12 +276,12 @@ func TestCyclesDoNotLoop(t *testing.T) {
 	b.AddEdge(0, 1)
 	b.AddEdge(1, 2)
 	b.AddEdge(2, 0)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e := New(g)
-	got, err := e.KHopNeighborhoodSize(0, 0, 100)
+	got, err := e.KHopNeighborhoodSize(context.Background(), 0, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func naiveKHopCells(g *graph.Graph, via int, start uint64, hops int) (int, error
 	queue := []item{{start, 0}}
 	for head := 0; head < len(queue); head++ {
 		it := queue[head]
-		blob, err := m.Slave().Get(it.id)
+		blob, err := m.Slave().Get(context.Background(), it.id)
 		if err != nil {
 			if errors.Is(err, memcloud.ErrNotFound) {
 				continue
@@ -330,7 +331,7 @@ func TestExploreCellsMatchesExplore(t *testing.T) {
 	cloud := newCloud(t, 4)
 	b := graph.NewBuilder(true)
 	gen.BuildUniform(gen.UniformConfig{Nodes: 400, AvgDegree: 5, Seed: 9}, 4, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,11 +343,11 @@ func TestExploreCellsMatchesExplore(t *testing.T) {
 	for _, start := range []uint64{0, 17, 399} {
 		for hops := 0; hops <= 4; hops++ {
 			for _, pred := range preds {
-				want, err := e.Explore(int(start)%4, start, hops, pred)
+				want, err := e.Explore(context.Background(), int(start)%4, start, hops, pred)
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := e.ExploreCells(int(start)%4, start, hops, pred)
+				got, err := e.ExploreCells(context.Background(), int(start)%4, start, hops, pred)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -375,7 +376,7 @@ func TestExploreCellsMissingStart(t *testing.T) {
 	cloud := newCloud(t, 2)
 	g := chainGraph(t, cloud, 5)
 	e := New(g)
-	if _, err := e.ExploreCells(0, 999, 2, Predicate{}); err == nil {
+	if _, err := e.ExploreCells(context.Background(), 0, 999, 2, Predicate{}); err == nil {
 		t.Fatal("missing start accepted")
 	}
 }
@@ -390,7 +391,7 @@ func TestExploreCellsFewerRoundTrips(t *testing.T) {
 	cloud := newCloud(t, 4)
 	b := graph.NewBuilder(false)
 	gen.BuildSocial(gen.SocialConfig{People: 2000, AvgDegree: 10, Seed: 3}, b)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +413,7 @@ func TestExploreCellsFewerRoundTrips(t *testing.T) {
 	saved := reg.Scope("fetch.m0").Counter("round_trips_saved")
 	savedBefore := saved.Load()
 	before = syncCalls.Load()
-	res, err := e.ExploreCells(0, start, hops, Predicate{})
+	res, err := e.ExploreCells(context.Background(), 0, start, hops, Predicate{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -439,14 +440,14 @@ func BenchmarkThreeHopExploration(b *testing.B) {
 	cloud := newCloud(b, 8)
 	bl := graph.NewBuilder(false)
 	gen.BuildSocial(gen.SocialConfig{People: 20000, AvgDegree: 13, Seed: 1}, bl)
-	g, err := bl.Load(cloud)
+	g, err := bl.Load(context.Background(), cloud)
 	if err != nil {
 		b.Fatal(err)
 	}
 	e := New(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.KHopNeighborhoodSize(0, uint64(i%20000), 3); err != nil {
+		if _, err := e.KHopNeighborhoodSize(context.Background(), 0, uint64(i%20000), 3); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -459,7 +460,7 @@ func benchCellsGraph(b *testing.B) *graph.Graph {
 	cloud := newCloud(b, 8)
 	bl := graph.NewBuilder(false)
 	gen.BuildSocial(gen.SocialConfig{People: 5000, AvgDegree: 13, Seed: 1}, bl)
-	g, err := bl.Load(cloud)
+	g, err := bl.Load(context.Background(), cloud)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -485,7 +486,7 @@ func BenchmarkThreeHopCellsPipelined(b *testing.B) {
 	e := New(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.ExploreCells(0, uint64(i%5000), 3, Predicate{}); err != nil {
+		if _, err := e.ExploreCells(context.Background(), 0, uint64(i%5000), 3, Predicate{}); err != nil {
 			b.Fatal(err)
 		}
 	}

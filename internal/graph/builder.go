@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -79,7 +80,7 @@ func (b *Builder) NodeCount() int { return len(b.nodes) }
 // Flush writes all accumulated nodes into the graph's memory cloud in
 // parallel (one worker per CPU, each writing through the owner slave's
 // local fast path) and clears the builder.
-func (b *Builder) Flush(g *Graph) error {
+func (b *Builder) Flush(ctx context.Context, g *Graph) error {
 	// Partition nodes by owner so every Put is a local trunk operation.
 	perOwner := make([][]*Node, g.Machines())
 	anchor := g.On(0).Slave()
@@ -108,7 +109,7 @@ func (b *Builder) Flush(g *Graph) error {
 			defer func() { <-sem }()
 			s := g.On(owner).Slave()
 			for _, n := range nodes {
-				if err := s.Put(n.ID, EncodeNode(n)); err != nil {
+				if err := s.Put(ctx, n.ID, EncodeNode(n)); err != nil {
 					errCh <- fmt.Errorf("graph: flush node %d: %w", n.ID, err)
 					return
 				}
@@ -135,9 +136,9 @@ func (b *Builder) Flush(g *Graph) error {
 
 // Load is a convenience wrapper: build a graph engine over the cloud,
 // flush the builder into it, and return the engine.
-func (b *Builder) Load(cloud *memcloud.Cloud) (*Graph, error) {
+func (b *Builder) Load(ctx context.Context, cloud *memcloud.Cloud) (*Graph, error) {
 	g := New(cloud, b.directed)
-	if err := b.Flush(g); err != nil {
+	if err := b.Flush(ctx, g); err != nil {
 		return nil, err
 	}
 	return g, nil

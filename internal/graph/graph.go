@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -92,7 +93,7 @@ func (m *Machine) Fetcher() *fetch.Fetcher {
 // cellGet reads one cell through the fetch pipeline. The immediate Flush
 // keeps the synchronous callers' latency at one round trip (no age-timer
 // wait) while still letting concurrent readers ride the same frame.
-func (m *Machine) cellGet(id uint64) ([]byte, error) {
+func (m *Machine) cellGet(ctx context.Context, id uint64) ([]byte, error) {
 	f := m.Fetcher()
 	fu := f.GetAsync(id)
 	select {
@@ -102,7 +103,7 @@ func (m *Machine) cellGet(id uint64) ([]byte, error) {
 	default:
 		f.Flush()
 	}
-	return fu.Wait()
+	return fu.Wait(ctx)
 }
 
 func (m *Machine) stripe(id uint64) *sync.Mutex {
@@ -148,8 +149,8 @@ func (m *Machine) invalidateOwner(key uint64) {
 }
 
 // AddNode creates a node cell. It can be called from any machine.
-func (m *Machine) AddNode(n *Node) error {
-	err := m.s.Add(n.ID, EncodeNode(n))
+func (m *Machine) AddNode(ctx context.Context, n *Node) error {
+	err := m.s.Add(ctx, n.ID, EncodeNode(n))
 	if err == nil {
 		m.invalidateOwner(n.ID)
 	}
@@ -157,8 +158,8 @@ func (m *Machine) AddNode(n *Node) error {
 }
 
 // PutNode creates or replaces a node cell.
-func (m *Machine) PutNode(n *Node) error {
-	err := m.s.Put(n.ID, EncodeNode(n))
+func (m *Machine) PutNode(ctx context.Context, n *Node) error {
+	err := m.s.Put(ctx, n.ID, EncodeNode(n))
 	if err == nil {
 		m.invalidateOwner(n.ID)
 	}
@@ -168,8 +169,8 @@ func (m *Machine) PutNode(n *Node) error {
 // GetNode fetches and decodes a node from wherever it lives. Remote
 // reads go through the fetch pipeline, so concurrent GetNode calls on
 // one machine batch into shared frames.
-func (m *Machine) GetNode(id uint64) (*Node, error) {
-	blob, err := m.cellGet(id)
+func (m *Machine) GetNode(ctx context.Context, id uint64) (*Node, error) {
+	blob, err := m.cellGet(ctx, id)
 	if err != nil {
 		if errors.Is(err, memcloud.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %d", ErrNoNode, id)
@@ -183,8 +184,8 @@ func (m *Machine) GetNode(id uint64) (*Node, error) {
 // keys are grouped per owner machine and each group rides multi-get
 // frames instead of one round trip per node. fn is invoked once per id in
 // argument order; a missing node reports ErrNoNode.
-func (m *Machine) GetNodes(ids []uint64, fn func(i int, n *Node, err error)) {
-	m.Fetcher().GetBatch(ids, func(i int, id uint64, blob []byte, err error) {
+func (m *Machine) GetNodes(ctx context.Context, ids []uint64, fn func(i int, n *Node, err error)) {
+	m.Fetcher().GetBatch(ctx, ids, func(i int, id uint64, blob []byte, err error) {
 		if err != nil {
 			if errors.Is(err, memcloud.ErrNotFound) {
 				err = fmt.Errorf("%w: %d", ErrNoNode, id)
@@ -198,30 +199,30 @@ func (m *Machine) GetNodes(ids []uint64, fn func(i int, n *Node, err error)) {
 }
 
 // HasNode reports whether the node exists.
-func (m *Machine) HasNode(id uint64) bool {
-	ok, err := m.s.Contains(id)
+func (m *Machine) HasNode(ctx context.Context, id uint64) bool {
+	ok, err := m.s.Contains(ctx, id)
 	return err == nil && ok
 }
 
 // AddEdge adds the edge src -> dst (or an undirected edge when the graph
 // is undirected). Both endpoint cells must exist. The mutation executes on
 // the owner machine of each endpoint, serialized by its write stripes.
-func (m *Machine) AddEdge(src, dst uint64) error {
-	if err := m.mutateEndpoint(src, dst, false); err != nil {
+func (m *Machine) AddEdge(ctx context.Context, src, dst uint64) error {
+	if err := m.mutateEndpoint(ctx, src, dst, false); err != nil {
 		return err
 	}
 	if m.g.Directed {
-		return m.mutateEndpoint(dst, src, true)
+		return m.mutateEndpoint(ctx, dst, src, true)
 	}
-	return m.mutateEndpoint(dst, src, false)
+	return m.mutateEndpoint(ctx, dst, src, false)
 }
 
 // mutateEndpoint appends `other` to node's outlinks (inlink=false) or
 // inlinks (inlink=true), routing to the node's owner.
-func (m *Machine) mutateEndpoint(node, other uint64, inlink bool) error {
+func (m *Machine) mutateEndpoint(ctx context.Context, node, other uint64, inlink bool) error {
 	owner := m.s.Owner(node)
 	if owner == m.s.ID() {
-		return m.addLinkLocal(node, other, inlink)
+		return m.addLinkLocal(ctx, node, other, inlink)
 	}
 	proto := protoAddEdge
 	if inlink {
@@ -230,7 +231,7 @@ func (m *Machine) mutateEndpoint(node, other uint64, inlink bool) error {
 	req := make([]byte, 16)
 	binary.LittleEndian.PutUint64(req, node)
 	binary.LittleEndian.PutUint64(req[8:], other)
-	_, err := m.s.Node().Call(owner, proto, req)
+	_, err := m.s.Node().Call(ctx, owner, proto, req)
 	if err != nil && errors.Is(mapRemote(err), ErrNoNode) {
 		return fmt.Errorf("%w: %d", ErrNoNode, node)
 	}
@@ -246,11 +247,11 @@ func mapRemote(err error) error {
 }
 
 // addLinkLocal performs the read-modify-write on a local node cell.
-func (m *Machine) addLinkLocal(node, other uint64, inlink bool) error {
+func (m *Machine) addLinkLocal(ctx context.Context, node, other uint64, inlink bool) error {
 	mu := m.stripe(node)
 	mu.Lock()
 	defer mu.Unlock()
-	blob, err := m.s.Get(node)
+	blob, err := m.s.Get(ctx, node)
 	if err != nil {
 		if errors.Is(err, memcloud.ErrNotFound) {
 			return fmt.Errorf("%w: %d", ErrNoNode, node)
@@ -266,51 +267,51 @@ func (m *Machine) addLinkLocal(node, other uint64, inlink bool) error {
 	} else {
 		n.Outlinks = append(n.Outlinks, other)
 	}
-	if err := m.s.Put(node, EncodeNode(n)); err != nil {
+	if err := m.s.Put(ctx, node, EncodeNode(n)); err != nil {
 		return err
 	}
 	m.InvalidatePartition()
 	return nil
 }
 
-func (m *Machine) onAddEdge(_ msg.MachineID, req []byte) ([]byte, error) {
+func (m *Machine) onAddEdge(ctx context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 	if len(req) != 16 {
 		return nil, errors.New("graph: bad AddEdge request")
 	}
 	node := binary.LittleEndian.Uint64(req)
 	other := binary.LittleEndian.Uint64(req[8:])
-	return nil, m.addLinkLocal(node, other, false)
+	return nil, m.addLinkLocal(ctx, node, other, false)
 }
 
-func (m *Machine) onAddInlink(_ msg.MachineID, req []byte) ([]byte, error) {
+func (m *Machine) onAddInlink(ctx context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 	if len(req) != 16 {
 		return nil, errors.New("graph: bad AddInlink request")
 	}
 	node := binary.LittleEndian.Uint64(req)
 	other := binary.LittleEndian.Uint64(req[8:])
-	return nil, m.addLinkLocal(node, other, true)
+	return nil, m.addLinkLocal(ctx, node, other, true)
 }
 
-func (m *Machine) onGetNode(_ msg.MachineID, req []byte) ([]byte, error) {
+func (m *Machine) onGetNode(ctx context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 	if len(req) != 8 {
 		return nil, errors.New("graph: bad GetNode request")
 	}
-	blob, err := m.s.Get(binary.LittleEndian.Uint64(req))
+	blob, err := m.s.Get(ctx, binary.LittleEndian.Uint64(req))
 	return blob, err
 }
 
 // Outlinks returns the node's out-neighbors (copy).
-func (m *Machine) Outlinks(id uint64) ([]uint64, error) {
-	return m.links(id, listOutlinks)
+func (m *Machine) Outlinks(ctx context.Context, id uint64) ([]uint64, error) {
+	return m.links(ctx, id, listOutlinks)
 }
 
 // Inlinks returns the node's in-neighbors (copy). For undirected graphs
 // the inlink list is empty: neighbors live in Outlinks on both endpoints.
-func (m *Machine) Inlinks(id uint64) ([]uint64, error) {
-	return m.links(id, listInlinks)
+func (m *Machine) Inlinks(ctx context.Context, id uint64) ([]uint64, error) {
+	return m.links(ctx, id, listInlinks)
 }
 
-func (m *Machine) links(id uint64, list int) ([]uint64, error) {
+func (m *Machine) links(ctx context.Context, id uint64, list int) ([]uint64, error) {
 	var out []uint64
 	collect := func(b []byte) error {
 		off, count, err := blobListAt(b, list)
@@ -330,7 +331,7 @@ func (m *Machine) links(id uint64, list int) ([]uint64, error) {
 		}
 		return out, err
 	}
-	blob, err := m.cellGet(id)
+	blob, err := m.cellGet(ctx, id)
 	if err != nil {
 		if errors.Is(err, memcloud.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %d", ErrNoNode, id)
@@ -384,7 +385,7 @@ func (m *Machine) ForEachInlink(id uint64, fn func(v uint64) bool) error {
 // onDegrees serves the 16-byte degree summary of a local node; remote
 // degree queries use this instead of shipping a whole (possibly hub-sized)
 // cell across the wire.
-func (m *Machine) onDegrees(_ msg.MachineID, req []byte) ([]byte, error) {
+func (m *Machine) onDegrees(_ context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 	if len(req) != 8 {
 		return nil, errors.New("graph: bad Degrees request")
 	}
@@ -407,7 +408,7 @@ func (m *Machine) onDegrees(_ msg.MachineID, req []byte) ([]byte, error) {
 }
 
 // degrees returns (outDegree, inDegree) for a node anywhere in the cloud.
-func (m *Machine) degrees(id uint64) (int, int, error) {
+func (m *Machine) degrees(ctx context.Context, id uint64) (int, int, error) {
 	owner := m.s.Owner(id)
 	if owner == m.s.ID() {
 		out, in := -1, -1
@@ -427,7 +428,7 @@ func (m *Machine) degrees(id uint64) (int, int, error) {
 	}
 	var req [8]byte
 	binary.LittleEndian.PutUint64(req[:], id)
-	resp, err := m.s.Node().Call(owner, protoDegrees, req[:])
+	resp, err := m.s.Node().Call(ctx, owner, protoDegrees, req[:])
 	if err != nil || len(resp) != 8 {
 		if err == nil {
 			err = errors.New("graph: short Degrees response")
@@ -438,19 +439,19 @@ func (m *Machine) degrees(id uint64) (int, int, error) {
 }
 
 // OutDegree returns the node's out-degree without copying links.
-func (m *Machine) OutDegree(id uint64) (int, error) {
-	out, _, err := m.degrees(id)
+func (m *Machine) OutDegree(ctx context.Context, id uint64) (int, error) {
+	out, _, err := m.degrees(ctx, id)
 	return out, err
 }
 
 // InDegree returns the node's in-degree without copying links.
-func (m *Machine) InDegree(id uint64) (int, error) {
-	_, in, err := m.degrees(id)
+func (m *Machine) InDegree(ctx context.Context, id uint64) (int, error) {
+	_, in, err := m.degrees(ctx, id)
 	return in, err
 }
 
 // Label returns the node's label.
-func (m *Machine) Label(id uint64) (int64, error) {
+func (m *Machine) Label(ctx context.Context, id uint64) (int64, error) {
 	var label int64
 	read := func(b []byte) error {
 		if len(b) < 8 {
@@ -462,7 +463,7 @@ func (m *Machine) Label(id uint64) (int64, error) {
 	if m.s.Owner(id) == m.s.ID() {
 		return label, m.s.View(id, read)
 	}
-	blob, err := m.cellGet(id)
+	blob, err := m.cellGet(ctx, id)
 	if err != nil {
 		return 0, err
 	}
@@ -470,8 +471,8 @@ func (m *Machine) Label(id uint64) (int64, error) {
 }
 
 // Name returns the node's name.
-func (m *Machine) Name(id uint64) (string, error) {
-	n, err := m.GetNode(id)
+func (m *Machine) Name(ctx context.Context, id uint64) (string, error) {
+	n, err := m.GetNode(ctx, id)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sort"
@@ -107,17 +108,17 @@ func TestAddNodeAndEdgesDirected(t *testing.T) {
 	g := New(cloud, true)
 	m := g.On(0)
 	for i := uint64(1); i <= 4; i++ {
-		if err := m.AddNode(&Node{ID: i, Label: int64(i * 10)}); err != nil {
+		if err := m.AddNode(context.Background(), &Node{ID: i, Label: int64(i * 10)}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	edges := [][2]uint64{{1, 2}, {1, 3}, {2, 3}, {3, 4}}
 	for _, e := range edges {
-		if err := m.AddEdge(e[0], e[1]); err != nil {
+		if err := m.AddEdge(context.Background(), e[0], e[1]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	out, err := m.Outlinks(1)
+	out, err := m.Outlinks(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestAddNodeAndEdgesDirected(t *testing.T) {
 	if !reflect.DeepEqual(out, []uint64{2, 3}) {
 		t.Fatalf("out(1) = %v", out)
 	}
-	in, err := m.Inlinks(3)
+	in, err := m.Inlinks(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,10 +134,10 @@ func TestAddNodeAndEdgesDirected(t *testing.T) {
 	if !reflect.DeepEqual(in, []uint64{1, 2}) {
 		t.Fatalf("in(3) = %v", in)
 	}
-	if deg, _ := m.OutDegree(3); deg != 1 {
+	if deg, _ := m.OutDegree(context.Background(), 3); deg != 1 {
 		t.Fatalf("outdeg(3) = %d", deg)
 	}
-	if l, _ := m.Label(2); l != 20 {
+	if l, _ := m.Label(context.Background(), 2); l != 20 {
 		t.Fatalf("label(2) = %d", l)
 	}
 	if g.EdgeCount() != 4 {
@@ -148,13 +149,13 @@ func TestAddEdgeUndirected(t *testing.T) {
 	cloud := newCloud(t, 2)
 	g := New(cloud, false)
 	m := g.On(0)
-	m.AddNode(&Node{ID: 1})
-	m.AddNode(&Node{ID: 2})
-	if err := m.AddEdge(1, 2); err != nil {
+	m.AddNode(context.Background(), &Node{ID: 1})
+	m.AddNode(context.Background(), &Node{ID: 2})
+	if err := m.AddEdge(context.Background(), 1, 2); err != nil {
 		t.Fatal(err)
 	}
-	o1, _ := m.Outlinks(1)
-	o2, _ := m.Outlinks(2)
+	o1, _ := m.Outlinks(context.Background(), 1)
+	o2, _ := m.Outlinks(context.Background(), 2)
 	if !reflect.DeepEqual(o1, []uint64{2}) || !reflect.DeepEqual(o2, []uint64{1}) {
 		t.Fatalf("undirected edge: out(1)=%v out(2)=%v", o1, o2)
 	}
@@ -164,7 +165,7 @@ func TestAddEdgeMissingNode(t *testing.T) {
 	cloud := newCloud(t, 2)
 	g := New(cloud, true)
 	m := g.On(0)
-	m.AddNode(&Node{ID: 1})
+	m.AddNode(context.Background(), &Node{ID: 1})
 	// Find an id owned remotely to test the wire path too.
 	var remote uint64
 	for i := uint64(100); i < 200; i++ {
@@ -173,10 +174,10 @@ func TestAddEdgeMissingNode(t *testing.T) {
 			break
 		}
 	}
-	if err := m.AddEdge(1, 999); !errors.Is(err, ErrNoNode) {
+	if err := m.AddEdge(context.Background(), 1, 999); !errors.Is(err, ErrNoNode) {
 		t.Fatalf("edge to missing local = %v", err)
 	}
-	if err := m.AddEdge(remote, 1); !errors.Is(mapRemote(err), ErrNoNode) {
+	if err := m.AddEdge(context.Background(), remote, 1); !errors.Is(mapRemote(err), ErrNoNode) {
 		t.Fatalf("edge from missing remote = %v", err)
 	}
 }
@@ -184,10 +185,10 @@ func TestAddEdgeMissingNode(t *testing.T) {
 func TestGetNodeMissing(t *testing.T) {
 	cloud := newCloud(t, 1)
 	g := New(cloud, true)
-	if _, err := g.On(0).GetNode(404); !errors.Is(err, ErrNoNode) {
+	if _, err := g.On(0).GetNode(context.Background(), 404); !errors.Is(err, ErrNoNode) {
 		t.Fatalf("GetNode missing = %v", err)
 	}
-	if g.On(0).HasNode(404) {
+	if g.On(0).HasNode(context.Background(), 404) {
 		t.Fatal("HasNode(404)")
 	}
 }
@@ -198,12 +199,12 @@ func TestOperationsFromEveryMachine(t *testing.T) {
 	// Build a small ring using a different machine for each operation.
 	const n = 20
 	for i := uint64(0); i < n; i++ {
-		if err := g.On(int(i) % 4).AddNode(&Node{ID: i, Label: int64(i)}); err != nil {
+		if err := g.On(int(i)%4).AddNode(context.Background(), &Node{ID: i, Label: int64(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := uint64(0); i < n; i++ {
-		if err := g.On(int(i+1)%4).AddEdge(i, (i+1)%n); err != nil {
+		if err := g.On(int(i+1)%4).AddEdge(context.Background(), i, (i+1)%n); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -211,11 +212,11 @@ func TestOperationsFromEveryMachine(t *testing.T) {
 	for mi := 0; mi < 4; mi++ {
 		m := g.On(mi)
 		for i := uint64(0); i < n; i++ {
-			out, err := m.Outlinks(i)
+			out, err := m.Outlinks(context.Background(), i)
 			if err != nil || len(out) != 1 || out[0] != (i+1)%n {
 				t.Fatalf("machine %d: out(%d) = %v, %v", mi, i, out, err)
 			}
-			in, err := m.Inlinks(i)
+			in, err := m.Inlinks(context.Background(), i)
 			if err != nil || len(in) != 1 || in[0] != (i+n-1)%n {
 				t.Fatalf("machine %d: in(%d) = %v, %v", mi, i, in, err)
 			}
@@ -238,7 +239,7 @@ func TestForEachOutlinkZeroCopyLocal(t *testing.T) {
 			break
 		}
 	}
-	m.AddNode(&Node{ID: local, Outlinks: []uint64{5, 6, 7}})
+	m.AddNode(context.Background(), &Node{ID: local, Outlinks: []uint64{5, 6, 7}})
 	var got []uint64
 	err := m.ForEachOutlink(local, func(v uint64) bool {
 		got = append(got, v)
@@ -257,7 +258,7 @@ func TestConcurrentAddEdgesNoLostUpdates(t *testing.T) {
 	g := New(cloud, true)
 	m := g.On(0)
 	const hub = 1
-	m.AddNode(&Node{ID: hub})
+	m.AddNode(context.Background(), &Node{ID: hub})
 	const workers = 8
 	const per = 50
 	var wg sync.WaitGroup
@@ -268,11 +269,11 @@ func TestConcurrentAddEdgesNoLostUpdates(t *testing.T) {
 			eng := g.On(w % 2)
 			for i := 0; i < per; i++ {
 				dst := uint64(1000 + w*per + i)
-				if err := eng.AddNode(&Node{ID: dst}); err != nil {
+				if err := eng.AddNode(context.Background(), &Node{ID: dst}); err != nil {
 					t.Error(err)
 					return
 				}
-				if err := eng.AddEdge(hub, dst); err != nil {
+				if err := eng.AddEdge(context.Background(), hub, dst); err != nil {
 					t.Error(err)
 					return
 				}
@@ -280,7 +281,7 @@ func TestConcurrentAddEdgesNoLostUpdates(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	out, err := m.Outlinks(hub)
+	out, err := m.Outlinks(context.Background(), hub)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestBuilderFlush(t *testing.T) {
 		b.AddEdge(i, (i+1)%n)
 		b.AddEdge(i, (i+13)%n)
 	}
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestBuilderFlush(t *testing.T) {
 		t.Fatalf("EdgeCount = %d, want %d", g.EdgeCount(), 2*n)
 	}
 	m := g.On(0)
-	out, err := m.Outlinks(10)
+	out, err := m.Outlinks(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,12 +330,12 @@ func TestBuilderFlush(t *testing.T) {
 	if !reflect.DeepEqual(out, []uint64{11, 23}) {
 		t.Fatalf("out(10) = %v", out)
 	}
-	in, _ := m.Inlinks(10)
+	in, _ := m.Inlinks(context.Background(), 10)
 	sortU64(in)
 	if !reflect.DeepEqual(in, []uint64{9, 497}) {
 		t.Fatalf("in(10) = %v", in)
 	}
-	if l, _ := m.Label(10); l != 3 {
+	if l, _ := m.Label(context.Background(), 10); l != 3 {
 		t.Fatalf("label(10) = %d", l)
 	}
 }
@@ -344,11 +345,11 @@ func TestBuilderWeightedEdges(t *testing.T) {
 	b := NewBuilder(true)
 	b.AddWeightedEdge(1, 2, 5)
 	b.AddWeightedEdge(1, 3, 9)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := g.On(0).GetNode(1)
+	n, err := g.On(0).GetNode(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,12 +362,12 @@ func TestBuilderUndirected(t *testing.T) {
 	cloud := newCloud(t, 2)
 	b := NewBuilder(false)
 	b.AddEdge(1, 2)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
-	o1, _ := g.On(0).Outlinks(1)
-	o2, _ := g.On(0).Outlinks(2)
+	o1, _ := g.On(0).Outlinks(context.Background(), 1)
+	o2, _ := g.On(0).Outlinks(context.Background(), 2)
 	if len(o1) != 1 || len(o2) != 1 || o1[0] != 2 || o2[0] != 1 {
 		t.Fatalf("undirected builder: %v %v", o1, o2)
 	}
@@ -388,7 +389,7 @@ func BenchmarkForEachOutlinkLocal(b *testing.B) {
 	cloud := newCloud(b, 1)
 	g := New(cloud, true)
 	m := g.On(0)
-	m.AddNode(&Node{ID: 1, Outlinks: make([]uint64, 13)})
+	m.AddNode(context.Background(), &Node{ID: 1, Outlinks: make([]uint64, 13)})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.ForEachOutlink(1, func(uint64) bool { return true })

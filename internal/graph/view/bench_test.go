@@ -1,6 +1,7 @@
 package view
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -28,7 +29,7 @@ func benchGraph(b *testing.B) *graph.Graph {
 			bl.AddEdge(i, rng.Next()%n)
 		}
 	}
-	g, err := bl.Load(cloud)
+	g, err := bl.Load(context.Background(), cloud)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func BenchmarkDegreeTrunk(b *testing.B) {
 	b.ResetTimer()
 	var sum int
 	for i := 0; i < b.N; i++ {
-		deg, err := m.OutDegree(ids[i%len(ids)])
+		deg, err := m.OutDegree(context.Background(), ids[i%len(ids)])
 		if err != nil {
 			b.Fatal(err)
 		}

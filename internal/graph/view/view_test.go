@@ -1,6 +1,7 @@
 package view
 
 import (
+	"context"
 	"reflect"
 	"sort"
 	"testing"
@@ -57,7 +58,7 @@ func TestViewMatchesGraph(t *testing.T) {
 		b.AddEdge(i, (i+1)%n)
 		b.AddEdge(i, (i+7)%n)
 	}
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,14 +88,14 @@ func TestViewMatchesGraph(t *testing.T) {
 			if v.Label(idx) != int64(id%5) {
 				t.Fatalf("label(%d) = %d", id, v.Label(idx))
 			}
-			wantOut, _ := m.Outlinks(id)
+			wantOut, _ := m.Outlinks(context.Background(), id)
 			if !reflect.DeepEqual(sortedU64(v.Out(idx)), sortedU64(wantOut)) {
 				t.Fatalf("out(%d) = %v want %v", id, v.Out(idx), wantOut)
 			}
 			if v.OutDegree(idx) != len(wantOut) {
 				t.Fatalf("outdeg(%d) = %d", id, v.OutDegree(idx))
 			}
-			wantIn, _ := m.Inlinks(id)
+			wantIn, _ := m.Inlinks(context.Background(), id)
 			if !reflect.DeepEqual(sortedU64(v.In(idx)), sortedU64(wantIn)) {
 				t.Fatalf("in(%d) = %v want %v", id, v.In(idx), wantIn)
 			}
@@ -119,7 +120,7 @@ func TestViewWeights(t *testing.T) {
 	b.AddWeightedEdge(1, 2, 5)
 	b.AddWeightedEdge(1, 3, 9)
 	b.AddEdge(2, 3) // unweighted vertex in a weighted graph: padded with 1s
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestViewRemoteSources(t *testing.T) {
 		b.AddEdge(i, (i+1)%n)
 		b.AddEdge(i, (i+11)%n)
 	}
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestViewCacheHit(t *testing.T) {
 	cloud := newCloud(t, 2)
 	b := graph.NewBuilder(true)
 	b.AddEdge(1, 2)
-	g, err := b.Load(cloud)
+	g, err := b.Load(context.Background(), cloud)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestViewInvalidation(t *testing.T) {
 	dstLocal := localID(m0, src+1)
 	dstRemote := remoteID(m0, 1000)
 	for _, id := range []uint64{src, dstLocal, dstRemote} {
-		if err := m0.AddNode(&graph.Node{ID: id}); err != nil {
+		if err := m0.AddNode(context.Background(), &graph.Node{ID: id}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -248,7 +249,7 @@ func TestViewInvalidation(t *testing.T) {
 	epoch0 := m0.Epoch()
 
 	// Local mutation: both endpoints on machine 0.
-	if err := m0.AddEdge(src, dstLocal); err != nil {
+	if err := m0.AddEdge(context.Background(), src, dstLocal); err != nil {
 		t.Fatal(err)
 	}
 	if m0.Epoch() == epoch0 {
@@ -280,7 +281,7 @@ func TestViewInvalidation(t *testing.T) {
 	}
 	epochSrc := m0.Epoch()
 	other := gg.On((owner + 1) % gg.Machines())
-	if err := other.AddEdge(src, dstRemote); err != nil {
+	if err := other.AddEdge(context.Background(), src, dstRemote); err != nil {
 		t.Fatal(err)
 	}
 	if m0.Epoch() == epochSrc {
@@ -331,7 +332,7 @@ func TestViewEmptyPartition(t *testing.T) {
 	g := graph.New(cloud, true)
 	m := g.On(0)
 	id := localID(m, 0)
-	if err := m.AddNode(&graph.Node{ID: id}); err != nil {
+	if err := m.AddNode(context.Background(), &graph.Node{ID: id}); err != nil {
 		t.Fatal(err)
 	}
 	for mi := 0; mi < g.Machines(); mi++ {
@@ -354,11 +355,11 @@ func TestViewMalformedBlob(t *testing.T) {
 	cloud := newCloud(t, 1)
 	g := graph.New(cloud, true)
 	m := g.On(0)
-	if err := m.AddNode(&graph.Node{ID: 1, Outlinks: nil}); err != nil {
+	if err := m.AddNode(context.Background(), &graph.Node{ID: 1, Outlinks: nil}); err != nil {
 		t.Fatal(err)
 	}
 	// Truncated blob: label only, no name/list headers.
-	if err := m.Slave().Put(7, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+	if err := m.Slave().Put(context.Background(), 7, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
 		t.Fatal(err)
 	}
 	m.InvalidatePartition()

@@ -2,6 +2,7 @@ package memcloud
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -47,7 +48,7 @@ func TestChaosWithOwnerRetryRecoversIsolatedOwner(t *testing.T) {
 				}
 			}
 			want := val(64, 9)
-			if err := s0.Put(key, want); err != nil {
+			if err := s0.Put(context.Background(), key, want); err != nil {
 				t.Fatal(err)
 			}
 			if err := c.Backup(); err != nil {
@@ -56,7 +57,7 @@ func TestChaosWithOwnerRetryRecoversIsolatedOwner(t *testing.T) {
 
 			before := c.Stats().Retries
 			ch.Isolate(2)
-			got, err := s0.Get(key)
+			got, err := s0.Get(context.Background(), key)
 			if err != nil {
 				t.Fatalf("get after isolating the owner: %v", err)
 			}
@@ -96,7 +97,7 @@ func TestChaosStaleTableWrongOwnerBounce(t *testing.T) {
 
 	const n = 300
 	for k := uint64(0); k < n; k++ {
-		if err := s0.Put(k, val(16, byte(k))); err != nil {
+		if err := s0.Put(context.Background(), k, val(16, byte(k))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -139,7 +140,7 @@ func TestChaosStaleTableWrongOwnerBounce(t *testing.T) {
 	}
 
 	before := c.Stats().Retries
-	got, err := sv.Get(key)
+	got, err := sv.Get(context.Background(), key)
 	if err != nil {
 		t.Fatalf("get with stale table: %v", err)
 	}
@@ -178,7 +179,7 @@ func TestChaosRetriesExhausted(t *testing.T) {
 	s1.mu.Unlock()
 
 	before := c.Stats().Retries
-	_, err := s0.Get(key)
+	_, err := s0.Get(context.Background(), key)
 	if !errors.Is(err, ErrRetriesExhausted) {
 		t.Fatalf("got %v, want ErrRetriesExhausted", err)
 	}
@@ -218,7 +219,7 @@ func TestChaosWALBackupInterleave(t *testing.T) {
 			continue
 		}
 		keys = append(keys, k)
-		if err := s1.Put(k, val(8, 1)); err != nil {
+		if err := s1.Put(context.Background(), k, val(8, 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -228,7 +229,7 @@ func TestChaosWALBackupInterleave(t *testing.T) {
 	filled := 0
 	for k := keys[appenders-1] + 1; filled < 200; k++ {
 		if s1.trunkFor(k) == tid && s0.Owner(k) == s1.ID() {
-			if err := s1.Put(k, val(20480, byte(k))); err != nil {
+			if err := s1.Put(context.Background(), k, val(20480, byte(k))); err != nil {
 				t.Fatal(err)
 			}
 			filled++
@@ -261,7 +262,7 @@ func TestChaosWALBackupInterleave(t *testing.T) {
 					return
 				default:
 				}
-				if err := s1.Append(keys[a], val(4, byte(i))); err != nil {
+				if err := s1.Append(context.Background(), keys[a], val(4, byte(i))); err != nil {
 					errs <- err
 					counts[a] = i
 					return
@@ -294,7 +295,7 @@ func TestChaosWALBackupInterleave(t *testing.T) {
 	// window, longer means a truncated record was replayed twice.
 	c.KillMachine(s1.ID())
 	for a := 0; a < appenders; a++ {
-		got, err := s0.Get(keys[a])
+		got, err := s0.Get(context.Background(), keys[a])
 		if err != nil {
 			t.Fatalf("get stream %d after crash: %v", a, err)
 		}
@@ -321,14 +322,14 @@ func TestChaosJitterDelayClusterStable(t *testing.T) {
 			s0 := c.Slave(0)
 			const n = 150
 			for k := uint64(0); k < n; k++ {
-				if err := s0.Put(k, val(16, byte(k))); err != nil {
+				if err := s0.Put(context.Background(), k, val(16, byte(k))); err != nil {
 					t.Fatalf("put key %d: %v", k, err)
 				}
 			}
 			for m := 0; m < c.Slaves(); m++ {
 				s := c.Slave(m)
 				for k := uint64(0); k < n; k += 7 {
-					got, err := s.Get(k)
+					got, err := s.Get(context.Background(), k)
 					if err != nil {
 						t.Fatalf("machine %d key %d: %v", m, k, err)
 					}

@@ -2,6 +2,7 @@ package fetch_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -33,7 +34,7 @@ func waitAllResolve(t *testing.T, keys []uint64, futs []*fetch.Future, d time.Du
 		case <-deadline:
 			t.Fatalf("future for key %d wedged: unresolved after %v", keys[i], d)
 		}
-		v, err := fu.Wait()
+		v, err := fu.Wait(context.Background())
 		if err != nil {
 			errors++
 			continue
@@ -61,7 +62,7 @@ func TestChaosFetcherDeliversUnderDupDelay(t *testing.T) {
 			keys := make([]uint64, n)
 			for k := uint64(0); k < n; k++ {
 				keys[k] = k
-				if err := s0.Put(k, val(16, byte(k))); err != nil {
+				if err := s0.Put(context.Background(), k, val(16, byte(k))); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -106,7 +107,7 @@ func TestChaosFetcherFuturesAllResolveUnderDrops(t *testing.T) {
 			keys := make([]uint64, n)
 			for k := uint64(0); k < n; k++ {
 				keys[k] = k
-				if err := s0.Put(k, val(16, byte(k))); err != nil {
+				if err := s0.Put(context.Background(), k, val(16, byte(k))); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -154,7 +155,7 @@ func TestChaosFetcherIsolatedOwnerResolves(t *testing.T) {
 			var keys []uint64
 			for k := uint64(0); len(keys) < 30; k++ {
 				if s0.Owner(k) == 2 {
-					if err := s0.Put(k, val(16, byte(k))); err != nil {
+					if err := s0.Put(context.Background(), k, val(16, byte(k))); err != nil {
 						t.Fatal(err)
 					}
 					keys = append(keys, k)

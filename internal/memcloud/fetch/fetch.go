@@ -27,6 +27,7 @@
 package fetch
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -52,9 +53,9 @@ type Client interface {
 	// is remote and must go over the wire.
 	LocalGet(key uint64) (val []byte, ok bool, err error)
 	// RefreshTable re-reads the addressing table (§6.2 step 2).
-	RefreshTable()
+	RefreshTable(ctx context.Context)
 	// ReportFailure tells the leader machine m is unreachable (§6.2 step 1).
-	ReportFailure(m msg.MachineID)
+	ReportFailure(ctx context.Context, m msg.MachineID)
 }
 
 // Options tune the pipeline. Zero values select the defaults.
@@ -102,15 +103,33 @@ func (o *Options) fill() {
 // Future is one pending cell read. Wait blocks until the pipeline
 // resolves it with the cell's value or an error.
 type Future struct {
-	done chan struct{}
-	val  []byte
-	err  error
+	done      chan struct{}
+	val       []byte
+	err       error
+	cancelled *obs.Counter // fetcher's futures_cancelled; nil on pre-resolved futures
 }
 
-// Wait blocks until the future resolves.
-func (f *Future) Wait() ([]byte, error) {
-	<-f.done
-	return f.val, f.err
+// Wait blocks until the future resolves or ctx fires. A cancelled Wait
+// only unhooks this caller: the read stays in the pipeline and the
+// future still resolves when its batch completes (bounded by the msg
+// call timeout), so coalescing peers waiting on the same key are
+// unaffected and the batching machinery never wedges on an abandoned
+// future.
+func (f *Future) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	default:
+	}
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		if f.cancelled != nil {
+			f.cancelled.Add(1)
+		}
+		return nil, ctx.Err()
+	}
 }
 
 // Done exposes the completion channel for select-based callers.
@@ -169,6 +188,7 @@ type Fetcher struct {
 	savedRT      *obs.Counter
 	retries      *obs.Counter
 	errorsCtr    *obs.Counter
+	cancelled    *obs.Counter
 	inflight     *obs.Gauge
 }
 
@@ -190,6 +210,7 @@ func New(c Client, opt Options) *Fetcher {
 		savedRT:      scope.Counter("round_trips_saved"),
 		retries:      scope.Counter("retries"),
 		errorsCtr:    scope.Counter("errors"),
+		cancelled:    scope.Counter("futures_cancelled"),
 		inflight:     scope.Gauge("inflight"),
 	}
 }
@@ -228,22 +249,24 @@ func (f *Fetcher) GetAsync(key uint64) *Future {
 		f.savedRT.Add(1)
 		return e.fut
 	}
-	e := &entry{key: key, fut: &Future{done: make(chan struct{})}}
+	e := &entry{key: key, fut: &Future{done: make(chan struct{}), cancelled: f.cancelled}}
 	f.pending[key] = e
 	f.enqueueLocked(e)
 	return e.fut
 }
 
 // GetBatch schedules all keys, flushes the pipeline, and waits; fn (if
-// non-nil) is invoked once per key in argument order.
-func (f *Fetcher) GetBatch(keys []uint64, fn func(i int, key uint64, val []byte, err error)) {
+// non-nil) is invoked once per key in argument order. When ctx fires
+// mid-wait the remaining keys report ctx.Err() without blocking; their
+// reads still complete in the background.
+func (f *Fetcher) GetBatch(ctx context.Context, keys []uint64, fn func(i int, key uint64, val []byte, err error)) {
 	futs := make([]*Future, len(keys))
 	for i, k := range keys {
 		futs[i] = f.GetAsync(k)
 	}
 	f.Flush()
 	for i, fu := range futs {
-		val, err := fu.Wait()
+		val, err := fu.Wait(ctx)
 		if fn != nil {
 			fn(i, keys[i], val, err)
 		}
@@ -355,7 +378,10 @@ func (f *Fetcher) send(m msg.MachineID, batch []*entry) {
 	for i, e := range batch {
 		keys[i] = e.key
 	}
-	resp, err := f.c.Node().Call(m, memcloud.ProtoMultiGet, memcloud.EncodeMultiGetReq(keys))
+	// Background, not a caller's ctx: one wire batch aggregates reads from
+	// many callers with different budgets, so no single caller's deadline
+	// may kill it. The msg-layer CallTimeout bounds the exchange.
+	resp, err := f.c.Node().Call(context.Background(), m, memcloud.ProtoMultiGet, memcloud.EncodeMultiGetReq(keys))
 	switch {
 	case err != nil:
 		f.transportFailed(m, batch, err)
@@ -399,7 +425,7 @@ func (f *Fetcher) deliver(batch []*entry, results []memcloud.MultiGetResult) {
 func (f *Fetcher) transportFailed(m msg.MachineID, batch []*entry, err error) {
 	f.errorsCtr.Add(1)
 	if errors.Is(err, msg.ErrUnreachable) || errors.Is(err, msg.ErrTimeout) {
-		f.c.ReportFailure(m)
+		f.c.ReportFailure(context.Background(), m)
 	}
 	var retry []*entry
 	for _, e := range batch {
@@ -427,7 +453,7 @@ func (f *Fetcher) requeue(entries []*entry) {
 			break
 		}
 	}
-	f.c.RefreshTable()
+	f.c.RefreshTable(context.Background())
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, e := range entries {

@@ -2,6 +2,7 @@ package fetch_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -60,7 +61,7 @@ func TestGetBatchFetchesEveryKey(t *testing.T) {
 	keys := make([]uint64, n)
 	for k := uint64(0); k < n; k++ {
 		keys[k] = k
-		if err := s0.Put(k, val(24, byte(k))); err != nil {
+		if err := s0.Put(context.Background(), k, val(24, byte(k))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -68,7 +69,7 @@ func TestGetBatchFetchesEveryKey(t *testing.T) {
 	f := fetch.New(s0, fetch.Options{Metrics: reg})
 	defer f.Close()
 	got := 0
-	f.GetBatch(keys, func(i int, key uint64, v []byte, err error) {
+	f.GetBatch(context.Background(), keys, func(i int, key uint64, v []byte, err error) {
 		if err != nil {
 			t.Fatalf("key %d: %v", key, err)
 		}
@@ -105,7 +106,7 @@ func TestGetAsyncCoalescesDuplicateInFlightKeys(t *testing.T) {
 	s0 := c.Slave(0)
 
 	key := remoteKey(s0, 0)
-	if err := s0.Put(key, val(16, 7)); err != nil {
+	if err := s0.Put(context.Background(), key, val(16, 7)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -119,7 +120,7 @@ func TestGetAsyncCoalescesDuplicateInFlightKeys(t *testing.T) {
 		t.Fatal("duplicate in-flight key did not coalesce onto one future")
 	}
 	f.Flush()
-	v, err := fu1.Wait()
+	v, err := fu1.Wait(context.Background())
 	if err != nil || !bytes.Equal(v, val(16, 7)) {
 		t.Fatalf("coalesced future: val=%v err=%v", v, err)
 	}
@@ -135,7 +136,7 @@ func TestGetAsyncCoalescesDuplicateInFlightKeys(t *testing.T) {
 		t.Fatal("GetAsync after resolution returned the stale future")
 	}
 	f.Flush()
-	if _, err := fu3.Wait(); err != nil {
+	if _, err := fu3.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -147,7 +148,7 @@ func TestLocalKeysResolveWithoutWire(t *testing.T) {
 	s0 := c.Slave(0)
 
 	key := localKey(s0, 0)
-	if err := s0.Put(key, val(8, 3)); err != nil {
+	if err := s0.Put(context.Background(), key, val(8, 3)); err != nil {
 		t.Fatal(err)
 	}
 	f := fetch.New(s0, fetch.Options{Metrics: reg})
@@ -159,7 +160,7 @@ func TestLocalKeysResolveWithoutWire(t *testing.T) {
 	default:
 		t.Fatal("local read did not resolve synchronously")
 	}
-	if v, err := fu.Wait(); err != nil || !bytes.Equal(v, val(8, 3)) {
+	if v, err := fu.Wait(context.Background()); err != nil || !bytes.Equal(v, val(8, 3)) {
 		t.Fatalf("local read: val=%v err=%v", v, err)
 	}
 	scope := reg.Scope("fetch.m0")
@@ -179,7 +180,7 @@ func TestMissingKeyResolvesNotFound(t *testing.T) {
 	f := fetch.New(s0, fetch.Options{Metrics: obs.NewRegistry()})
 	defer f.Close()
 	for _, key := range []uint64{localKey(s0, 500), remoteKey(s0, 500)} {
-		if _, err := f.GetAsync(key).Wait(); !errors.Is(err, memcloud.ErrNotFound) {
+		if _, err := f.GetAsync(key).Wait(context.Background()); !errors.Is(err, memcloud.ErrNotFound) {
 			t.Fatalf("key %d: got %v, want ErrNotFound", key, err)
 		}
 	}
@@ -193,10 +194,10 @@ func TestCloseResolvesQueuedFutures(t *testing.T) {
 	f := fetch.New(s0, fetch.Options{MinBatch: 64, MaxDelay: time.Hour, Metrics: obs.NewRegistry()})
 	fu := f.GetAsync(remoteKey(s0, 0))
 	f.Close()
-	if _, err := fu.Wait(); !errors.Is(err, fetch.ErrClosed) {
+	if _, err := fu.Wait(context.Background()); !errors.Is(err, fetch.ErrClosed) {
 		t.Fatalf("queued future after Close: %v, want ErrClosed", err)
 	}
-	if _, err := f.GetAsync(remoteKey(s0, 0)).Wait(); !errors.Is(err, fetch.ErrClosed) {
+	if _, err := f.GetAsync(remoteKey(s0, 0)).Wait(context.Background()); !errors.Is(err, fetch.ErrClosed) {
 		t.Fatal("GetAsync after Close must resolve ErrClosed")
 	}
 }
@@ -214,7 +215,7 @@ func TestAdaptiveBatchSizeGrowsUnderLoad(t *testing.T) {
 		if s0.Owner(k) != s1.ID() {
 			continue
 		}
-		if err := s0.Put(k, val(8, byte(k))); err != nil {
+		if err := s0.Put(context.Background(), k, val(8, byte(k))); err != nil {
 			t.Fatal(err)
 		}
 		keys = append(keys, k)
@@ -230,7 +231,7 @@ func TestAdaptiveBatchSizeGrowsUnderLoad(t *testing.T) {
 	}
 	f.Flush()
 	for i, fu := range futs {
-		if _, err := fu.Wait(); err != nil {
+		if _, err := fu.Wait(context.Background()); err != nil {
 			t.Fatalf("key %d: %v", keys[i], err)
 		}
 	}
@@ -253,7 +254,7 @@ func TestFailedMachineKeysResolveViaRecovery(t *testing.T) {
 	var keys []uint64
 	for k := uint64(0); len(keys) < 20; k++ {
 		if s0.Owner(k) == 2 {
-			if err := s0.Put(k, val(16, byte(k))); err != nil {
+			if err := s0.Put(context.Background(), k, val(16, byte(k))); err != nil {
 				t.Fatal(err)
 			}
 			keys = append(keys, k)
@@ -266,7 +267,7 @@ func TestFailedMachineKeysResolveViaRecovery(t *testing.T) {
 
 	f := fetch.New(s0, fetch.Options{Metrics: reg})
 	defer f.Close()
-	f.GetBatch(keys, func(i int, key uint64, v []byte, err error) {
+	f.GetBatch(context.Background(), keys, func(i int, key uint64, v []byte, err error) {
 		if err != nil {
 			t.Fatalf("key %d after owner death: %v", key, err)
 		}
@@ -292,7 +293,7 @@ func TestProxyBackedFetcher(t *testing.T) {
 	keys := make([]uint64, n)
 	for k := uint64(0); k < n; k++ {
 		keys[k] = k
-		if err := s0.Put(k, val(12, byte(k))); err != nil {
+		if err := s0.Put(context.Background(), k, val(12, byte(k))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -300,7 +301,7 @@ func TestProxyBackedFetcher(t *testing.T) {
 	defer p.Close()
 	f := fetch.New(p, fetch.Options{Metrics: reg})
 	defer f.Close()
-	f.GetBatch(keys, func(i int, key uint64, v []byte, err error) {
+	f.GetBatch(context.Background(), keys, func(i int, key uint64, v []byte, err error) {
 		if err != nil {
 			t.Fatalf("key %d via proxy: %v", key, err)
 		}

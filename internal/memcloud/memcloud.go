@@ -16,6 +16,7 @@ package memcloud
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -529,12 +530,14 @@ func (s *Slave) LocalGet(key uint64) (val []byte, ok bool, err error) {
 
 // RefreshTable synchronously refreshes this slave's addressing-table
 // replica from the leader (§6.2 step 2 of the failure protocol).
-func (s *Slave) RefreshTable() { _ = s.member.RefreshTable() }
+func (s *Slave) RefreshTable(ctx context.Context) { _ = s.member.RefreshTable(ctx) }
 
 // ReportFailure reports machine m as unreachable to the leader (§6.2
 // step 1), which will eventually publish a table that reassigns m's
 // trunks to survivors.
-func (s *Slave) ReportFailure(m msg.MachineID) { _ = s.member.ReportFailure(m) }
+func (s *Slave) ReportFailure(ctx context.Context, m msg.MachineID) {
+	_ = s.member.ReportFailure(ctx, m)
+}
 
 // localTrunk returns the local trunk for the number, or nil.
 func (s *Slave) localTrunk(tid uint32) *trunk.Trunk {
@@ -758,7 +761,7 @@ func (s *Slave) serveTrunk(key uint64) (*trunk.Trunk, error) {
 	return t, nil
 }
 
-func (s *Slave) onGet(_ msg.MachineID, req []byte) ([]byte, error) {
+func (s *Slave) onGet(_ context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 	key, _, err := decodeKV(req)
 	if err != nil {
 		return nil, err
@@ -771,7 +774,7 @@ func (s *Slave) onGet(_ msg.MachineID, req []byte) ([]byte, error) {
 	return val, mapTrunkErr(err)
 }
 
-func (s *Slave) onPut(_ msg.MachineID, req []byte) ([]byte, error) {
+func (s *Slave) onPut(_ context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 	key, val, err := decodeKV(req)
 	if err != nil {
 		return nil, err
@@ -784,7 +787,7 @@ func (s *Slave) onPut(_ msg.MachineID, req []byte) ([]byte, error) {
 	return nil, mapTrunkErr(err)
 }
 
-func (s *Slave) onAdd(_ msg.MachineID, req []byte) ([]byte, error) {
+func (s *Slave) onAdd(_ context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 	key, val, err := decodeKV(req)
 	if err != nil {
 		return nil, err
@@ -797,7 +800,7 @@ func (s *Slave) onAdd(_ msg.MachineID, req []byte) ([]byte, error) {
 	return nil, mapTrunkErr(err)
 }
 
-func (s *Slave) onRemove(_ msg.MachineID, req []byte) ([]byte, error) {
+func (s *Slave) onRemove(_ context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 	key, _, err := decodeKV(req)
 	if err != nil {
 		return nil, err
@@ -810,7 +813,7 @@ func (s *Slave) onRemove(_ msg.MachineID, req []byte) ([]byte, error) {
 	return nil, mapTrunkErr(err)
 }
 
-func (s *Slave) onAppend(_ msg.MachineID, req []byte) ([]byte, error) {
+func (s *Slave) onAppend(_ context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 	key, val, err := decodeKV(req)
 	if err != nil {
 		return nil, err
@@ -823,7 +826,7 @@ func (s *Slave) onAppend(_ msg.MachineID, req []byte) ([]byte, error) {
 	return nil, mapTrunkErr(err)
 }
 
-func (s *Slave) onContains(_ msg.MachineID, req []byte) ([]byte, error) {
+func (s *Slave) onContains(_ context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 	key, _, err := decodeKV(req)
 	if err != nil {
 		return nil, err
@@ -842,7 +845,7 @@ func (s *Slave) onContains(_ msg.MachineID, req []byte) ([]byte, error) {
 // status byte, so a stale addressing-table entry for one key degrades to a
 // per-key MultiGetWrongOwner instead of failing the whole batch — the
 // fetch pipeline retries just that key after a table refresh.
-func (s *Slave) onMultiGet(_ msg.MachineID, req []byte) ([]byte, error) {
+func (s *Slave) onMultiGet(_ context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
 	keys, err := decodeMultiGetReq(req)
 	if err != nil {
 		return nil, err
@@ -881,10 +884,15 @@ func (s *Slave) observeSince(h *obs.Histogram, start time.Time) {
 
 // withOwner runs op against the key's owner, retrying through the §6.2
 // protocol on failure: report to leader, wait for the table update,
-// retry.
-func (s *Slave) withOwner(key uint64, local func(*trunk.Trunk) error, remote func(owner msg.MachineID) error) error {
+// retry. A fired context stops the retry loop immediately: the caller's
+// budget is spent, so reporting and refreshing on its behalf would only
+// delay the ctx.Err it is owed.
+func (s *Slave) withOwner(ctx context.Context, key uint64, local func(*trunk.Trunk) error, remote func(owner msg.MachineID) error) error {
 	var lastErr error
 	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if attempt > 0 {
 			s.retries.Add(1)
 		}
@@ -897,7 +905,7 @@ func (s *Slave) withOwner(key uint64, local func(*trunk.Trunk) error, remote fun
 			}
 			// The table says we own it but recovery hasn't delivered the
 			// trunk yet; refresh and retry.
-			s.member.RefreshTable()
+			s.member.RefreshTable(ctx)
 			lastErr = ErrWrongOwner
 			continue
 		}
@@ -911,15 +919,18 @@ func (s *Slave) withOwner(key uint64, local func(*trunk.Trunk) error, remote fun
 			return err
 		}
 		lastErr = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		if errors.Is(err, msg.ErrUnreachable) || errors.Is(err, msg.ErrTimeout) {
 			// Failure-report protocol: tell the leader, wait for the
 			// addressing table to change, try again.
-			s.member.ReportFailure(owner)
-			s.member.RefreshTable()
+			s.member.ReportFailure(ctx, owner)
+			s.member.RefreshTable(ctx)
 			continue
 		}
 		if errors.Is(err, ErrWrongOwner) {
-			s.member.RefreshTable()
+			s.member.RefreshTable(ctx)
 			continue
 		}
 		return err
@@ -928,17 +939,17 @@ func (s *Slave) withOwner(key uint64, local func(*trunk.Trunk) error, remote fun
 }
 
 // Get returns the cell's value.
-func (s *Slave) Get(key uint64) ([]byte, error) {
+func (s *Slave) Get(ctx context.Context, key uint64) ([]byte, error) {
 	defer s.observeSince(s.getNs, time.Now())
 	var out []byte
-	err := s.withOwner(key,
+	err := s.withOwner(ctx, key,
 		func(t *trunk.Trunk) error {
 			v, err := t.Get(key)
 			out = v
 			return err
 		},
 		func(owner msg.MachineID) error {
-			v, err := s.node.Call(owner, protoGetCell, encodeKey(key))
+			v, err := s.node.Call(ctx, owner, protoGetCell, encodeKey(key))
 			out = v
 			return err
 		})
@@ -946,64 +957,64 @@ func (s *Slave) Get(key uint64) ([]byte, error) {
 }
 
 // Put inserts or overwrites a cell.
-func (s *Slave) Put(key uint64, val []byte) error {
+func (s *Slave) Put(ctx context.Context, key uint64, val []byte) error {
 	defer s.observeSince(s.setNs, time.Now())
-	return s.withOwner(key,
+	return s.withOwner(ctx, key,
 		func(t *trunk.Trunk) error {
 			return s.loggedApply(key, opPut, val, func() error { return t.Put(key, val) })
 		},
 		func(owner msg.MachineID) error {
-			_, err := s.node.Call(owner, protoPutCell, encodeKV(key, val))
+			_, err := s.node.Call(ctx, owner, protoPutCell, encodeKV(key, val))
 			return err
 		})
 }
 
 // Add inserts a new cell, failing with ErrExists if present.
-func (s *Slave) Add(key uint64, val []byte) error {
-	return s.withOwner(key,
+func (s *Slave) Add(ctx context.Context, key uint64, val []byte) error {
+	return s.withOwner(ctx, key,
 		func(t *trunk.Trunk) error {
 			return s.loggedApply(key, opPut, val, func() error { return t.Add(key, val) })
 		},
 		func(owner msg.MachineID) error {
-			_, err := s.node.Call(owner, protoAddCell, encodeKV(key, val))
+			_, err := s.node.Call(ctx, owner, protoAddCell, encodeKV(key, val))
 			return err
 		})
 }
 
 // Remove deletes a cell.
-func (s *Slave) Remove(key uint64) error {
-	return s.withOwner(key,
+func (s *Slave) Remove(ctx context.Context, key uint64) error {
+	return s.withOwner(ctx, key,
 		func(t *trunk.Trunk) error {
 			return s.loggedApply(key, opRemove, nil, func() error { return t.Remove(key) })
 		},
 		func(owner msg.MachineID) error {
-			_, err := s.node.Call(owner, protoRemoveCell, encodeKey(key))
+			_, err := s.node.Call(ctx, owner, protoRemoveCell, encodeKey(key))
 			return err
 		})
 }
 
 // Append extends a cell's value (adjacency-list growth).
-func (s *Slave) Append(key uint64, extra []byte) error {
-	return s.withOwner(key,
+func (s *Slave) Append(ctx context.Context, key uint64, extra []byte) error {
+	return s.withOwner(ctx, key,
 		func(t *trunk.Trunk) error {
 			return s.loggedApply(key, opAppend, extra, func() error { return t.Append(key, extra) })
 		},
 		func(owner msg.MachineID) error {
-			_, err := s.node.Call(owner, protoAppendCell, encodeKV(key, extra))
+			_, err := s.node.Call(ctx, owner, protoAppendCell, encodeKV(key, extra))
 			return err
 		})
 }
 
 // Contains reports whether the cell exists anywhere in the cloud.
-func (s *Slave) Contains(key uint64) (bool, error) {
+func (s *Slave) Contains(ctx context.Context, key uint64) (bool, error) {
 	var found bool
-	err := s.withOwner(key,
+	err := s.withOwner(ctx, key,
 		func(t *trunk.Trunk) error {
 			found = t.Contains(key)
 			return nil
 		},
 		func(owner msg.MachineID) error {
-			resp, err := s.node.Call(owner, protoContains, encodeKey(key))
+			resp, err := s.node.Call(ctx, owner, protoContains, encodeKey(key))
 			if err == nil {
 				found = len(resp) == 1 && resp[0] == 1
 			}

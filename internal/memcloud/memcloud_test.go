@@ -2,6 +2,7 @@ package memcloud
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -41,10 +42,10 @@ func val(n int, seed byte) []byte {
 func TestPutGetSingleMachine(t *testing.T) {
 	c := newCloud(t, 1)
 	s := c.Slave(0)
-	if err := s.Put(1, val(32, 1)); err != nil {
+	if err := s.Put(context.Background(), 1, val(32, 1)); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get(1)
+	got, err := s.Get(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,14 +61,14 @@ func TestPutGetAcrossMachines(t *testing.T) {
 	s0 := c.Slave(0)
 	const n = 200
 	for i := uint64(0); i < n; i++ {
-		if err := s0.Put(i, val(24, byte(i))); err != nil {
+		if err := s0.Put(context.Background(), i, val(24, byte(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for m := 0; m < 4; m++ {
 		s := c.Slave(m)
 		for i := uint64(0); i < n; i += 17 {
-			got, err := s.Get(i)
+			got, err := s.Get(context.Background(), i)
 			if err != nil {
 				t.Fatalf("machine %d key %d: %v", m, i, err)
 			}
@@ -100,7 +101,7 @@ func TestKeysSpreadAcrossMachines(t *testing.T) {
 func TestGetMissing(t *testing.T) {
 	c := newCloud(t, 2)
 	for i := 0; i < 2; i++ {
-		if _, err := c.Slave(i).Get(12345); !errors.Is(err, ErrNotFound) {
+		if _, err := c.Slave(i).Get(context.Background(), 12345); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("slave %d: Get missing = %v, want ErrNotFound", i, err)
 		}
 	}
@@ -119,10 +120,10 @@ func TestAddDuplicate(t *testing.T) {
 		}
 	}
 	for _, k := range []uint64{localKey, remoteKey} {
-		if err := s.Add(k, val(8, 1)); err != nil {
+		if err := s.Add(context.Background(), k, val(8, 1)); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Add(k, val(8, 2)); !errors.Is(err, ErrExists) {
+		if err := s.Add(context.Background(), k, val(8, 2)); !errors.Is(err, ErrExists) {
 			t.Fatalf("key %d: duplicate Add = %v, want ErrExists", k, err)
 		}
 	}
@@ -132,15 +133,15 @@ func TestRemove(t *testing.T) {
 	c := newCloud(t, 3)
 	s := c.Slave(0)
 	for i := uint64(0); i < 50; i++ {
-		s.Put(i, val(16, byte(i)))
+		s.Put(context.Background(), i, val(16, byte(i)))
 	}
 	for i := uint64(0); i < 50; i += 2 {
-		if err := s.Remove(i); err != nil {
+		if err := s.Remove(context.Background(), i); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := uint64(0); i < 50; i++ {
-		_, err := s.Get(i)
+		_, err := s.Get(context.Background(), i)
 		if i%2 == 0 && !errors.Is(err, ErrNotFound) {
 			t.Fatalf("key %d should be gone: %v", i, err)
 		}
@@ -148,7 +149,7 @@ func TestRemove(t *testing.T) {
 			t.Fatalf("key %d lost: %v", i, err)
 		}
 	}
-	if err := s.Remove(999); !errors.Is(err, ErrNotFound) {
+	if err := s.Remove(context.Background(), 999); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Remove missing = %v", err)
 	}
 }
@@ -157,18 +158,18 @@ func TestAppendAcrossMachines(t *testing.T) {
 	c := newCloud(t, 3)
 	s := c.Slave(0)
 	for i := uint64(0); i < 30; i++ {
-		if err := s.Put(i, val(8, byte(i))); err != nil {
+		if err := s.Put(context.Background(), i, val(8, byte(i))); err != nil {
 			t.Fatal(err)
 		}
 		want := val(8, byte(i))
 		for j := 0; j < 5; j++ {
 			extra := val(8, byte(j+100))
-			if err := s.Append(i, extra); err != nil {
+			if err := s.Append(context.Background(), i, extra); err != nil {
 				t.Fatal(err)
 			}
 			want = append(want, extra...)
 		}
-		got, err := s.Get(i)
+		got, err := s.Get(context.Background(), i)
 		if err != nil || !bytes.Equal(got, want) {
 			t.Fatalf("key %d append chain corrupt: %v", i, err)
 		}
@@ -178,13 +179,13 @@ func TestAppendAcrossMachines(t *testing.T) {
 func TestContains(t *testing.T) {
 	c := newCloud(t, 2)
 	s := c.Slave(0)
-	s.Put(7, val(4, 1))
+	s.Put(context.Background(), 7, val(4, 1))
 	for i := 0; i < 2; i++ {
-		found, err := c.Slave(i).Contains(7)
+		found, err := c.Slave(i).Contains(context.Background(), 7)
 		if err != nil || !found {
 			t.Fatalf("slave %d: Contains(7) = %v, %v", i, found, err)
 		}
-		found, err = c.Slave(i).Contains(8)
+		found, err = c.Slave(i).Contains(context.Background(), 8)
 		if err != nil || found {
 			t.Fatalf("slave %d: Contains(8) = %v, %v", i, found, err)
 		}
@@ -202,8 +203,8 @@ func TestViewLocalOnly(t *testing.T) {
 			remoteKey = k
 		}
 	}
-	s.Put(localKey, val(8, 1))
-	s.Put(remoteKey, val(8, 2))
+	s.Put(context.Background(), localKey, val(8, 1))
+	s.Put(context.Background(), remoteKey, val(8, 2))
 	err := s.View(localKey, func(p []byte) error {
 		p[0] = 0xAA
 		return nil
@@ -211,7 +212,7 @@ func TestViewLocalOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _ := s.Get(localKey)
+	got, _ := s.Get(context.Background(), localKey)
 	if got[0] != 0xAA {
 		t.Fatal("local view write lost")
 	}
@@ -223,14 +224,14 @@ func TestViewLocalOnly(t *testing.T) {
 func TestLockGuard(t *testing.T) {
 	c := newCloud(t, 1)
 	s := c.Slave(0)
-	s.Put(5, val(8, 0))
+	s.Put(context.Background(), 5, val(8, 0))
 	g, err := s.Lock(5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	g.Bytes()[0] = 9
 	g.Unlock()
-	got, _ := s.Get(5)
+	got, _ := s.Get(context.Background(), 5)
 	if got[0] != 9 {
 		t.Fatal("guard write lost")
 	}
@@ -241,7 +242,7 @@ func TestMachineFailureRecovery(t *testing.T) {
 	s0 := c.Slave(0)
 	const n = 300
 	for i := uint64(0); i < n; i++ {
-		if err := s0.Put(i, val(20, byte(i))); err != nil {
+		if err := s0.Put(context.Background(), i, val(20, byte(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -255,7 +256,7 @@ func TestMachineFailureRecovery(t *testing.T) {
 	// Every key must still be readable: keys owned by the victim trigger
 	// the failure-report protocol, table reassignment, and TFS reload.
 	for i := uint64(0); i < n; i++ {
-		got, err := s0.Get(i)
+		got, err := s0.Get(context.Background(), i)
 		if err != nil {
 			t.Fatalf("key %d after crash: %v", i, err)
 		}
@@ -272,19 +273,19 @@ func TestWritesAfterRecovery(t *testing.T) {
 	c := newCloud(t, 3)
 	s0 := c.Slave(0)
 	for i := uint64(0); i < 100; i++ {
-		s0.Put(i, val(10, byte(i)))
+		s0.Put(context.Background(), i, val(10, byte(i)))
 	}
 	c.Backup()
 	c.KillMachine(2)
 	// New writes to keys previously owned by the dead machine must land
 	// on the new owners.
 	for i := uint64(100); i < 200; i++ {
-		if err := s0.Put(i, val(10, byte(i))); err != nil {
+		if err := s0.Put(context.Background(), i, val(10, byte(i))); err != nil {
 			t.Fatalf("post-crash write %d: %v", i, err)
 		}
 	}
 	for i := uint64(100); i < 200; i++ {
-		got, err := s0.Get(i)
+		got, err := s0.Get(context.Background(), i)
 		if err != nil || !bytes.Equal(got, val(10, byte(i))) {
 			t.Fatalf("post-crash read %d: %v", i, err)
 		}
@@ -298,14 +299,14 @@ func TestBufferedLoggingRecoversUnbackedWrites(t *testing.T) {
 	defer c.Close()
 	s0 := c.Slave(0)
 	for i := uint64(0); i < 60; i++ {
-		if err := s0.Put(i, val(12, byte(i))); err != nil {
+		if err := s0.Put(context.Background(), i, val(12, byte(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// NO backup: writes live only in memory plus the TFS log.
 	c.KillMachine(2)
 	for i := uint64(0); i < 60; i++ {
-		got, err := s0.Get(i)
+		got, err := s0.Get(context.Background(), i)
 		if err != nil {
 			t.Fatalf("key %d lost without backup: %v (buffered logging broken)", i, err)
 		}
@@ -323,7 +324,7 @@ func TestWithoutLoggingUnbackedWritesAreLost(t *testing.T) {
 	s0 := c.Slave(0)
 	var victimKeys []uint64
 	for i := uint64(0); i < 60; i++ {
-		s0.Put(i, val(12, byte(i)))
+		s0.Put(context.Background(), i, val(12, byte(i)))
 		if s0.Owner(i) == 2 {
 			victimKeys = append(victimKeys, i)
 		}
@@ -334,7 +335,7 @@ func TestWithoutLoggingUnbackedWritesAreLost(t *testing.T) {
 	c.KillMachine(2)
 	lost := 0
 	for _, k := range victimKeys {
-		if _, err := s0.Get(k); errors.Is(err, ErrNotFound) {
+		if _, err := s0.Get(context.Background(), k); errors.Is(err, ErrNotFound) {
 			lost++
 		}
 	}
@@ -352,12 +353,12 @@ func TestDefragDaemonRunsInBackground(t *testing.T) {
 	// Create and delete cells so gaps accumulate, then wait for the
 	// daemon to reclaim them.
 	for i := uint64(0); i < 500; i++ {
-		if err := s.Put(i, val(64, byte(i))); err != nil {
+		if err := s.Put(context.Background(), i, val(64, byte(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := uint64(0); i < 500; i += 2 {
-		s.Remove(i)
+		s.Remove(context.Background(), i)
 	}
 	deadline := time.Now().Add(3 * time.Second)
 	for time.Now().Before(deadline) {
@@ -372,7 +373,7 @@ func TestDefragDaemonRunsInBackground(t *testing.T) {
 		if gaps == 0 {
 			// Survivors intact after daemon compaction.
 			for i := uint64(1); i < 500; i += 2 {
-				got, err := s.Get(i)
+				got, err := s.Get(context.Background(), i)
 				if err != nil || !bytes.Equal(got, val(64, byte(i))) {
 					t.Fatalf("cell %d corrupted by daemon: %v", i, err)
 				}
@@ -389,7 +390,7 @@ func TestAddMachineJoinsAndServes(t *testing.T) {
 	s0 := c.Slave(0)
 	const n = 200
 	for i := uint64(0); i < n; i++ {
-		if err := s0.Put(i, val(16, byte(i))); err != nil {
+		if err := s0.Put(context.Background(), i, val(16, byte(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -405,7 +406,7 @@ func TestAddMachineJoinsAndServes(t *testing.T) {
 	// All data is still readable — from old machines and from the joiner.
 	for i := uint64(0); i < n; i++ {
 		for _, via := range []*Slave{s0, joiner} {
-			got, err := via.Get(i)
+			got, err := via.Get(context.Background(), i)
 			if err != nil {
 				t.Fatalf("key %d via machine %d after join: %v", i, via.ID(), err)
 			}
@@ -417,7 +418,7 @@ func TestAddMachineJoinsAndServes(t *testing.T) {
 	// New writes land on the joiner for its trunks.
 	wrote := 0
 	for i := uint64(n); i < n+200; i++ {
-		if err := s0.Put(i, val(8, byte(i))); err != nil {
+		if err := s0.Put(context.Background(), i, val(8, byte(i))); err != nil {
 			t.Fatal(err)
 		}
 		if s0.Owner(i) == joiner.ID() {
@@ -437,7 +438,7 @@ func TestLocalKeysAndForEach(t *testing.T) {
 	s0 := c.Slave(0)
 	const n = 120
 	for i := uint64(0); i < n; i++ {
-		s0.Put(i, val(8, byte(i)))
+		s0.Put(context.Background(), i, val(8, byte(i)))
 	}
 	total := 0
 	seen := map[uint64]bool{}
@@ -487,17 +488,17 @@ func TestConcurrentClients(t *testing.T) {
 				key := base + uint64(rng.Intn(50))
 				switch rng.Intn(3) {
 				case 0:
-					if err := s.Put(key, val(16, byte(key))); err != nil {
+					if err := s.Put(context.Background(), key, val(16, byte(key))); err != nil {
 						t.Error(err)
 						return
 					}
 				case 1:
-					if _, err := s.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+					if _, err := s.Get(context.Background(), key); err != nil && !errors.Is(err, ErrNotFound) {
 						t.Error(err)
 						return
 					}
 				case 2:
-					if err := s.Remove(key); err != nil && !errors.Is(err, ErrNotFound) {
+					if err := s.Remove(context.Background(), key); err != nil && !errors.Is(err, ErrNotFound) {
 						t.Error(err)
 						return
 					}
@@ -522,12 +523,12 @@ func TestCloudModelProperty(t *testing.T) {
 			switch rng.Intn(3) {
 			case 0:
 				v := val(rng.Intn(64), byte(rng.Next()))
-				if s.Put(key, v) != nil {
+				if s.Put(context.Background(), key, v) != nil {
 					return false
 				}
 				model[key] = v
 			case 1:
-				got, err := s.Get(key)
+				got, err := s.Get(context.Background(), key)
 				want, ok := model[key]
 				if ok != (err == nil) {
 					return false
@@ -536,7 +537,7 @@ func TestCloudModelProperty(t *testing.T) {
 					return false
 				}
 			case 2:
-				err := s.Remove(key)
+				err := s.Remove(context.Background(), key)
 				if _, ok := model[key]; ok != (err == nil) {
 					return false
 				}
@@ -555,7 +556,7 @@ func TestMemoryUsageReflectsData(t *testing.T) {
 	before := c.MemoryUsage()
 	s := c.Slave(0)
 	for i := uint64(0); i < 5000; i++ {
-		s.Put(i, val(64, byte(i)))
+		s.Put(context.Background(), i, val(64, byte(i)))
 	}
 	after := c.MemoryUsage()
 	if after <= before {
@@ -567,12 +568,12 @@ func TestStatsRetriesOnStaleTable(t *testing.T) {
 	c := newCloud(t, 4)
 	s0 := c.Slave(0)
 	for i := uint64(0); i < 100; i++ {
-		s0.Put(i, val(8, byte(i)))
+		s0.Put(context.Background(), i, val(8, byte(i)))
 	}
 	c.Backup()
 	c.KillMachine(3)
 	for i := uint64(0); i < 100; i++ {
-		s0.Get(i)
+		s0.Get(context.Background(), i)
 	}
 	if st := c.Stats(); st.Retries == 0 {
 		t.Fatal("expected retries through the failure protocol")
@@ -583,8 +584,8 @@ func ExampleCloud() {
 	cloud := New(Config{Machines: 2})
 	defer cloud.Close()
 	s := cloud.Slave(0)
-	s.Put(42, []byte("a cell in the memory cloud"))
-	v, _ := s.Get(42)
+	s.Put(context.Background(), 42, []byte("a cell in the memory cloud"))
+	v, _ := s.Get(context.Background(), 42)
 	fmt.Println(string(v))
 	// Output: a cell in the memory cloud
 }
@@ -597,7 +598,7 @@ func BenchmarkCloudPutLocal(b *testing.B) {
 	const keys = 50_000 // bounded so any b.N fits in the trunks
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.Put(uint64(i%keys), v); err != nil {
+		if err := s.Put(context.Background(), uint64(i%keys), v); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -610,11 +611,11 @@ func BenchmarkCloudGetLocal(b *testing.B) {
 	v := val(64, 1)
 	const n = 100_000
 	for i := uint64(0); i < n; i++ {
-		s.Put(i, v)
+		s.Put(context.Background(), i, v)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Get(uint64(i % n)); err != nil {
+		if _, err := s.Get(context.Background(), uint64(i%n)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -627,11 +628,11 @@ func BenchmarkCloudGetDistributed(b *testing.B) {
 	v := val(64, 1)
 	const n = 10_000
 	for i := uint64(0); i < n; i++ {
-		s.Put(i, v)
+		s.Put(context.Background(), i, v)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Get(uint64(i % n)); err != nil {
+		if _, err := s.Get(context.Background(), uint64(i%n)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package memcloud
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -22,8 +23,14 @@ import (
 // fixed while pinned). Keys may repeat; each cell is locked once. All
 // keys must be owned by this machine: cross-machine transactions are out
 // of scope, exactly as in the paper.
-func (s *Slave) MultiView(keys []uint64, fn func(payloads [][]byte) error) error {
+// ctx is checked once before any lock is taken: the op itself is local,
+// lock-ordered and bounded, so once the guards are held it runs to
+// completion rather than risking a half-applied multi-cell mutation.
+func (s *Slave) MultiView(ctx context.Context, keys []uint64, fn func(payloads [][]byte) error) error {
 	defer s.observeSince(s.multiOpNs, time.Now())
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(keys) == 0 {
 		return fn(nil)
 	}
@@ -71,12 +78,12 @@ func (s *Slave) MultiView(keys []uint64, fn func(payloads [][]byte) error) error
 // CompareAndSwapCell atomically replaces a LOCAL cell's payload with new
 // if its current contents equal old. Sizes of old and new must match (a
 // pinned cell cannot change size); use Put for resizing writes.
-func (s *Slave) CompareAndSwapCell(key uint64, old, new []byte) (bool, error) {
+func (s *Slave) CompareAndSwapCell(ctx context.Context, key uint64, old, new []byte) (bool, error) {
 	if len(old) != len(new) {
 		return false, fmt.Errorf("memcloud: CompareAndSwapCell sizes differ (%d vs %d)", len(old), len(new))
 	}
 	swapped := false
-	err := s.MultiView([]uint64{key}, func(payloads [][]byte) error {
+	err := s.MultiView(ctx, []uint64{key}, func(payloads [][]byte) error {
 		p := payloads[0]
 		if len(p) != len(old) {
 			return nil

@@ -1,6 +1,7 @@
 package memcloud
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"sync"
@@ -32,7 +33,7 @@ func TestMultiViewAtomicTransfer(t *testing.T) {
 	for _, k := range keys {
 		var buf [8]byte
 		binary.LittleEndian.PutUint64(buf[:], initial)
-		if err := s.Put(k, buf[:]); err != nil {
+		if err := s.Put(context.Background(), k, buf[:]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -49,7 +50,7 @@ func TestMultiViewAtomicTransfer(t *testing.T) {
 					continue
 				}
 				amount := uint64(rng.Intn(10))
-				err := s.MultiView([]uint64{from, to}, func(p [][]byte) error {
+				err := s.MultiView(context.Background(), []uint64{from, to}, func(p [][]byte) error {
 					fb := binary.LittleEndian.Uint64(p[0])
 					tb := binary.LittleEndian.Uint64(p[1])
 					if fb < amount {
@@ -69,7 +70,7 @@ func TestMultiViewAtomicTransfer(t *testing.T) {
 	wg.Wait()
 	var total uint64
 	for _, k := range keys {
-		v, err := s.Get(k)
+		v, err := s.Get(context.Background(), k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,8 +84,8 @@ func TestMultiViewAtomicTransfer(t *testing.T) {
 func TestMultiViewDuplicateKeys(t *testing.T) {
 	c := newCloud(t, 1)
 	s := c.Slave(0)
-	s.Put(5, []byte{1})
-	err := s.MultiView([]uint64{5, 5, 5}, func(p [][]byte) error {
+	s.Put(context.Background(), 5, []byte{1})
+	err := s.MultiView(context.Background(), []uint64{5, 5, 5}, func(p [][]byte) error {
 		if len(p) != 3 {
 			t.Fatalf("payloads = %d", len(p))
 		}
@@ -110,8 +111,8 @@ func TestMultiViewRejectsRemote(t *testing.T) {
 			break
 		}
 	}
-	c.Slave(1).Put(remote, []byte{1})
-	err := s.MultiView([]uint64{remote}, func([][]byte) error { return nil })
+	c.Slave(1).Put(context.Background(), remote, []byte{1})
+	err := s.MultiView(context.Background(), []uint64{remote}, func([][]byte) error { return nil })
 	if !errors.Is(err, ErrWrongOwner) {
 		t.Fatalf("remote MultiView = %v, want ErrWrongOwner", err)
 	}
@@ -120,13 +121,13 @@ func TestMultiViewRejectsRemote(t *testing.T) {
 func TestMultiViewMissingCell(t *testing.T) {
 	c := newCloud(t, 1)
 	s := c.Slave(0)
-	s.Put(1, []byte{1})
-	err := s.MultiView([]uint64{1, 999}, func([][]byte) error { return nil })
+	s.Put(context.Background(), 1, []byte{1})
+	err := s.MultiView(context.Background(), []uint64{1, 999}, func([][]byte) error { return nil })
 	if err == nil {
 		t.Fatal("missing cell accepted")
 	}
 	// The held lock on cell 1 must have been released: a second op works.
-	if err := s.Put(1, []byte{2}); err != nil {
+	if err := s.Put(context.Background(), 1, []byte{2}); err != nil {
 		t.Fatalf("cell 1 still locked: %v", err)
 	}
 }
@@ -134,7 +135,7 @@ func TestMultiViewMissingCell(t *testing.T) {
 func TestMultiViewEmpty(t *testing.T) {
 	c := newCloud(t, 1)
 	called := false
-	if err := c.Slave(0).MultiView(nil, func(p [][]byte) error {
+	if err := c.Slave(0).MultiView(context.Background(), nil, func(p [][]byte) error {
 		called = p == nil
 		return nil
 	}); err != nil || !called {
@@ -146,20 +147,20 @@ func TestCompareAndSwapCell(t *testing.T) {
 	c := newCloud(t, 1)
 	s := c.Slave(0)
 	key := localKeysOn(s, 1)[0]
-	s.Put(key, []byte{1, 2, 3})
-	ok, err := s.CompareAndSwapCell(key, []byte{1, 2, 3}, []byte{4, 5, 6})
+	s.Put(context.Background(), key, []byte{1, 2, 3})
+	ok, err := s.CompareAndSwapCell(context.Background(), key, []byte{1, 2, 3}, []byte{4, 5, 6})
 	if err != nil || !ok {
 		t.Fatalf("CAS failed: %v %v", ok, err)
 	}
-	v, _ := s.Get(key)
+	v, _ := s.Get(context.Background(), key)
 	if v[0] != 4 {
 		t.Fatal("CAS did not write")
 	}
-	ok, err = s.CompareAndSwapCell(key, []byte{1, 2, 3}, []byte{7, 8, 9})
+	ok, err = s.CompareAndSwapCell(context.Background(), key, []byte{1, 2, 3}, []byte{7, 8, 9})
 	if err != nil || ok {
 		t.Fatalf("stale CAS succeeded: %v %v", ok, err)
 	}
-	if _, err := s.CompareAndSwapCell(key, []byte{1}, []byte{1, 2}); err == nil {
+	if _, err := s.CompareAndSwapCell(context.Background(), key, []byte{1}, []byte{1, 2}); err == nil {
 		t.Fatal("size-mismatched CAS accepted")
 	}
 }
@@ -169,17 +170,17 @@ func TestProxyRoutesOperations(t *testing.T) {
 	p := c.NewProxy()
 	defer p.Close()
 	for i := uint64(0); i < 60; i++ {
-		if err := p.Put(i, []byte{byte(i)}); err != nil {
+		if err := p.Put(context.Background(), i, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := uint64(0); i < 60; i++ {
-		v, err := p.Get(i)
+		v, err := p.Get(context.Background(), i)
 		if err != nil || len(v) != 1 || v[0] != byte(i) {
 			t.Fatalf("proxy Get(%d) = %v, %v", i, v, err)
 		}
 	}
-	if _, err := p.Get(999); !errors.Is(err, ErrNotFound) {
+	if _, err := p.Get(context.Background(), 999); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("proxy Get missing = %v", err)
 	}
 	// The proxy owns no data.
@@ -200,20 +201,20 @@ func TestProxyScatterGather(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		s := c.Slave(i)
 		ss := s
-		s.Node().HandleSync(protoCount, func(msg.MachineID, []byte) ([]byte, error) {
+		s.Node().HandleSync(protoCount, func(context.Context, msg.MachineID, []byte) ([]byte, error) {
 			var buf [4]byte
 			binary.LittleEndian.PutUint32(buf[:], uint32(len(ss.LocalKeys())))
 			return buf[:], nil
 		})
 	}
 	for i := uint64(0); i < 100; i++ {
-		c.Slave(0).Put(i, []byte{1})
+		c.Slave(0).Put(context.Background(), i, []byte{1})
 	}
 	p := c.NewProxy()
 	defer p.Close()
 	total := 0
 	machines := 0
-	err := p.ScatterGather(protoCount, nil, func(_ msg.MachineID, reply []byte) error {
+	err := p.ScatterGather(context.Background(), protoCount, nil, func(_ msg.MachineID, reply []byte) error {
 		total += int(binary.LittleEndian.Uint32(reply))
 		machines++
 		return nil

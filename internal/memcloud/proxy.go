@@ -1,6 +1,7 @@
 package memcloud
 
 import (
+	"context"
 	"sync"
 
 	"trinity/internal/msg"
@@ -37,16 +38,16 @@ func (p *Proxy) Node() *msg.Node { return p.node }
 func (p *Proxy) Close() error { return p.node.Close() }
 
 // Get fetches a cell by routing the request to its owner slave.
-func (p *Proxy) Get(key uint64) ([]byte, error) {
+func (p *Proxy) Get(ctx context.Context, key uint64) ([]byte, error) {
 	owner := p.ownerOf(key)
-	resp, err := p.node.Call(owner, protoGetCell, encodeKey(key))
+	resp, err := p.node.Call(ctx, owner, protoGetCell, encodeKey(key))
 	return resp, remoteErr(err)
 }
 
 // Put stores a cell via its owner slave.
-func (p *Proxy) Put(key uint64, val []byte) error {
+func (p *Proxy) Put(ctx context.Context, key uint64, val []byte) error {
 	owner := p.ownerOf(key)
-	_, err := p.node.Call(owner, protoPutCell, encodeKV(key, val))
+	_, err := p.node.Call(ctx, owner, protoPutCell, encodeKV(key, val))
 	return remoteErr(err)
 }
 
@@ -61,11 +62,13 @@ func (p *Proxy) ownerOf(key uint64) msg.MachineID {
 func (p *Proxy) Owner(key uint64) msg.MachineID { return p.ownerOf(key) }
 
 // RefreshTable refreshes the addressing-table replica the proxy routes by.
-func (p *Proxy) RefreshTable() { p.cloud.slaves[0].RefreshTable() }
+func (p *Proxy) RefreshTable(ctx context.Context) { p.cloud.slaves[0].RefreshTable(ctx) }
 
 // ReportFailure reports machine m as unreachable through the proxy's
 // table source.
-func (p *Proxy) ReportFailure(m msg.MachineID) { p.cloud.slaves[0].ReportFailure(m) }
+func (p *Proxy) ReportFailure(ctx context.Context, m msg.MachineID) {
+	p.cloud.slaves[0].ReportFailure(ctx, m)
+}
 
 // LocalGet never serves a read locally: a proxy "only handles messages
 // but does not own any data" (paper Figure 1), so every key is remote.
@@ -76,7 +79,7 @@ func (p *Proxy) LocalGet(key uint64) ([]byte, bool, error) { return nil, false, 
 // clients to slaves and sends results back after aggregating the partial
 // results"): it calls the protocol on every slave in parallel and hands
 // the replies to the combiner in machine order.
-func (p *Proxy) ScatterGather(proto msg.ProtocolID, request []byte, combine func(machine msg.MachineID, reply []byte) error) error {
+func (p *Proxy) ScatterGather(ctx context.Context, proto msg.ProtocolID, request []byte, combine func(machine msg.MachineID, reply []byte) error) error {
 	type result struct {
 		machine msg.MachineID
 		reply   []byte
@@ -92,7 +95,7 @@ func (p *Proxy) ScatterGather(proto msg.ProtocolID, request []byte, combine func
 		wg.Add(1)
 		go func(i int, target msg.MachineID) {
 			defer wg.Done()
-			reply, err := p.node.Call(target, proto, request)
+			reply, err := p.node.Call(ctx, target, proto, request)
 			replies[i] = result{machine: target, reply: reply, err: err, ok: true}
 		}(i, s.ID())
 	}

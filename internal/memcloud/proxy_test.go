@@ -2,6 +2,7 @@ package memcloud
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -36,20 +37,20 @@ func TestProxyGetPutAgainstKilledNode(t *testing.T) {
 	defer p.Close()
 
 	key := keyOwnedBy(t, c, 2)
-	if err := p.Put(key, val(16, 1)); err != nil {
+	if err := p.Put(context.Background(), key, val(16, 1)); err != nil {
 		t.Fatal(err)
 	}
 	c.KillMachine(2)
 
 	start := time.Now()
-	_, err := p.Get(key)
+	_, err := p.Get(context.Background(), key)
 	if err == nil {
 		t.Fatal("Get against killed owner succeeded")
 	}
 	if errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get against killed owner reported ErrNotFound: %v", err)
 	}
-	if err := p.Put(key, val(16, 2)); err == nil {
+	if err := p.Put(context.Background(), key, val(16, 2)); err == nil {
 		t.Fatal("Put against killed owner succeeded")
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
@@ -69,20 +70,20 @@ func TestProxyOwnerTracksRecovery(t *testing.T) {
 	defer p.Close()
 
 	key := keyOwnedBy(t, c, 2)
-	if err := p.Put(key, val(16, 7)); err != nil {
+	if err := p.Put(context.Background(), key, val(16, 7)); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Backup(); err != nil {
 		t.Fatal(err)
 	}
 	c.KillMachine(2)
-	p.ReportFailure(2) // synchronous: recovery has run when this returns
-	p.RefreshTable()
+	p.ReportFailure(context.Background(), 2) // synchronous: recovery has run when this returns
+	p.RefreshTable(context.Background())
 
 	if owner := p.Owner(key); owner == 2 {
 		t.Fatal("proxy still routes to the failed machine after recovery")
 	}
-	got, err := p.Get(key)
+	got, err := p.Get(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestProxyOwnerTracksJoin(t *testing.T) {
 	defer p.Close()
 
 	for k := uint64(0); k < 64; k++ {
-		if err := p.Put(k, val(8, byte(k))); err != nil {
+		if err := p.Put(context.Background(), k, val(8, byte(k))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -112,10 +113,10 @@ func TestProxyOwnerTracksJoin(t *testing.T) {
 	if p.Owner(key) != joiner.ID() {
 		t.Fatal("proxy table replica did not pick up the rebalanced owner")
 	}
-	if err := p.Put(key, val(8, 99)); err != nil {
+	if err := p.Put(context.Background(), key, val(8, 99)); err != nil {
 		t.Fatalf("Put routed to joiner: %v", err)
 	}
-	got, err := p.Get(key)
+	got, err := p.Get(context.Background(), key)
 	if err != nil {
 		t.Fatalf("Get routed to joiner: %v", err)
 	}
@@ -131,7 +132,7 @@ func countProto(c *Cloud) msg.ProtocolID {
 	for i := 0; i < c.Slaves(); i++ {
 		s := c.Slave(i)
 		ss := s
-		s.Node().HandleSync(proto, func(msg.MachineID, []byte) ([]byte, error) {
+		s.Node().HandleSync(proto, func(context.Context, msg.MachineID, []byte) ([]byte, error) {
 			var buf [4]byte
 			binary.LittleEndian.PutUint32(buf[:], uint32(len(ss.LocalKeys())))
 			return buf[:], nil
@@ -150,7 +151,7 @@ func TestProxyScatterGatherSkipsKilledMachine(t *testing.T) {
 
 	c.KillMachine(1)
 	var machines []msg.MachineID
-	err := p.ScatterGather(proto, nil, func(m msg.MachineID, _ []byte) error {
+	err := p.ScatterGather(context.Background(), proto, nil, func(m msg.MachineID, _ []byte) error {
 		machines = append(machines, m)
 		return nil
 	})
@@ -183,7 +184,7 @@ func TestProxyScatterGatherChaosCutSurfacesError(t *testing.T) {
 
 			ch.Cut(p.ID(), 2)
 			ch.Cut(2, p.ID())
-			err := p.ScatterGather(proto, nil, func(msg.MachineID, []byte) error { return nil })
+			err := p.ScatterGather(context.Background(), proto, nil, func(msg.MachineID, []byte) error { return nil })
 			if err == nil {
 				t.Fatal("partitioned slave did not surface as a ScatterGather error")
 			}
@@ -191,7 +192,7 @@ func TestProxyScatterGatherChaosCutSurfacesError(t *testing.T) {
 			ch.Heal(p.ID(), 2)
 			ch.Heal(2, p.ID())
 			seen := 0
-			err = p.ScatterGather(proto, nil, func(msg.MachineID, []byte) error {
+			err = p.ScatterGather(context.Background(), proto, nil, func(msg.MachineID, []byte) error {
 				seen++
 				return nil
 			})

@@ -2,6 +2,7 @@ package msg
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -156,7 +157,7 @@ func TestChaosPoisonFrameOwnership(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			a, b, ch := chaosPair(t, "bus", seed, Options{FlushInterval: -1})
 			ch.PoisonFrames(true)
-			b.HandleSync(protoEcho, func(_ MachineID, req []byte) ([]byte, error) {
+			b.HandleSync(protoEcho, func(_ context.Context, _ MachineID, req []byte) ([]byte, error) {
 				// Handlers may compute over the request after yielding the
 				// scheduler; the slice they were handed must stay stable.
 				time.Sleep(50 * time.Microsecond)
@@ -170,7 +171,7 @@ func TestChaosPoisonFrameOwnership(t *testing.T) {
 					defer wg.Done()
 					for i := 0; i < 40; i++ {
 						req := bytes.Repeat([]byte{byte(g), byte(i)}, 32)
-						resp, err := a.Call(1, protoEcho, req)
+						resp, err := a.Call(context.Background(), 1, protoEcho, req)
 						if err != nil {
 							t.Errorf("call: %v", err)
 							return
@@ -193,8 +194,8 @@ func TestChaosPoisonFrameOwnership(t *testing.T) {
 func TestChaosDropsTimeOutSyncCalls(t *testing.T) {
 	a, b, ch := chaosPair(t, "bus", 7, Options{FlushInterval: -1, CallTimeout: 100 * time.Millisecond})
 	ch.SetPair(0, 1, Policy{Drop: 1.0})
-	b.HandleSync(protoEcho, func(_ MachineID, req []byte) ([]byte, error) { return req, nil })
-	if _, err := a.Call(1, protoEcho, []byte("x")); !errors.Is(err, ErrTimeout) {
+	b.HandleSync(protoEcho, func(_ context.Context, _ MachineID, req []byte) ([]byte, error) { return req, nil })
+	if _, err := a.Call(context.Background(), 1, protoEcho, []byte("x")); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("call over fully lossy link = %v, want ErrTimeout", err)
 	}
 	if st := ch.Stats(); st.Dropped == 0 {
@@ -209,9 +210,9 @@ func TestChaosOneWayPartition(t *testing.T) {
 	ch.Cut(0, 1)
 	var got atomic.Int64
 	a.HandleAsync(protoNotify, func(MachineID, []byte) { got.Add(1) })
-	b.HandleSync(protoEcho, func(_ MachineID, req []byte) ([]byte, error) { return req, nil })
+	b.HandleSync(protoEcho, func(_ context.Context, _ MachineID, req []byte) ([]byte, error) { return req, nil })
 
-	if _, err := a.Call(1, protoEcho, nil); !errors.Is(err, ErrTimeout) {
+	if _, err := a.Call(context.Background(), 1, protoEcho, nil); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("a->b request across cut = %v, want ErrTimeout", err)
 	}
 	// b->a direction is untouched.
@@ -228,7 +229,7 @@ func TestChaosOneWayPartition(t *testing.T) {
 	}
 	// Healing restores the link.
 	ch.Heal(0, 1)
-	if _, err := a.Call(1, protoEcho, []byte("back")); err != nil {
+	if _, err := a.Call(context.Background(), 1, protoEcho, []byte("back")); err != nil {
 		t.Fatalf("call after heal: %v", err)
 	}
 }
@@ -330,10 +331,10 @@ func TestErrorCodeSurvivesWire(t *testing.T) {
 	// The message text deliberately contains another sentinel's text: a
 	// substring matcher would mis-map it; the code cannot.
 	trap := errors.New("key not found while checking: cell already exists")
-	b.HandleSync(protoFail, func(MachineID, []byte) ([]byte, error) {
+	b.HandleSync(protoFail, func(context.Context, MachineID, []byte) ([]byte, error) {
 		return nil, WithCode(42, trap)
 	})
-	_, err := a.Call(1, protoFail, nil)
+	_, err := a.Call(context.Background(), 1, protoFail, nil)
 	if err == nil {
 		t.Fatal("want error")
 	}

@@ -1,0 +1,175 @@
+package msg
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCallContextCancelled: cancelling the caller's context unhooks the
+// wait immediately — well before CallTimeout — and is counted.
+func TestCallContextCancelled(t *testing.T) {
+	a, b := newPair(t, Options{CallTimeout: 5 * time.Second})
+	block := make(chan struct{})
+	defer close(block)
+	b.HandleSync(protoEcho, func(context.Context, MachineID, []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := a.Call(ctx, 1, protoEcho, []byte("x"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("cancel took %v, want well under CallTimeout", d)
+	}
+	if got := a.Stats().CallsCancelled; got != 1 {
+		t.Fatalf("CallsCancelled = %d, want 1", got)
+	}
+}
+
+// TestCallContextAlreadyExpired: a spent context never touches the wire.
+func TestCallContextAlreadyExpired(t *testing.T) {
+	a, b := newPair(t, Options{})
+	called := make(chan struct{}, 1)
+	b.HandleSync(protoEcho, func(context.Context, MachineID, []byte) ([]byte, error) {
+		called <- struct{}{}
+		return nil, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Call(ctx, 1, protoEcho, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-called:
+		t.Fatal("handler ran for a pre-cancelled call")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := a.Stats().CallsCancelled; got != 1 {
+		t.Fatalf("CallsCancelled = %d, want 1", got)
+	}
+}
+
+// TestCallBudgetPropagates: the caller's remaining deadline crosses the
+// wire and surfaces as the handler context's deadline.
+func TestCallBudgetPropagates(t *testing.T) {
+	a, b := newPair(t, Options{CallTimeout: time.Minute})
+	got := make(chan time.Duration, 1)
+	b.HandleSync(protoEcho, func(ctx context.Context, _ MachineID, _ []byte) ([]byte, error) {
+		d, ok := ctx.Deadline()
+		if !ok {
+			got <- -1
+			return nil, nil
+		}
+		got <- time.Until(d)
+		return nil, nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := a.Call(ctx, 1, protoEcho, nil); err != nil {
+		t.Fatal(err)
+	}
+	left := <-got
+	if left < 0 {
+		t.Fatal("handler context has no deadline")
+	}
+	if left > 200*time.Millisecond {
+		t.Fatalf("handler budget %v exceeds caller budget 200ms", left)
+	}
+	if left <= 0 {
+		t.Fatalf("handler budget %v already spent", left)
+	}
+}
+
+// TestCallNoDeadlineMeansCapOnly: without a caller deadline the handler
+// still gets the CallTimeout cap, never an unbounded context.
+func TestCallNoDeadlineMeansCapOnly(t *testing.T) {
+	a, b := newPair(t, Options{CallTimeout: 3 * time.Second})
+	got := make(chan bool, 1)
+	b.HandleSync(protoEcho, func(ctx context.Context, _ MachineID, _ []byte) ([]byte, error) {
+		_, ok := ctx.Deadline()
+		got <- ok
+		return nil, nil
+	})
+	if _, err := a.Call(context.Background(), 1, protoEcho, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !<-got {
+		t.Fatal("handler context should carry the CallTimeout cap as its deadline")
+	}
+}
+
+// TestDeadlineDroppedRx: a sync request whose budget is already negative
+// on arrival is dropped before dispatch and counted, and the handler
+// never runs. The sender-side clamp never emits negative budgets, so the
+// frame is crafted by hand — exactly what a slow network produces when
+// the relative budget is re-anchored after transit.
+func TestDeadlineDroppedRx(t *testing.T) {
+	bus := NewBus()
+	raw := bus.Endpoint(0) // raw transport: frames bypass Node's encoder
+	b := NewNode(bus.Endpoint(1), Options{})
+	defer b.Close()
+	called := make(chan struct{}, 1)
+	b.HandleSync(protoEcho, func(context.Context, MachineID, []byte) ([]byte, error) {
+		called <- struct{}{}
+		return nil, nil
+	})
+
+	frame := make([]byte, syncReqHeader+1)
+	frame[0] = kindSyncReq
+	binary.LittleEndian.PutUint16(frame[1:], uint16(protoEcho))
+	binary.LittleEndian.PutUint64(frame[3:], 99) // correlation id
+	budget := int64(-50)                         // spent 50µs before arrival
+	binary.LittleEndian.PutUint64(frame[frameHeader:], uint64(budget))
+	frame[syncReqHeader] = 'x'
+	if err := raw.Send(1, frame); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Stats().DeadlineDroppedRx == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("DeadlineDroppedRx never incremented")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-called:
+		t.Fatal("handler ran for an expired request")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// BenchmarkCallTimerChurn guards the Call wait path against the old
+// time.After leak: with time.After every call parked a live timer for the
+// full CallTimeout (1 minute here) after the reply had already arrived,
+// so a tight call loop accumulated b.N live timers; time.NewTimer+Stop
+// releases each one as the call returns. Watch the B/op column — the
+// leak shows up as runtime.timer memory retained across iterations.
+func BenchmarkCallTimerChurn(b *testing.B) {
+	bus := NewBus()
+	an := NewNode(bus.Endpoint(0), Options{CallTimeout: time.Minute})
+	bn := NewNode(bus.Endpoint(1), Options{CallTimeout: time.Minute})
+	defer an.Close()
+	defer bn.Close()
+	bn.HandleSync(protoEcho, func(_ context.Context, _ MachineID, req []byte) ([]byte, error) {
+		return req, nil
+	})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.Call(ctx, 1, protoEcho, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package msg
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -30,13 +31,13 @@ func newPair(t *testing.T, opts Options) (*Node, *Node) {
 
 func TestSyncCallEcho(t *testing.T) {
 	a, b := newPair(t, Options{})
-	b.HandleSync(protoEcho, func(from MachineID, req []byte) ([]byte, error) {
+	b.HandleSync(protoEcho, func(_ context.Context, from MachineID, req []byte) ([]byte, error) {
 		if from != 0 {
 			t.Errorf("from = %d, want 0", from)
 		}
 		return req, nil
 	})
-	resp, err := a.Call(1, protoEcho, []byte("hello trinity"))
+	resp, err := a.Call(context.Background(), 1, protoEcho, []byte("hello trinity"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,10 +48,10 @@ func TestSyncCallEcho(t *testing.T) {
 
 func TestSyncCallTransform(t *testing.T) {
 	a, b := newPair(t, Options{})
-	b.HandleSync(protoUpper, func(_ MachineID, req []byte) ([]byte, error) {
+	b.HandleSync(protoUpper, func(_ context.Context, _ MachineID, req []byte) ([]byte, error) {
 		return bytes.ToUpper(req), nil
 	})
-	resp, err := a.Call(1, protoUpper, []byte("abc"))
+	resp, err := a.Call(context.Background(), 1, protoUpper, []byte("abc"))
 	if err != nil || string(resp) != "ABC" {
 		t.Fatalf("resp=%q err=%v", resp, err)
 	}
@@ -58,10 +59,10 @@ func TestSyncCallTransform(t *testing.T) {
 
 func TestSyncCallRemoteError(t *testing.T) {
 	a, b := newPair(t, Options{})
-	b.HandleSync(protoFail, func(MachineID, []byte) ([]byte, error) {
+	b.HandleSync(protoFail, func(context.Context, MachineID, []byte) ([]byte, error) {
 		return nil, errors.New("kaboom")
 	})
-	_, err := a.Call(1, protoFail, nil)
+	_, err := a.Call(context.Background(), 1, protoFail, nil)
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Fatalf("err = %v, want remote kaboom", err)
 	}
@@ -69,7 +70,7 @@ func TestSyncCallRemoteError(t *testing.T) {
 
 func TestSyncCallNoHandler(t *testing.T) {
 	a, _ := newPair(t, Options{})
-	_, err := a.Call(1, ProtocolID(99), nil)
+	_, err := a.Call(context.Background(), 1, ProtocolID(99), nil)
 	if err == nil || !strings.Contains(err.Error(), "no handler") {
 		t.Fatalf("err = %v, want no-handler error", err)
 	}
@@ -79,7 +80,7 @@ func TestSyncCallUnreachable(t *testing.T) {
 	bus := NewBus()
 	a := NewNode(bus.Endpoint(0), Options{})
 	defer a.Close()
-	_, err := a.Call(7, protoEcho, nil)
+	_, err := a.Call(context.Background(), 7, protoEcho, nil)
 	if !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v, want ErrUnreachable", err)
 	}
@@ -88,11 +89,11 @@ func TestSyncCallUnreachable(t *testing.T) {
 func TestSyncCallTimeout(t *testing.T) {
 	a, b := newPair(t, Options{CallTimeout: 30 * time.Millisecond})
 	block := make(chan struct{})
-	b.HandleSync(protoEcho, func(MachineID, []byte) ([]byte, error) {
+	b.HandleSync(protoEcho, func(context.Context, MachineID, []byte) ([]byte, error) {
 		<-block
 		return nil, nil
 	})
-	_, err := a.Call(1, protoEcho, nil)
+	_, err := a.Call(context.Background(), 1, protoEcho, nil)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -101,7 +102,7 @@ func TestSyncCallTimeout(t *testing.T) {
 
 func TestSyncCallsConcurrent(t *testing.T) {
 	a, b := newPair(t, Options{})
-	b.HandleSync(protoEcho, func(_ MachineID, req []byte) ([]byte, error) {
+	b.HandleSync(protoEcho, func(_ context.Context, _ MachineID, req []byte) ([]byte, error) {
 		return req, nil
 	})
 	var wg sync.WaitGroup
@@ -110,7 +111,7 @@ func TestSyncCallsConcurrent(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			want := fmt.Sprintf("msg-%d", i)
-			resp, err := a.Call(1, protoEcho, []byte(want))
+			resp, err := a.Call(context.Background(), 1, protoEcho, []byte(want))
 			if err != nil || string(resp) != want {
 				t.Errorf("call %d: resp=%q err=%v (correlation broken?)", i, resp, err)
 			}
@@ -235,7 +236,7 @@ func TestSendAfterClose(t *testing.T) {
 	if err := a.Send(1, protoNotify, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Send after close = %v, want ErrClosed", err)
 	}
-	if _, err := a.Call(1, protoEcho, nil); !errors.Is(err, ErrClosed) {
+	if _, err := a.Call(context.Background(), 1, protoEcho, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Call after close = %v, want ErrClosed", err)
 	}
 	a.Close() // idempotent
@@ -246,12 +247,12 @@ func TestBusDisconnectSimulatesCrash(t *testing.T) {
 	a := NewNode(bus.Endpoint(0), Options{FlushInterval: -1})
 	b := NewNode(bus.Endpoint(1), Options{})
 	defer a.Close()
-	b.HandleSync(protoEcho, func(_ MachineID, req []byte) ([]byte, error) { return req, nil })
-	if _, err := a.Call(1, protoEcho, []byte("ok")); err != nil {
+	b.HandleSync(protoEcho, func(_ context.Context, _ MachineID, req []byte) ([]byte, error) { return req, nil })
+	if _, err := a.Call(context.Background(), 1, protoEcho, []byte("ok")); err != nil {
 		t.Fatal(err)
 	}
 	bus.Disconnect(1)
-	if _, err := a.Call(1, protoEcho, []byte("ok")); !errors.Is(err, ErrUnreachable) {
+	if _, err := a.Call(context.Background(), 1, protoEcho, []byte("ok")); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("call to crashed machine = %v, want ErrUnreachable", err)
 	}
 }
@@ -262,7 +263,7 @@ func TestSelfSend(t *testing.T) {
 	defer a.Close()
 	got := make(chan string, 1)
 	a.HandleAsync(protoNotify, func(_ MachineID, m []byte) { got <- string(m) })
-	a.HandleSync(protoEcho, func(_ MachineID, req []byte) ([]byte, error) { return req, nil })
+	a.HandleSync(protoEcho, func(_ context.Context, _ MachineID, req []byte) ([]byte, error) { return req, nil })
 	// A machine can message itself through the same path as remote sends.
 	if err := a.Send(0, protoNotify, []byte("self")); err != nil {
 		t.Fatal(err)
@@ -276,7 +277,7 @@ func TestSelfSend(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("self send not delivered")
 	}
-	if resp, err := a.Call(0, protoEcho, []byte("loop")); err != nil || string(resp) != "loop" {
+	if resp, err := a.Call(context.Background(), 0, protoEcho, []byte("loop")); err != nil || string(resp) != "loop" {
 		t.Fatalf("self call: %q %v", resp, err)
 	}
 }
@@ -347,10 +348,10 @@ func TestTCPTransportRoundTrip(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 
-	b.HandleSync(protoUpper, func(_ MachineID, req []byte) ([]byte, error) {
+	b.HandleSync(protoUpper, func(_ context.Context, _ MachineID, req []byte) ([]byte, error) {
 		return bytes.ToUpper(req), nil
 	})
-	resp, err := a.Call(1, protoUpper, []byte("over tcp"))
+	resp, err := a.Call(context.Background(), 1, protoUpper, []byte("over tcp"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,11 +382,11 @@ func TestTCPUnreachablePeer(t *testing.T) {
 	}
 	a := NewNode(ta, Options{FlushInterval: -1})
 	defer a.Close()
-	if _, err := a.Call(3, protoEcho, nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := a.Call(context.Background(), 3, protoEcho, nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("unknown peer = %v, want ErrUnreachable", err)
 	}
 	ta.AddPeer(4, "127.0.0.1:1") // nothing listens there
-	if _, err := a.Call(4, protoEcho, nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := a.Call(context.Background(), 4, protoEcho, nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("dead peer = %v, want ErrUnreachable", err)
 	}
 }
@@ -398,16 +399,16 @@ func TestTCPPeerCrash(t *testing.T) {
 	a := NewNode(ta, Options{FlushInterval: -1, CallTimeout: 200 * time.Millisecond})
 	b := NewNode(tb, Options{})
 	defer a.Close()
-	b.HandleSync(protoEcho, func(_ MachineID, req []byte) ([]byte, error) { return req, nil })
-	if _, err := a.Call(1, protoEcho, []byte("up")); err != nil {
+	b.HandleSync(protoEcho, func(_ context.Context, _ MachineID, req []byte) ([]byte, error) { return req, nil })
+	if _, err := a.Call(context.Background(), 1, protoEcho, []byte("up")); err != nil {
 		t.Fatal(err)
 	}
 	b.Close()
 	// The first call after a crash may fail with either a broken pipe
 	// (unreachable) or a timeout depending on TCP shutdown timing; after
 	// the connection is dropped, subsequent calls must fail fast.
-	a.Call(1, protoEcho, []byte("down"))
-	_, err := a.Call(1, protoEcho, []byte("down"))
+	a.Call(context.Background(), 1, protoEcho, []byte("down"))
+	_, err := a.Call(context.Background(), 1, protoEcho, []byte("down"))
 	if !errors.Is(err, ErrUnreachable) && !errors.Is(err, ErrTimeout) {
 		t.Fatalf("call to crashed TCP peer = %v", err)
 	}
@@ -419,11 +420,11 @@ func BenchmarkSyncCall(b *testing.B) {
 	c := NewNode(bus.Endpoint(1), Options{})
 	defer a.Close()
 	defer c.Close()
-	c.HandleSync(protoEcho, func(_ MachineID, req []byte) ([]byte, error) { return req, nil })
+	c.HandleSync(protoEcho, func(_ context.Context, _ MachineID, req []byte) ([]byte, error) { return req, nil })
 	req := make([]byte, 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := a.Call(1, protoEcho, req); err != nil {
+		if _, err := a.Call(context.Background(), 1, protoEcho, req); err != nil {
 			b.Fatal(err)
 		}
 	}

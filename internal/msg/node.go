@@ -1,6 +1,7 @@
 package msg
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -17,8 +18,11 @@ type ProtocolID uint16
 
 // SyncHandler serves a synchronous (request-response) protocol. The
 // returned bytes are sent back to the caller; a non-nil error is
-// propagated to the caller as a call failure.
-type SyncHandler func(from MachineID, request []byte) ([]byte, error)
+// propagated to the caller as a call failure. ctx carries the caller's
+// remaining deadline budget, decoded from the request frame: handlers
+// that block (fan-out calls, trunk scans) should pass it downstream so
+// the budget keeps shrinking across hops.
+type SyncHandler func(ctx context.Context, from MachineID, request []byte) ([]byte, error)
 
 // AsyncHandler serves an asynchronous (one-way) protocol. msg must not be
 // retained after the handler returns. Async handlers run inline on the
@@ -38,9 +42,16 @@ const (
 )
 
 // wire header: kind(1) proto(2) corr(8); batch items: proto(2) len(4).
+// Sync requests carry an extra budget(8) field after the common header:
+// the caller's remaining deadline in relative microseconds (int64,
+// little-endian). Relative because machine clocks are not synchronized;
+// the receiver re-anchors it against its own clock on arrival. Zero
+// means "no deadline"; a negative value is already expired and the
+// receiver drops the request before dispatch.
 const (
-	frameHeader = 11
-	batchItem   = 6
+	frameHeader   = 11
+	syncReqHeader = frameHeader + 8
+	batchItem     = 6
 )
 
 // Stats counts messaging activity. The ratio MessagesSent/FramesSent shows
@@ -54,6 +65,9 @@ type Stats struct {
 	BatchesRecv   int64
 	DroppedFrames int64 // malformed or truncated frames discarded on receive
 	NoHandler     int64 // async messages dead-lettered for want of a handler
+
+	CallsCancelled    int64 // sync calls abandoned because the caller's context fired
+	DeadlineDroppedRx int64 // requests dropped on arrival: caller's budget already spent
 }
 
 // RemoteError is a synchronous-call failure that crossed the wire. Code
@@ -214,6 +228,9 @@ type nodeMetrics struct {
 	droppedFrames *obs.Counter
 	noHandler     *obs.Counter
 	callNs        *obs.Histogram
+
+	callsCancelled    *obs.Counter
+	deadlineDroppedRx *obs.Counter
 }
 
 // destMetrics tracks per-destination traffic: bytes and frames shipped,
@@ -274,6 +291,9 @@ func NewNode(tr Transport, opts Options) *Node {
 			droppedFrames: scope.Counter("dropped_frames"),
 			noHandler:     scope.Counter("no_handler"),
 			callNs:        scope.Histogram("call_ns"),
+
+			callsCancelled:    scope.Counter("calls_cancelled"),
+			deadlineDroppedRx: scope.Counter("deadline_dropped_rx"),
 		},
 	}
 	tr.SetReceiver(n.receive)
@@ -297,6 +317,9 @@ func (n *Node) Stats() Stats {
 		BatchesRecv:   n.metrics.batchesRecv.Load(),
 		DroppedFrames: n.metrics.droppedFrames.Load(),
 		NoHandler:     n.metrics.noHandler.Load(),
+
+		CallsCancelled:    n.metrics.callsCancelled.Load(),
+		DeadlineDroppedRx: n.metrics.deadlineDroppedRx.Load(),
 	}
 }
 
@@ -347,10 +370,33 @@ func (n *Node) HandleAsync(p ProtocolID, h AsyncHandler) {
 }
 
 // Call performs a synchronous request-response exchange, like invoking a
-// local method on a remote machine (the TSL "Syn" protocol type).
-func (n *Node) Call(to MachineID, p ProtocolID, request []byte) ([]byte, error) {
+// local method on a remote machine (the TSL "Syn" protocol type). The
+// caller's remaining budget — min(ctx deadline, CallTimeout), expressed
+// in relative microseconds because peer clocks are not synchronized — is
+// encoded into the request frame so the receiver can drop the request if
+// it arrives already expired and hand the handler a context carrying
+// what is left. Cancelling ctx abandons the wait immediately: the reply,
+// if it ever arrives, is discarded by the correlation table.
+func (n *Node) Call(ctx context.Context, to MachineID, p ProtocolID, request []byte) ([]byte, error) {
 	if n.closed.Load() {
 		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		n.metrics.callsCancelled.Inc()
+		return nil, err
+	}
+	// The wire budget is the caller's deadline capped by CallTimeout: a
+	// context with no deadline still must not pin the remote handler (or
+	// this wait) forever. Zero on the wire means "no deadline", so the
+	// clamp to 1µs keeps a just-expiring budget distinguishable.
+	budget := n.opts.CallTimeout
+	if d, ok := ctx.Deadline(); ok {
+		if until := time.Until(d); until < budget {
+			budget = until
+		}
+	}
+	if budget <= 0 {
+		budget = time.Microsecond
 	}
 	corr := atomic.AddUint64(&n.nextCorr, 1)
 	ch := make(chan callResult, 1)
@@ -363,22 +409,35 @@ func (n *Node) Call(to MachineID, p ProtocolID, request []byte) ([]byte, error) 
 		n.callsMu.Unlock()
 	}()
 
-	frame := make([]byte, frameHeader+len(request))
+	frame := make([]byte, syncReqHeader+len(request))
 	frame[0] = kindSyncReq
 	binary.LittleEndian.PutUint16(frame[1:], uint16(p))
 	binary.LittleEndian.PutUint64(frame[3:], corr)
-	copy(frame[frameHeader:], request)
+	binary.LittleEndian.PutUint64(frame[frameHeader:], uint64(budget.Microseconds()))
+	copy(frame[syncReqHeader:], request)
 	n.metrics.syncCalls.Inc()
 	n.metrics.messagesSent.Inc()
 	start := time.Now()
 	if err := n.sendFrame(to, frame); err != nil {
 		return nil, err
 	}
+	// time.NewTimer + Stop, not time.After: the After timer would survive
+	// until the full CallTimeout even after the reply arrived, leaking one
+	// live timer per call at high call rates (BenchmarkCallTimerChurn
+	// guards this). The timer covers only the CallTimeout cap; the
+	// caller's own (possibly earlier) deadline fires through ctx.Done and
+	// surfaces as ctx.Err, keeping the two failure modes distinguishable.
+	timer := time.NewTimer(n.opts.CallTimeout)
+	defer timer.Stop()
 	select {
 	case res := <-ch:
 		n.metrics.callNs.Observe(int64(time.Since(start)))
 		return res.payload, res.err
-	case <-time.After(n.opts.CallTimeout):
+	case <-ctx.Done():
+		n.metrics.callsCancelled.Inc()
+		n.metrics.callNs.Observe(int64(time.Since(start)))
+		return nil, ctx.Err()
+	case <-timer.C:
 		n.metrics.callNs.Observe(int64(time.Since(start)))
 		return nil, fmt.Errorf("%w: protocol %d to machine %d", ErrTimeout, p, to)
 	}
@@ -531,17 +590,31 @@ func (n *Node) receive(from MachineID, frame []byte) {
 	}
 	switch frame[0] {
 	case kindSyncReq:
-		if len(frame) < frameHeader {
+		if len(frame) < syncReqHeader {
 			n.metrics.droppedFrames.Inc()
 			return
 		}
 		p := ProtocolID(binary.LittleEndian.Uint16(frame[1:]))
 		corr := binary.LittleEndian.Uint64(frame[3:])
+		// Re-anchor the relative budget against the local clock at the
+		// moment of arrival. A non-positive budget means the caller's
+		// deadline was spent in transit (or before send, for hand-crafted
+		// frames): drop before dispatch, visibly. No error reply is owed —
+		// the caller's own context expires at the same moment.
+		budget := int64(binary.LittleEndian.Uint64(frame[frameHeader:]))
+		var deadline time.Time
+		if budget != 0 {
+			if budget < 0 {
+				n.metrics.deadlineDroppedRx.Inc()
+				return
+			}
+			deadline = time.Now().Add(time.Duration(budget) * time.Microsecond)
+		}
 		n.mu.RLock()
 		h := n.sync[p]
 		n.mu.RUnlock()
-		req := append([]byte(nil), frame[frameHeader:]...)
-		go n.serveSync(from, p, corr, h, req)
+		req := append([]byte(nil), frame[syncReqHeader:]...)
+		go n.serveSync(from, p, corr, h, req, deadline)
 	case kindSyncResp, kindSyncErr:
 		if len(frame) < frameHeader {
 			n.metrics.droppedFrames.Inc()
@@ -598,13 +671,26 @@ func (n *Node) receive(from MachineID, frame []byte) {
 	}
 }
 
-func (n *Node) serveSync(from MachineID, p ProtocolID, corr uint64, h SyncHandler, req []byte) {
+func (n *Node) serveSync(from MachineID, p ProtocolID, corr uint64, h SyncHandler, req []byte, deadline time.Time) {
+	ctx := context.Background()
+	if !deadline.IsZero() {
+		// Second expiry check at dispatch time: goroutine scheduling under
+		// load can burn the tail of a small budget between receive and
+		// here. Counted the same as an on-arrival drop.
+		if !time.Now().Before(deadline) {
+			n.metrics.deadlineDroppedRx.Inc()
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
 	var resp []byte
 	var err error
 	if h == nil {
 		err = fmt.Errorf("%w: %d", ErrNoHandler, p)
 	} else {
-		resp, err = h(from, req)
+		resp, err = h(ctx, from, req)
 	}
 	kind := kindSyncResp
 	if err != nil {

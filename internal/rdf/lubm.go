@@ -1,6 +1,7 @@
 package rdf
 
 import (
+	"context"
 	"fmt"
 
 	"trinity/internal/hash"
@@ -61,7 +62,7 @@ func (c *LUBMConfig) fill() {
 // professors teach courses and advise students; students are department
 // members, take courses, and hold degrees from other universities.
 // It returns the number of triples loaded.
-func GenerateLUBM(s *Store, cfg LUBMConfig) (int, error) {
+func GenerateLUBM(ctx context.Context, s *Store, cfg LUBMConfig) (int, error) {
 	cfg.fill()
 	rng := hash.NewRNG(cfg.Seed)
 	b := s.NewBuilder()
@@ -110,7 +111,7 @@ func GenerateLUBM(s *Store, cfg LUBMConfig) (int, error) {
 			}
 		}
 	}
-	return triples, b.Flush()
+	return triples, b.Flush(ctx)
 }
 
 // The four benchmark queries of Figure 14(b), phrased over the generated

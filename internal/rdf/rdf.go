@@ -13,6 +13,7 @@
 package rdf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -104,8 +105,8 @@ func (b *Builder) AddTriple(subjIRI, predIRI, objIRI string) {
 }
 
 // Flush loads the accumulated triples into the memory cloud.
-func (b *Builder) Flush() error {
-	return b.b.Flush(b.s.g)
+func (b *Builder) Flush(ctx context.Context) error {
+	return b.b.Flush(ctx, b.s.g)
 }
 
 // --- SPARQL basic graph patterns ---
@@ -147,7 +148,7 @@ type Binding map[string]uint64
 // Execute answers the query by distributed exploration: bindings are
 // seeded from the most selective pattern and extended pattern by pattern
 // along graph adjacency.
-func (s *Store) Execute(q *Query) ([]Binding, error) {
+func (s *Store) Execute(ctx context.Context, q *Query) ([]Binding, error) {
 	if len(q.Patterns) == 0 {
 		return nil, errors.New("rdf: empty query")
 	}
@@ -162,7 +163,7 @@ func (s *Store) Execute(q *Query) ([]Binding, error) {
 	bindings := []Binding{{}}
 	for _, p := range ordered {
 		var err error
-		bindings, err = s.extend(bindings, p, q.Types)
+		bindings, err = s.extend(ctx, bindings, p, q.Types)
 		if err != nil {
 			return nil, err
 		}
@@ -223,26 +224,29 @@ func planPatterns(ps []TriplePattern) []TriplePattern {
 }
 
 // extend joins one pattern into the binding set.
-func (s *Store) extend(bindings []Binding, p TriplePattern, types map[string]string) ([]Binding, error) {
+func (s *Store) extend(ctx context.Context, bindings []Binding, p TriplePattern, types map[string]string) ([]Binding, error) {
 	pred, ok := s.preds[p.Pred]
 	if !ok {
 		return nil, nil // unknown predicate: no matches
 	}
 	var out []Binding
 	for _, b := range bindings {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sBound, sID := resolveTerm(p.S, b)
 		oBound, oID := resolveTerm(p.O, b)
 		switch {
 		case sBound:
 			// Forward exploration from the subject.
-			err := s.forEachEdge(sID, int64(pred), func(obj uint64) error {
+			err := s.forEachEdge(ctx, sID, int64(pred), func(obj uint64) error {
 				if oBound {
 					if obj == oID {
 						out = append(out, b)
 					}
 					return nil
 				}
-				if !s.typeOK(obj, p.O.Var, types) {
+				if !s.typeOK(ctx, obj, p.O.Var, types) {
 					return nil
 				}
 				nb := cloneBinding(b)
@@ -255,8 +259,8 @@ func (s *Store) extend(bindings []Binding, p TriplePattern, types map[string]str
 			}
 		case oBound:
 			// Backward exploration from the object.
-			err := s.forEachEdge(oID, int64(pred)|reverseBit, func(subj uint64) error {
-				if !s.typeOK(subj, p.S.Var, types) {
+			err := s.forEachEdge(ctx, oID, int64(pred)|reverseBit, func(subj uint64) error {
+				if !s.typeOK(ctx, subj, p.S.Var, types) {
 					return nil
 				}
 				nb := cloneBinding(b)
@@ -277,8 +281,8 @@ func (s *Store) extend(bindings []Binding, p TriplePattern, types map[string]str
 			label := s.types[typeIRI]
 			subjects := s.scanByLabel(label)
 			for _, subj := range subjects {
-				err := s.forEachEdge(subj, int64(pred), func(obj uint64) error {
-					if !s.typeOK(obj, p.O.Var, types) {
+				err := s.forEachEdge(ctx, subj, int64(pred), func(obj uint64) error {
+					if !s.typeOK(ctx, obj, p.O.Var, types) {
 						return nil
 					}
 					nb := cloneBinding(b)
@@ -315,7 +319,7 @@ func cloneBinding(b Binding) Binding {
 }
 
 // typeOK checks a candidate against the variable's type constraint.
-func (s *Store) typeOK(id uint64, varName string, types map[string]string) bool {
+func (s *Store) typeOK(ctx context.Context, id uint64, varName string, types map[string]string) bool {
 	if varName == "" {
 		return true
 	}
@@ -324,13 +328,13 @@ func (s *Store) typeOK(id uint64, varName string, types map[string]string) bool 
 		return true
 	}
 	want := s.types[typeIRI]
-	got, err := s.g.On(0).Label(id)
+	got, err := s.g.On(0).Label(ctx, id)
 	return err == nil && got == want
 }
 
 // forEachEdge streams edges of one node with the given predicate tag,
 // fetching the node wherever it lives.
-func (s *Store) forEachEdge(id uint64, tag int64, fn func(other uint64) error) error {
+func (s *Store) forEachEdge(ctx context.Context, id uint64, tag int64, fn func(other uint64) error) error {
 	m := s.g.On(0)
 	if m.Slave().Owner(id) == m.Slave().ID() {
 		var ferr error
@@ -348,7 +352,7 @@ func (s *Store) forEachEdge(id uint64, tag int64, fn func(other uint64) error) e
 		}
 		return ferr
 	}
-	n, err := m.GetNode(id)
+	n, err := m.GetNode(ctx, id)
 	if err != nil {
 		if errors.Is(err, graph.ErrNoNode) {
 			return nil
@@ -382,6 +386,6 @@ func (s *Store) scanByLabel(label int64) []uint64 {
 }
 
 // Name returns the IRI of an entity id.
-func (s *Store) Name(id uint64) (string, error) {
-	return s.g.On(0).Name(id)
+func (s *Store) Name(ctx context.Context, id uint64) (string, error) {
+	return s.g.On(0).Name(ctx, id)
 }

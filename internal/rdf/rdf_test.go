@@ -1,6 +1,7 @@
 package rdf
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -43,7 +44,7 @@ func smallStore(t testing.TB, machines int) *Store {
 	b.AddTriple("s1", PredMemberOf, "d1")
 	b.AddTriple("s2", PredMemberOf, "d1")
 	b.AddTriple("s1", PredDegreeFrom, "u1")
-	if err := b.Flush(); err != nil {
+	if err := b.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return s
@@ -53,7 +54,7 @@ func names(t *testing.T, s *Store, bindings []Binding, v string) map[string]bool
 	t.Helper()
 	out := map[string]bool{}
 	for _, b := range bindings {
-		name, err := s.Name(b[v])
+		name, err := s.Name(context.Background(), b[v])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func names(t *testing.T, s *Store, bindings []Binding, v string) map[string]bool
 
 func TestConstantObjectLookup(t *testing.T) {
 	s := smallStore(t, 2)
-	res, err := s.Execute(QueryStudentsTakingCourse("c1"))
+	res, err := s.Execute(context.Background(), QueryStudentsTakingCourse("c1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestConstantObjectLookup(t *testing.T) {
 
 func TestTwoPatternJoin(t *testing.T) {
 	s := smallStore(t, 2)
-	res, err := s.Execute(QueryProfessorsOfUniversity("u1"))
+	res, err := s.Execute(context.Background(), QueryProfessorsOfUniversity("u1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestTwoPatternJoin(t *testing.T) {
 
 func TestIntersectionJoin(t *testing.T) {
 	s := smallStore(t, 2)
-	res, err := s.Execute(QueryMembersWithDegreeFrom("d1", "u1"))
+	res, err := s.Execute(context.Background(), QueryMembersWithDegreeFrom("d1", "u1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestIntersectionJoin(t *testing.T) {
 
 func TestChainJoin(t *testing.T) {
 	s := smallStore(t, 2)
-	res, err := s.Execute(QueryStudentsOfTeacher("p1"))
+	res, err := s.Execute(context.Background(), QueryStudentsOfTeacher("p1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestChainJoin(t *testing.T) {
 	if len(got) != 2 || !got["s1"] || !got["s2"] {
 		t.Fatalf("students of p1 = %v", got)
 	}
-	res, err = s.Execute(QueryStudentsOfTeacher("p2"))
+	res, err = s.Execute(context.Background(), QueryStudentsOfTeacher("p2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestChainJoin(t *testing.T) {
 
 func TestNoMatches(t *testing.T) {
 	s := smallStore(t, 2)
-	res, err := s.Execute(QueryStudentsTakingCourse("no-such-course"))
+	res, err := s.Execute(context.Background(), QueryStudentsTakingCourse("no-such-course"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestNoMatches(t *testing.T) {
 		t.Fatalf("matches = %v", res)
 	}
 	// Unknown predicate.
-	res, err = s.Execute(&Query{
+	res, err = s.Execute(context.Background(), &Query{
 		Patterns: []TriplePattern{{S: V("x"), Pred: "ub:never", O: I("c1")}},
 	})
 	if err != nil || len(res) != 0 {
@@ -143,7 +144,7 @@ func TestTypeConstraintFilters(t *testing.T) {
 	// matches students, but a constraint on a wrong type must empty it.
 	q := QueryStudentsTakingCourse("c1")
 	q.Types["x"] = TypeProfessor
-	res, err := s.Execute(q)
+	res, err := s.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,14 +155,14 @@ func TestTypeConstraintFilters(t *testing.T) {
 
 func TestUnboundPatternNeedsType(t *testing.T) {
 	s := smallStore(t, 2)
-	_, err := s.Execute(&Query{
+	_, err := s.Execute(context.Background(), &Query{
 		Patterns: []TriplePattern{{S: V("x"), Pred: PredTakesCourse, O: V("y")}},
 	})
 	if err == nil {
 		t.Fatal("unbound pattern without type constraint accepted")
 	}
 	// With a type constraint it scans.
-	res, err := s.Execute(&Query{
+	res, err := s.Execute(context.Background(), &Query{
 		Patterns: []TriplePattern{{S: V("x"), Pred: PredTakesCourse, O: V("y")}},
 		Types:    map[string]string{"x": TypeStudent},
 	})
@@ -175,7 +176,7 @@ func TestUnboundPatternNeedsType(t *testing.T) {
 
 func TestGenerateLUBMScale(t *testing.T) {
 	s := NewStore(newCloud(t, 4))
-	triples, err := GenerateLUBM(s, LUBMConfig{Universities: 2, Seed: 1})
+	triples, err := GenerateLUBM(context.Background(), s, LUBMConfig{Universities: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestGenerateLUBMScale(t *testing.T) {
 
 func TestLUBMQueriesReturnResults(t *testing.T) {
 	s := NewStore(newCloud(t, 4))
-	if _, err := GenerateLUBM(s, LUBMConfig{Universities: 2, Seed: 1}); err != nil {
+	if _, err := GenerateLUBM(context.Background(), s, LUBMConfig{Universities: 2, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	queries := []*Query{
@@ -203,7 +204,7 @@ func TestLUBMQueriesReturnResults(t *testing.T) {
 		QueryStudentsOfTeacher("http://univ0/dept0/prof0"),
 	}
 	for i, q := range queries {
-		res, err := s.Execute(q)
+		res, err := s.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("Q%d: %v", i, err)
 		}
@@ -219,8 +220,8 @@ func TestLUBMQueriesReturnResults(t *testing.T) {
 				if !ok {
 					continue
 				}
-				if !s.typeOK(id, v, map[string]string{v: typeIRI}) {
-					name, _ := s.Name(id)
+				if !s.typeOK(context.Background(), id, v, map[string]string{v: typeIRI}) {
+					name, _ := s.Name(context.Background(), id)
 					t.Fatalf("Q%d: binding %s=%s violates type %s", i, v, name, typeIRI)
 				}
 			}
@@ -234,10 +235,10 @@ func TestResultsConsistentAcrossMachineCounts(t *testing.T) {
 	counts := map[int]int{}
 	for _, machines := range []int{1, 2, 4} {
 		s := NewStore(newCloud(t, machines))
-		if _, err := GenerateLUBM(s, LUBMConfig{Universities: 1, Seed: 3}); err != nil {
+		if _, err := GenerateLUBM(context.Background(), s, LUBMConfig{Universities: 1, Seed: 3}); err != nil {
 			t.Fatal(err)
 		}
-		res, err := s.Execute(QueryProfessorsOfUniversity("http://univ0"))
+		res, err := s.Execute(context.Background(), QueryProfessorsOfUniversity("http://univ0"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,7 +251,7 @@ func TestResultsConsistentAcrossMachineCounts(t *testing.T) {
 
 func TestEntityNamesRoundTrip(t *testing.T) {
 	s := smallStore(t, 2)
-	name, err := s.Name(EntityID("p1"))
+	name, err := s.Name(context.Background(), EntityID("p1"))
 	if err != nil || !strings.Contains(name, "p1") {
 		t.Fatalf("Name = %q, %v", name, err)
 	}

@@ -253,12 +253,12 @@ func TestGenerateStructure(t *testing.T) {
 		"func (x *Movie) Marshal() []byte",
 		"func (x *Movie) Unmarshal(b []byte) error",
 		"type MovieAccessor struct",
-		"func LoadMovie(s *memcloud.Slave, id uint64) (*Movie, error)",
-		"func (x *Movie) Save(s *memcloud.Slave, id uint64) error",
+		"func LoadMovie(ctx context.Context, s *memcloud.Slave, id uint64) (*Movie, error)",
+		"func (x *Movie) Save(ctx context.Context, s *memcloud.Slave, id uint64) error",
 		"func UseMovie(s *memcloud.Slave, id uint64, fn func(MovieAccessor) error) error",
 		"const EchoID msg.ProtocolID",
-		"func CallEcho(n *msg.Node, to msg.MachineID, req *MyMessage) (*MyMessage, error)",
-		"func RegisterEcho(n *msg.Node, h func(msg.MachineID, *MyMessage) (*MyMessage, error))",
+		"func CallEcho(ctx context.Context, n *msg.Node, to msg.MachineID, req *MyMessage) (*MyMessage, error)",
+		"func RegisterEcho(n *msg.Node, h func(context.Context, msg.MachineID, *MyMessage) (*MyMessage, error))",
 	} {
 		if !strings.Contains(code, want) {
 			t.Errorf("generated code missing %q", want)
