@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,13 +34,26 @@ const (
 	tableFile      = "cluster/addressing-table"
 )
 
+// leaderTombstone is the flag value a stepping-down leader leaves behind:
+// a valid 4-byte encoding that names no machine, so any member may claim
+// it with a CAS without having to prove the previous holder dead.
+const leaderTombstone msg.MachineID = -1
+
+// casCommitAttempts bounds the commit retry loop. Each retry means another
+// writer won the predecessor race; with reconfiguration serialized behind
+// the leader flag plus recMu this is contention between at most two
+// leaders (one deposed), so a handful of rounds is already pathological.
+const casCommitAttempts = 8
+
 // Config configures a cluster member.
 type Config struct {
 	// HeartbeatInterval is how often slaves heartbeat the leader.
 	// Zero means 50ms (scaled down from production seconds).
 	HeartbeatInterval time.Duration
 	// FailureTimeout is how long the leader waits without a heartbeat
-	// before suspecting a machine. Zero means 4x the heartbeat interval.
+	// before suspecting a machine. It also bounds each confirm ping and
+	// the wait for a successor leader. Zero means 4x the heartbeat
+	// interval.
 	FailureTimeout time.Duration
 	// Metrics is the registry the member publishes election, failover and
 	// heartbeat metrics to, under "cluster.m<id>". Nil gives the member a
@@ -78,24 +93,58 @@ type Member struct {
 	table atomic.Pointer[Table]
 	hooks RecoveryHooks
 
+	// recMu serializes all reconfiguration on this member: failure
+	// recovery, join admission, and leader assumption. Two concurrent
+	// confirmAndRecover calls (two machines dying in one detector window,
+	// or a slave report racing the leader's own detector) must not both
+	// reassign from the same table version.
+	recMu sync.Mutex
+
 	mu        sync.Mutex
 	leaderID  msg.MachineID
 	isLeader  bool
 	lastSeen  map[msg.MachineID]time.Time // leader-side heartbeat registry
 	suspected map[msg.MachineID]bool
-	stopCh    chan struct{}
-	stopped   bool
-	wg        sync.WaitGroup
+	// leaderSeen is the slave-side liveness deadline for the leader: the
+	// last time anything proved it alive (a ping reply or a table
+	// broadcast). Heartbeats are one-way sends, and a silent partition
+	// drops frames without erroring — so a slave cannot rely on Send
+	// failures alone to notice a dead or isolated leader.
+	leaderSeen time.Time
+	// electionBackoff pauses further leadership bids after a won flag had
+	// to be handed back (no other member reachable): without it, an
+	// isolated machine that can still reach TFS claims and releases the
+	// flag in a tight loop, starving connected members of the tombstone.
+	electionBackoff time.Time
+	// confirmedDead records machines this leader confirmed unreachable in
+	// its current tenure. A commit that loses its CAS re-diffs the winning
+	// table against this whole set, so a recovery can never resurrect a
+	// machine another in-flight recovery just removed. Cleared on
+	// election (a new tenure starts with fresh knowledge) and on
+	// AnnounceJoin (an admitted machine is alive by definition).
+	confirmedDead map[msg.MachineID]bool
+	stopCh        chan struct{}
+	stopped       bool
+	wg            sync.WaitGroup
+
+	// commitHook, when set, runs after a table commit is persisted to TFS
+	// but before it is applied locally or broadcast. Crash-consistency
+	// test instrumentation only.
+	commitHook atomic.Pointer[func(*Table)]
 
 	// Registry-backed stats; the Stats() accessor keeps the pre-obs
 	// snapshot struct available.
-	recoveries  *obs.Counter
-	tableSyncs  *obs.Counter
-	elections   *obs.Counter
-	failReports *obs.Counter
-	heartbeatNs *obs.Histogram
-	pingRttNs   *obs.Histogram
-	failoverNs  *obs.Histogram
+	recoveries      *obs.Counter
+	tableSyncs      *obs.Counter
+	elections       *obs.Counter
+	failReports     *obs.Counter
+	tableCASRetries *obs.Counter
+	commitErrors    *obs.Counter
+	stepdowns       *obs.Counter
+	concurrentRecov *obs.Counter
+	heartbeatNs     *obs.Histogram
+	pingRttNs       *obs.Histogram
+	failoverNs      *obs.Histogram
 }
 
 // NewMember wires a cluster member onto a messaging node and a shared TFS.
@@ -109,22 +158,28 @@ func NewMember(node *msg.Node, fs *tfs.FS, initial *Table, hooks RecoveryHooks, 
 	}
 	scope := reg.Scope(fmt.Sprintf("cluster.m%d", node.ID()))
 	m := &Member{
-		id:        node.ID(),
-		node:      node,
-		fs:        fs,
-		cfg:       cfg,
-		hooks:     hooks,
-		lastSeen:  make(map[msg.MachineID]time.Time),
-		suspected: make(map[msg.MachineID]bool),
-		stopCh:    make(chan struct{}),
+		id:            node.ID(),
+		node:          node,
+		fs:            fs,
+		cfg:           cfg,
+		hooks:         hooks,
+		lastSeen:      make(map[msg.MachineID]time.Time),
+		suspected:     make(map[msg.MachineID]bool),
+		confirmedDead: make(map[msg.MachineID]bool),
+		leaderSeen:    time.Now(),
+		stopCh:        make(chan struct{}),
 
-		recoveries:  scope.Counter("recoveries"),
-		tableSyncs:  scope.Counter("table_syncs"),
-		elections:   scope.Counter("elections"),
-		failReports: scope.Counter("failure_reports"),
-		heartbeatNs: scope.Histogram("heartbeat_ns"),
-		pingRttNs:   scope.Histogram("ping_rtt_ns"),
-		failoverNs:  scope.Histogram("failover_ns"),
+		recoveries:      scope.Counter("recoveries"),
+		tableSyncs:      scope.Counter("table_syncs"),
+		elections:       scope.Counter("elections"),
+		failReports:     scope.Counter("failure_reports"),
+		tableCASRetries: scope.Counter("table_cas_retries"),
+		commitErrors:    scope.Counter("commit_errors"),
+		stepdowns:       scope.Counter("stepdowns"),
+		concurrentRecov: scope.Counter("concurrent_recoveries"),
+		heartbeatNs:     scope.Histogram("heartbeat_ns"),
+		pingRttNs:       scope.Histogram("ping_rtt_ns"),
+		failoverNs:      scope.Histogram("failover_ns"),
 	}
 	m.table.Store(initial)
 	node.HandleAsync(protoHeartbeat, m.onHeartbeat)
@@ -167,27 +222,50 @@ func (m *Member) IsLeader() bool {
 }
 
 // Leader returns the member's current belief about the leader's identity.
+// It is leaderTombstone (-1) while the member knows of no leader (the old
+// one stepped down and no successor has claimed the flag yet).
 func (m *Member) Leader() msg.MachineID {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.leaderID
 }
 
+// SetCommitHook installs fn to run after a table commit has been persisted
+// to TFS but before it is applied locally or broadcast — the §6.2
+// "mid-commit" window. Crash-consistency tests use it to kill or isolate a
+// leader between the persistent-replica write and the broadcast. A nil fn
+// removes the hook. Not for production use.
+func (m *Member) SetCommitHook(fn func(*Table)) {
+	if fn == nil {
+		m.commitHook.Store(nil)
+		return
+	}
+	m.commitHook.Store(&fn)
+}
+
 // Stats reports cluster activity counters for tests and dashboards.
 type Stats struct {
-	Recoveries     int64
-	TableSyncs     int64
-	Elections      int64
-	FailureReports int64
+	Recoveries           int64
+	TableSyncs           int64
+	Elections            int64
+	FailureReports       int64
+	TableCASRetries      int64
+	CommitErrors         int64
+	Stepdowns            int64
+	ConcurrentRecoveries int64
 }
 
 // Stats returns a snapshot of the member's counters.
 func (m *Member) Stats() Stats {
 	return Stats{
-		Recoveries:     m.recoveries.Load(),
-		TableSyncs:     m.tableSyncs.Load(),
-		Elections:      m.elections.Load(),
-		FailureReports: m.failReports.Load(),
+		Recoveries:           m.recoveries.Load(),
+		TableSyncs:           m.tableSyncs.Load(),
+		Elections:            m.elections.Load(),
+		FailureReports:       m.failReports.Load(),
+		TableCASRetries:      m.tableCASRetries.Load(),
+		CommitErrors:         m.commitErrors.Load(),
+		Stepdowns:            m.stepdowns.Load(),
+		ConcurrentRecoveries: m.concurrentRecov.Load(),
 	}
 }
 
@@ -198,40 +276,177 @@ func encodeID(id msg.MachineID) []byte {
 	return b[:]
 }
 
-// tryBecomeLeader attempts to claim the TFS leader flag. old is the flag
-// value we believe is current (nil at bootstrap). On success the member
-// persists the primary table replica and assumes leader duties; on CAS
-// failure it records the actual leader from the flag file.
-func (m *Member) tryBecomeLeader(old []byte) {
-	err := m.fs.CompareAndSwap(leaderFlagFile, old, encodeID(m.id))
-	if err == nil {
-		m.mu.Lock()
-		m.isLeader = true
-		m.leaderID = m.id
-		// Seed the failure detector with every known machine so one that
-		// dies before its first heartbeat is still noticed.
-		now := time.Now()
-		for _, id := range m.Table().Machines() {
-			if id != m.id {
-				if _, ok := m.lastSeen[id]; !ok {
-					m.lastSeen[id] = now
-				}
-			}
+// decodeID parses a 4-byte leader flag value.
+func decodeID(b []byte) msg.MachineID {
+	return msg.MachineID(int32(binary.LittleEndian.Uint32(b)))
+}
+
+// probeReachable reports whether at least one other machine in the
+// current table answers a bounded ping. A cluster of one is trivially
+// reachable. Pings run concurrently and the first success wins, so the
+// common case costs one round trip, not FailureTimeout.
+func (m *Member) probeReachable() bool {
+	var others []msg.MachineID
+	for _, id := range m.Table().Machines() {
+		if id != m.id {
+			others = append(others, id)
 		}
+	}
+	if len(others) == 0 {
+		return true
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.FailureTimeout)
+	defer cancel()
+	results := make(chan bool, len(others))
+	for _, id := range others {
+		id := id
+		go func() {
+			_, err := m.ping(ctx, id)
+			results <- err == nil
+		}()
+	}
+	for range others {
+		if <-results {
+			return true
+		}
+	}
+	return false
+}
+
+// tryBecomeLeader attempts to claim the TFS leader flag. old is the flag
+// value we believe is current (nil at bootstrap). Winning the flag is not
+// enough to lead: the §6.2 invariant — "an update to the primary table
+// must be applied to the persistent replica before committing" — requires
+// the persistent replica to be reconciled first, so a winner that cannot
+// persist steps down again instead of silently leading with a stale
+// primary replica. On CAS failure the member records the actual leader
+// from the flag, claiming vacant or tombstoned flags as it goes.
+func (m *Member) tryBecomeLeader(old []byte) {
+	// Fence before bidding: TFS reachability alone is not proof we can
+	// lead — a network-isolated machine can still reach the in-process
+	// store, and letting it claim the flag would repeatedly depose the
+	// connected leader (checkDeposed) without ever serving anyone. Prove
+	// at least one other cluster member answers before touching the flag,
+	// and back off on failure so the probe does not run every tick.
+	if !m.probeReachable() {
+		m.mu.Lock()
+		m.electionBackoff = time.Now().Add(2 * m.cfg.FailureTimeout)
 		m.mu.Unlock()
-		m.elections.Inc()
-		// Persist the primary replica before acting as leader (§6.2: "An
-		// update to the primary table must be applied to the persistent
-		// replica before committing").
-		m.fs.WriteFile(tableFile, m.Table().Encode())
 		return
 	}
-	if flag, rerr := m.fs.ReadFile(leaderFlagFile); rerr == nil && len(flag) == 4 {
-		m.mu.Lock()
-		m.leaderID = msg.MachineID(int32(binary.LittleEndian.Uint32(flag)))
-		m.isLeader = m.leaderID == m.id
-		m.mu.Unlock()
+	for {
+		err := m.fs.CompareAndSwap(leaderFlagFile, old, encodeID(m.id))
+		if err == nil {
+			break // flag claimed; assume duties below
+		}
+		var cas *tfs.CASError
+		if !errors.As(err, &cas) {
+			return // TFS trouble: remain a follower
+		}
+		if cas.Current == nil && old != nil {
+			old = nil // flag vacant: claim it unconditionally
+			continue
+		}
+		if len(cas.Current) != 4 {
+			return // unreadable flag: remain a follower
+		}
+		holder := decodeID(cas.Current)
+		switch {
+		case holder == m.id:
+			// The flag already names us (an earlier step-down failed to
+			// tombstone it). Re-run the assumption protocol below.
+		case holder == leaderTombstone && !bytes.Equal(old, cas.Current):
+			// The previous leader stepped down cleanly; claim the
+			// tombstone.
+			old = cas.Current
+			continue
+		default:
+			m.mu.Lock()
+			m.leaderID = holder
+			m.leaderSeen = time.Now()
+			m.isLeader = false
+			m.mu.Unlock()
+			return
+		}
+		break
 	}
+
+	// We hold the flag. Serialize with any in-flight reconfiguration,
+	// reconcile the persistent primary replica, then assume duties.
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	if err := m.adoptPersistedTable(); err != nil {
+		m.commitErrors.Inc()
+		m.stepDown()
+		return
+	}
+	m.mu.Lock()
+	m.isLeader = true
+	m.leaderID = m.id
+	// Re-seed the failure detector from scratch: lastSeen entries carried
+	// over from a previous tenure would expire every machine instantly,
+	// and a stale confirmedDead set would evict machines re-admitted
+	// while we were a follower.
+	now := time.Now()
+	m.lastSeen = make(map[msg.MachineID]time.Time)
+	m.suspected = make(map[msg.MachineID]bool)
+	m.confirmedDead = make(map[msg.MachineID]bool)
+	for _, id := range m.Table().Machines() {
+		if id != m.id {
+			m.lastSeen[id] = now
+		}
+	}
+	m.mu.Unlock()
+	m.elections.Inc()
+}
+
+// adoptPersistedTable reconciles the in-memory replica with the persistent
+// primary on TFS during leader assumption: a newer persisted table (e.g.
+// one committed by the previous leader just before dying) is adopted
+// locally — firing recovery hooks for any trunks it assigns us — while an
+// older or missing one is overwritten with our replica via CAS so a
+// concurrent writer is never clobbered. Called with recMu held.
+func (m *Member) adoptPersistedTable() error {
+	for attempt := 0; attempt < casCommitAttempts; attempt++ {
+		cur, err := m.fs.ReadFile(tableFile)
+		if err != nil && !errors.Is(err, tfs.ErrNotExist) {
+			return err
+		}
+		if err == nil {
+			if pt, derr := DecodeTable(cur); derr == nil && pt.Version >= m.Table().Version {
+				m.applyTable(pt)
+				return nil
+			}
+			// Older or corrupt primary: replace it with our replica.
+		} else {
+			cur = nil // file absent: create it
+		}
+		cerr := m.fs.CompareAndSwap(tableFile, cur, m.Table().Encode())
+		if cerr == nil {
+			return nil
+		}
+		if !errors.Is(cerr, tfs.ErrCASMismatch) {
+			return cerr
+		}
+		// Lost a write race; re-read and reconcile again.
+	}
+	return errors.New("cluster: could not reconcile persistent table replica")
+}
+
+// stepDown abandons leader duties after a persistence failure: local state
+// stops claiming leadership first, then the flag is tombstoned (CAS from
+// our id) so the next election can proceed without anyone having to prove
+// us dead. If even the tombstone write fails the flag still names us, but
+// isLeader is already false — we refuse leader duties, and a later
+// election attempt (ours via the heartbeat loop, or a peer's deposition
+// CAS) resolves the flag.
+func (m *Member) stepDown() {
+	m.stepdowns.Inc()
+	m.mu.Lock()
+	m.isLeader = false
+	m.leaderID = leaderTombstone
+	m.mu.Unlock()
+	_ = m.fs.CompareAndSwap(leaderFlagFile, encodeID(m.id), encodeID(leaderTombstone))
 }
 
 func (m *Member) heartbeatLoop() {
@@ -246,9 +461,31 @@ func (m *Member) heartbeatLoop() {
 			m.mu.Lock()
 			leader := m.leaderID
 			isLeader := m.isLeader
+			sinceSeen := time.Since(m.leaderSeen)
+			backingOff := time.Now().Before(m.electionBackoff)
 			m.mu.Unlock()
+			leaderStale := sinceSeen > m.cfg.FailureTimeout
+			// Usurping on one failed ping would replace a leader that is
+			// merely slow under load; demand sustained silence first.
+			leaderExpired := sinceSeen > 3*m.cfg.FailureTimeout
 			if isLeader {
+				// Lease check: a leader that lost the flag (a successor
+				// claimed it while we were partitioned) must find out even
+				// when it has no commit in flight — commitTable's own
+				// checkDeposed only runs when the detector fires. This
+				// bounds the dual-leader window to about one tick.
+				if m.checkDeposed() {
+					continue
+				}
 				m.checkHeartbeats()
+				continue
+			}
+			if leader == leaderTombstone || leader == m.id {
+				// No leader (step-down tombstone, or a flag that names us
+				// without duties assumed): run for the vacancy.
+				if !backingOff {
+					m.tryBecomeLeader(encodeID(leaderTombstone))
+				}
 				continue
 			}
 			start := time.Now()
@@ -259,9 +496,26 @@ func (m *Member) heartbeatLoop() {
 				err = m.node.Flush()
 			}
 			m.heartbeatNs.Observe(int64(time.Since(start)))
-			if err != nil {
-				// Confirm before racing to replace the leader.
-				if _, perr := m.ping(context.Background(), leader); perr != nil {
+			if err != nil || leaderStale {
+				// Confirm with a bounded ping before racing to replace
+				// the leader. The staleness check matters as much as the
+				// Send error: a silently partitioned leader drops our
+				// one-way heartbeats without erroring, so the only proof
+				// of life is a round trip. context.Background() here
+				// would let a one-way cut stall this loop for a full
+				// CallTimeout.
+				ctx, cancel := context.WithTimeout(context.Background(), m.cfg.FailureTimeout)
+				_, perr := m.ping(ctx, leader)
+				cancel()
+				switch {
+				case perr == nil:
+					m.mu.Lock()
+					m.leaderSeen = time.Now()
+					m.mu.Unlock()
+				case (err != nil || leaderExpired) && !backingOff:
+					// A hard send error (closed endpoint) or sustained
+					// silence: replace the leader. A single timed-out
+					// ping on an otherwise quiet link is not enough.
 					m.tryBecomeLeader(encodeID(leader))
 				}
 			}
@@ -277,20 +531,48 @@ func (m *Member) onHeartbeat(from msg.MachineID, _ []byte) {
 	m.mu.Unlock()
 }
 
-// checkHeartbeats is the leader's proactive failure detector.
+// checkHeartbeats is the leader's proactive failure detector. Suspects
+// are confirmed concurrently, each ping bounded by FailureTimeout, so one
+// unresponsive peer (e.g. behind a one-way cut that swallows our ping but
+// not its heartbeats) cannot stall the ticker for a full CallTimeout and
+// cascade false positives onto machines that are merely late.
 func (m *Member) checkHeartbeats() {
 	now := time.Now()
 	var expired []msg.MachineID
 	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
 	for id, seen := range m.lastSeen {
 		if now.Sub(seen) > m.cfg.FailureTimeout && !m.suspected[id] {
 			m.suspected[id] = true
 			expired = append(expired, id)
 		}
 	}
+	// Re-drive recoveries whose commit did not land: a confirmed-dead
+	// machine still owning trunks means the reassignment failed (CAS
+	// exhaustion, a transient no-survivors window, a TFS error) and
+	// nothing else will retry it — the machine is gone from lastSeen, so
+	// it can never expire again. suspected doubles as the in-flight
+	// marker so each tick spawns at most one recovery per machine.
+	cur := m.Table()
+	for id := range m.confirmedDead {
+		if !m.suspected[id] && len(cur.TrunksOf(id)) > 0 {
+			m.suspected[id] = true
+			expired = append(expired, id)
+		}
+	}
 	m.mu.Unlock()
 	for _, id := range expired {
-		m.confirmAndRecover(context.Background(), id)
+		id := id
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), m.cfg.FailureTimeout)
+			defer cancel()
+			m.confirmAndRecover(ctx, id)
+		}()
 	}
 }
 
@@ -305,7 +587,7 @@ func (m *Member) onReportFailure(ctx context.Context, _ msg.MachineID, req []byt
 		return nil, errors.New("cluster: bad failure report")
 	}
 	m.failReports.Inc()
-	suspect := msg.MachineID(int32(binary.LittleEndian.Uint32(req)))
+	suspect := decodeID(req)
 	m.confirmAndRecover(ctx, suspect)
 	return []byte{1}, nil
 }
@@ -321,38 +603,95 @@ func (m *Member) ping(ctx context.Context, target msg.MachineID) ([]byte, error)
 }
 
 // confirmAndRecover pings the suspect and, if it is unreachable, runs the
-// recovery protocol: reassign its trunks, persist the table, broadcast.
-// The elapsed time from confirmed suspicion to the committed table is the
-// paper's failover latency; it lands in cluster.m<id>.failover_ns.
+// recovery protocol under the recovery mutex: mark the suspect confirmed
+// dead, rebuild the table away from every confirmed-dead machine, and
+// commit the result with a CAS on the encoded predecessor. The elapsed
+// time from confirmed suspicion to the committed table is the paper's
+// failover latency; it lands in cluster.m<id>.failover_ns.
 func (m *Member) confirmAndRecover(ctx context.Context, suspect msg.MachineID) {
-	if suspect == m.id {
+	if suspect == m.id || !m.IsLeader() {
+		m.mu.Lock()
+		delete(m.suspected, suspect) // release the in-flight marker
+		m.mu.Unlock()
 		return
 	}
-	if _, err := m.ping(ctx, suspect); err == nil {
-		return // false alarm
+	pctx, cancel := context.WithTimeout(ctx, m.cfg.FailureTimeout)
+	_, perr := m.ping(pctx, suspect)
+	cancel()
+	if perr == nil {
+		m.mu.Lock()
+		delete(m.suspected, suspect) // false alarm
+		m.mu.Unlock()
+		return
 	}
 	failStart := time.Now()
+	if !m.recMu.TryLock() {
+		// Another reconfiguration is in flight (two machines dying in the
+		// same detector window, or a slave report racing our own
+		// detector). Serialize behind it; the rebuild below re-diffs
+		// against whatever table it committed.
+		m.concurrentRecov.Inc()
+		m.recMu.Lock()
+	}
+	defer m.recMu.Unlock()
+	if !m.IsLeader() {
+		m.mu.Lock()
+		delete(m.suspected, suspect)
+		m.mu.Unlock()
+		return // deposed while waiting for the recovery mutex
+	}
 	m.mu.Lock()
 	delete(m.lastSeen, suspect)
+	delete(m.suspected, suspect)
+	m.confirmedDead[suspect] = true
 	m.mu.Unlock()
-
-	old := m.Table()
-	survivors := make([]msg.MachineID, 0, len(old.Machines()))
-	for _, mm := range old.Machines() {
-		if mm != suspect {
-			survivors = append(survivors, mm)
-		}
-	}
-	nt, err := old.Reassign(suspect, survivors)
-	if err != nil {
+	committed, err := m.commitTable(m.reassignDead)
+	if err != nil || !committed {
 		return
 	}
-	if len(Diff(old, nt, suspect)) == 0 && len(old.TrunksOf(suspect)) == 0 {
-		return // nothing owned by the suspect
-	}
-	m.commitTable(nt)
 	m.recoveries.Inc()
 	m.failoverNs.Observe(int64(time.Since(failStart)))
+}
+
+// reassignDead rebuilds cur with every trunk owned by a confirmed-dead
+// machine redistributed across the survivors; nil when every trunk
+// already lives on a survivor.
+func (m *Member) reassignDead(cur *Table) (*Table, error) {
+	m.mu.Lock()
+	dead := make(map[msg.MachineID]bool, len(m.confirmedDead))
+	for id := range m.confirmedDead {
+		dead[id] = true
+	}
+	heartbeating := map[msg.MachineID]bool{m.id: true}
+	for id := range m.lastSeen {
+		if !dead[id] {
+			heartbeating[id] = true
+		}
+	}
+	m.mu.Unlock()
+	if len(dead) == 0 {
+		return nil, nil
+	}
+	// Survivors are the table's live owners: a machine an earlier commit
+	// already evicted stays evicted, even if the detector has not yet
+	// noticed its death. But after a deposed leader hoarded trunks (its
+	// isolated detector "confirmed" everyone dead and reassigned to
+	// itself), the adopted table's owner set can be exactly the dead
+	// ex-leader — then membership must come from heartbeats plus
+	// ourselves, or recovery would find no survivors and wedge.
+	var survivors []msg.MachineID
+	for _, id := range cur.Machines() {
+		if !dead[id] {
+			survivors = append(survivors, id)
+		}
+	}
+	if len(survivors) == 0 {
+		for id := range heartbeating {
+			survivors = append(survivors, id)
+		}
+		sort.Slice(survivors, func(i, j int) bool { return survivors[i] < survivors[j] })
+	}
+	return cur.ReassignSet(dead, survivors)
 }
 
 // AnnounceJoin adds a new machine to the cluster (leader only): some
@@ -361,20 +700,114 @@ func (m *Member) AnnounceJoin(joined msg.MachineID) error {
 	if !m.IsLeader() {
 		return errors.New("cluster: only the leader admits machines")
 	}
-	nt, moved := m.Table().Rebalance(joined)
-	if len(moved) == 0 {
-		return nil
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	if !m.IsLeader() {
+		return errors.New("cluster: deposed before admitting the machine")
 	}
-	m.commitTable(nt)
-	return nil
+	m.mu.Lock()
+	// An admitted machine is alive by definition; forget any stale death
+	// verdict and start monitoring it even before its first heartbeat.
+	delete(m.confirmedDead, joined)
+	m.lastSeen[joined] = time.Now()
+	m.mu.Unlock()
+	_, err := m.commitTable(func(cur *Table) (*Table, error) {
+		nt, moved := cur.Rebalance(joined)
+		if len(moved) == 0 {
+			return nil, nil
+		}
+		return nt, nil
+	})
+	return err
 }
 
-// commitTable persists a new table to TFS (primary replica first), applies
-// it locally, and broadcasts it to every machine in the table.
-func (m *Member) commitTable(nt *Table) {
-	m.fs.WriteFile(tableFile, nt.Encode())
-	m.applyTable(nt)
-	payload := nt.Encode()
+// commitTable serializes one reconfiguration into the table chain:
+// rebuild derives the successor of the current table (nil meaning nothing
+// left to do), and the successor is committed to TFS with a CAS on the
+// encoded predecessor, so a stale or deposed leader can never clobber a
+// newer table. Only after the persistent replica holds the new version is
+// it applied locally and broadcast (§6.2: "an update to the primary table
+// must be applied to the persistent replica before committing"). On CAS
+// failure the winning table is adopted and the rebuild re-run against it;
+// on a persistence error nothing is applied or broadcast. Called with
+// recMu held.
+func (m *Member) commitTable(rebuild func(*Table) (*Table, error)) (bool, error) {
+	cur := m.Table()
+	prev := cur.Encode()
+	for attempt := 0; attempt < casCommitAttempts; attempt++ {
+		if m.checkDeposed() {
+			return false, errors.New("cluster: deposed mid-commit")
+		}
+		nt, err := rebuild(cur)
+		if err != nil {
+			return false, err
+		}
+		if nt == nil {
+			return false, nil
+		}
+		enc := nt.Encode()
+		err = m.fs.CompareAndSwap(tableFile, prev, enc)
+		var cas *tfs.CASError
+		switch {
+		case err == nil:
+			if hook := m.commitHook.Load(); hook != nil {
+				(*hook)(nt)
+			}
+			m.applyTable(nt)
+			m.broadcastTable(nt, enc)
+			return true, nil
+		case errors.As(err, &cas):
+			m.tableCASRetries.Inc()
+			if cas.Current == nil {
+				// The primary replica has never been persisted (or was
+				// deleted); create it from our predecessor.
+				prev = nil
+				continue
+			}
+			live, derr := DecodeTable(cas.Current)
+			if derr != nil {
+				m.commitErrors.Inc()
+				return false, derr
+			}
+			// Another writer committed first: adopt its table and re-diff
+			// the reconfiguration against it.
+			m.applyTable(live)
+			cur, prev = live, cas.Current
+		default:
+			m.commitErrors.Inc()
+			return false, err
+		}
+	}
+	return false, errors.New("cluster: table commit lost too many CAS races")
+}
+
+// checkDeposed re-reads the leader flag before a commit attempt: a leader
+// that has been deposed (a successor claimed the flag while we were
+// partitioned from the cluster but not from TFS) must abort
+// reconfiguration and become a follower, not duel the successor's commit
+// chain — two leaders re-diffing against each other's tables would
+// otherwise ping-pong commits forever. An unreadable flag does not depose:
+// the table CAS itself still arbitrates. Called with recMu held.
+func (m *Member) checkDeposed() bool {
+	flag, err := m.fs.ReadFile(leaderFlagFile)
+	if err != nil || len(flag) != 4 {
+		return false
+	}
+	holder := decodeID(flag)
+	if holder == m.id {
+		return false
+	}
+	m.stepdowns.Inc()
+	m.mu.Lock()
+	m.isLeader = false
+	m.leaderID = holder
+	m.leaderSeen = time.Now()
+	m.mu.Unlock()
+	return true
+}
+
+// broadcastTable ships a committed table to every machine in it.
+func (m *Member) broadcastTable(nt *Table, payload []byte) {
 	for _, dst := range nt.Machines() {
 		if dst == m.id {
 			continue
@@ -388,12 +821,19 @@ func (m *Member) commitTable(nt *Table) {
 	m.node.Flush()
 }
 
-// onTableUpdate installs a broadcast table (slave side).
-func (m *Member) onTableUpdate(_ msg.MachineID, payload []byte) {
+// onTableUpdate installs a broadcast table (slave side). A broadcast is
+// proof of life for its sender: only the machine that won the table CAS
+// ships one, so hearing it refreshes the leader liveness deadline.
+func (m *Member) onTableUpdate(from msg.MachineID, payload []byte) {
 	nt, err := DecodeTable(payload)
 	if err != nil {
 		return
 	}
+	m.mu.Lock()
+	if from == m.leaderID {
+		m.leaderSeen = time.Now()
+	}
+	m.mu.Unlock()
 	m.applyTable(nt)
 }
 
@@ -443,20 +883,81 @@ func (m *Member) ReportFailure(ctx context.Context, b msg.MachineID) error {
 		return nil
 	}
 	leader := m.Leader()
-	_, err := m.node.Call(ctx, leader, protoReportFail, encodeID(b))
-	if err != nil {
+	if leader != leaderTombstone && leader != m.id {
+		_, err := m.node.Call(ctx, leader, protoReportFail, encodeID(b))
+		if err == nil {
+			return nil
+		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		// The leader itself is down; elect and retry once.
-		m.tryBecomeLeader(encodeID(leader))
+	}
+	// The leader itself is unreachable (or unknown); elect and retry.
+	m.tryBecomeLeader(encodeID(leader))
+	if m.IsLeader() {
+		m.confirmAndRecover(ctx, b)
+		return nil
+	}
+	// We lost the election. Our local belief was just refreshed from the
+	// flag, but it can still name the dead leader if our CAS raced the
+	// winner's: re-read the authoritative flag until a successor appears,
+	// capped by the caller's ctx and FailureTimeout.
+	next, err := m.awaitNewLeader(ctx, leader)
+	if err != nil {
+		return err
+	}
+	if next == m.id {
 		if m.IsLeader() {
 			m.confirmAndRecover(ctx, b)
 			return nil
 		}
-		_, err = m.node.Call(ctx, m.Leader(), protoReportFail, encodeID(b))
+		return errors.New("cluster: flag names this member but leadership was not assumed")
 	}
+	_, err = m.node.Call(ctx, next, protoReportFail, encodeID(b))
 	return err
+}
+
+// awaitNewLeader polls the leader flag on TFS until it names a successor —
+// a valid machine other than the deposed leader — or the caller's ctx
+// (capped by FailureTimeout) runs out. Re-reading the flag, rather than
+// trusting m.Leader(), is what makes the retry safe: the local belief is
+// updated only by our own election attempts and can still point at the
+// dead machine.
+func (m *Member) awaitNewLeader(ctx context.Context, dead msg.MachineID) (msg.MachineID, error) {
+	deadline := time.Now().Add(m.cfg.FailureTimeout)
+	pause := m.cfg.HeartbeatInterval / 4
+	if pause <= 0 {
+		pause = time.Millisecond
+	}
+	for {
+		if flag, err := m.fs.ReadFile(leaderFlagFile); err == nil && len(flag) == 4 {
+			if id := decodeID(flag); id != leaderTombstone && id != dead {
+				if id != m.id {
+					m.mu.Lock()
+					m.leaderID = id
+					m.leaderSeen = time.Now()
+					m.mu.Unlock()
+				}
+				return id, nil
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return leaderTombstone, err
+		}
+		if time.Now().After(deadline) {
+			return leaderTombstone, errors.New("cluster: no successor leader appeared")
+		}
+		timer := time.NewTimer(pause)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return leaderTombstone, ctx.Err()
+		case <-m.stopCh:
+			timer.Stop()
+			return leaderTombstone, errors.New("cluster: member stopped")
+		case <-timer.C:
+		}
+	}
 }
 
 // RefreshTable syncs this member's replica with the primary addressing

@@ -94,6 +94,33 @@ func (t *Table) Reassign(failed msg.MachineID, survivors []msg.MachineID) (*Tabl
 	return nt, nil
 }
 
+// ReassignSet returns a new table (version+1) in which every slot owned
+// by a dead machine is redistributed round-robin across survivors. It is
+// the multi-failure generalization of Reassign, used when a recovery
+// retries after losing a table-commit CAS: the winning table may already
+// exclude some of the dead set, so the rebuild must diff against every
+// confirmed-dead machine at once. It returns nil (no error) when no slot
+// is owned by a dead machine — nothing to commit.
+func (t *Table) ReassignSet(dead map[msg.MachineID]bool, survivors []msg.MachineID) (*Table, error) {
+	if len(survivors) == 0 {
+		return nil, errors.New("cluster: no survivors to reassign to")
+	}
+	nt := &Table{Version: t.Version + 1, P: t.P, Slots: make([]msg.MachineID, len(t.Slots))}
+	copy(nt.Slots, t.Slots)
+	j, moved := 0, 0
+	for i, owner := range nt.Slots {
+		if dead[owner] {
+			nt.Slots[i] = survivors[j%len(survivors)]
+			j++
+			moved++
+		}
+	}
+	if moved == 0 {
+		return nil, nil
+	}
+	return nt, nil
+}
+
 // Rebalance returns a new table (version+1) in which roughly an equal
 // share of trunks is moved onto the newly joined machine, implementing
 // "when new machines join the memory cloud, we relocate some memory trunks

@@ -54,8 +54,10 @@ type Client interface {
 	LocalGet(key uint64) (val []byte, ok bool, err error)
 	// RefreshTable re-reads the addressing table (§6.2 step 2).
 	RefreshTable(ctx context.Context)
-	// ReportFailure tells the leader machine m is unreachable (§6.2 step 1).
-	ReportFailure(ctx context.Context, m msg.MachineID)
+	// ReportFailure tells the leader machine m is unreachable (§6.2
+	// step 1). The error only says whether a leader acknowledged the
+	// report; the pipeline retries through table refreshes either way.
+	ReportFailure(ctx context.Context, m msg.MachineID) error
 }
 
 // Options tune the pipeline. Zero values select the defaults.
@@ -425,7 +427,9 @@ func (f *Fetcher) deliver(batch []*entry, results []memcloud.MultiGetResult) {
 func (f *Fetcher) transportFailed(m msg.MachineID, batch []*entry, err error) {
 	f.errorsCtr.Add(1)
 	if errors.Is(err, msg.ErrUnreachable) || errors.Is(err, msg.ErrTimeout) {
-		f.c.ReportFailure(context.Background(), m)
+		// Fire-and-forget: per-key retries below go through a table
+		// refresh, which re-routes whether or not a leader acked this.
+		_ = f.c.ReportFailure(context.Background(), m)
 	}
 	var retry []*entry
 	for _, e := range batch {

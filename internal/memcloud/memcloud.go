@@ -534,9 +534,12 @@ func (s *Slave) RefreshTable(ctx context.Context) { _ = s.member.RefreshTable(ct
 
 // ReportFailure reports machine m as unreachable to the leader (§6.2
 // step 1), which will eventually publish a table that reassigns m's
-// trunks to survivors.
-func (s *Slave) ReportFailure(ctx context.Context, m msg.MachineID) {
-	_ = s.member.ReportFailure(ctx, m)
+// trunks to survivors. A nil return means recovery has run (on the leader
+// or on this member after winning the vacated flag); an error means no
+// reachable leader acknowledged the report and the caller should retry
+// after its next table refresh.
+func (s *Slave) ReportFailure(ctx context.Context, m msg.MachineID) error {
+	return s.member.ReportFailure(ctx, m)
 }
 
 // localTrunk returns the local trunk for the number, or nil.

@@ -66,8 +66,8 @@ func (p *Proxy) RefreshTable(ctx context.Context) { p.cloud.slaves[0].RefreshTab
 
 // ReportFailure reports machine m as unreachable through the proxy's
 // table source.
-func (p *Proxy) ReportFailure(ctx context.Context, m msg.MachineID) {
-	p.cloud.slaves[0].ReportFailure(ctx, m)
+func (p *Proxy) ReportFailure(ctx context.Context, m msg.MachineID) error {
+	return p.cloud.slaves[0].ReportFailure(ctx, m)
 }
 
 // LocalGet never serves a read locally: a proxy "only handles messages

@@ -302,23 +302,42 @@ func (fs *FS) List(prefix string) []string {
 	return names
 }
 
+// CASError is the failure surface of CompareAndSwap: it satisfies
+// errors.Is(err, ErrCASMismatch) and carries the file's actual contents at
+// decision time, so a caller that lost the race can re-diff against the
+// winning value without a second read (which could itself race a later
+// writer). Current is nil when the file did not exist.
+type CASError struct {
+	// Current is the file's contents at the moment the swap was refused;
+	// nil means the file did not exist.
+	Current []byte
+}
+
+func (e *CASError) Error() string {
+	if e.Current == nil {
+		return "tfs: compare-and-swap mismatch (file does not exist)"
+	}
+	return "tfs: compare-and-swap mismatch"
+}
+
+// Is makes errors.Is(err, ErrCASMismatch) hold for every CASError.
+func (e *CASError) Is(target error) bool { return target == ErrCASMismatch }
+
 // CompareAndSwap atomically replaces the file's contents with new if the
 // current contents equal old. A nil old means "the file must not exist".
 // This is the primitive behind leader election: "the new leader marks a
 // flag on the shared distributed fault-tolerant file system to avoid
-// multiple leaders" (§6.2).
+// multiple leaders" (§6.2). A mismatch is reported as a *CASError carrying
+// the current contents; read failures (lost replicas) surface as-is.
 func (fs *FS) CompareAndSwap(name string, old, new []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	meta, exists := fs.files[name]
-	if old == nil {
-		if exists {
-			return ErrCASMismatch
-		}
-		return fs.writeLocked(name, new)
-	}
 	if !exists {
-		return ErrCASMismatch
+		if old == nil {
+			return fs.writeLocked(name, new)
+		}
+		return &CASError{}
 	}
 	cur := make([]byte, 0, meta.size)
 	for _, id := range meta.blocks {
@@ -328,8 +347,8 @@ func (fs *FS) CompareAndSwap(name string, old, new []byte) error {
 		}
 		cur = append(cur, chunk...)
 	}
-	if string(cur) != string(old) {
-		return ErrCASMismatch
+	if old == nil || string(cur) != string(old) {
+		return &CASError{Current: cur}
 	}
 	return fs.writeLocked(name, new)
 }

@@ -144,6 +144,49 @@ func TestCompareAndSwap(t *testing.T) {
 	}
 }
 
+// TestCASErrorCarriesCurrent: a failed CAS reports the contents that won,
+// so a caller that lost the race can re-diff against the winning value
+// without a second read (which could itself race a later writer).
+func TestCASErrorCarriesCurrent(t *testing.T) {
+	fs := New(Options{})
+	if err := fs.WriteFile("table", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	// Mismatch on existing content: Current is the winning value.
+	err := fs.CompareAndSwap("table", []byte("v1"), []byte("v1b"))
+	var cas *CASError
+	if !errors.As(err, &cas) {
+		t.Fatalf("CAS = %v (%T), want *CASError", err, err)
+	}
+	if string(cas.Current) != "v2" {
+		t.Fatalf("Current = %q, want v2", cas.Current)
+	}
+	// Create-if-absent losing to an existing file also surfaces it.
+	err = fs.CompareAndSwap("table", nil, []byte("v1"))
+	if !errors.As(err, &cas) || string(cas.Current) != "v2" {
+		t.Fatalf("create-race CAS = %v, Current = %q, want v2", err, cas.Current)
+	}
+	// Missing file: Current is nil, distinguishing "vacant" from "held".
+	err = fs.CompareAndSwap("ghost", []byte("x"), []byte("y"))
+	if !errors.As(err, &cas) {
+		t.Fatalf("missing-file CAS = %v (%T), want *CASError", err, err)
+	}
+	if cas.Current != nil {
+		t.Fatalf("missing-file Current = %q, want nil", cas.Current)
+	}
+	// An existing-but-empty file is "held", not "vacant".
+	if err := fs.WriteFile("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	err = fs.CompareAndSwap("empty", []byte("x"), []byte("y"))
+	if !errors.As(err, &cas) {
+		t.Fatalf("empty-file CAS = %v (%T), want *CASError", err, err)
+	}
+	if cas.Current == nil || len(cas.Current) != 0 {
+		t.Fatalf("empty-file Current = %v, want non-nil empty", cas.Current)
+	}
+}
+
 func TestCASElectionRace(t *testing.T) {
 	// Many goroutines race to become leader; exactly one must win.
 	fs := New(Options{})
