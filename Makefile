@@ -7,7 +7,8 @@ CHAOS_TIMEOUT ?= 10m
 
 # The graph-stack benchmark set: archived, baselined and gated in CI.
 BENCH_PKGS = ./internal/graph/ ./internal/graph/view/ \
-	./internal/compute/bsp/ ./internal/compute/traversal/
+	./internal/compute/bsp/ ./internal/compute/traversal/ \
+	./internal/memcloud/fetch/
 BENCH_TIME ?= 2s
 BENCH_JSON ?= BENCH_graph.json
 BENCH_TOL ?= 0.20
@@ -31,8 +32,10 @@ fmt-check:
 		exit 1; \
 	fi
 
-# Cancellation conventions: no time.After in internal/ selects (timer
-# leak), exported blocking APIs in msg/memcloud/compute take ctx first.
+# Cancellation and allocation conventions: no time.After in internal/
+# selects (timer leak), exported blocking APIs in msg/memcloud/compute
+# take ctx first, and no unannotated make([]byte, ...) on the zero-copy
+# hot paths (trunk, msg, memcloud/fetch).
 lint-ctx:
 	$(GO) run ./cmd/lintctx
 
@@ -73,9 +76,11 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=$(BENCH_TIME) ./internal/obs/
 	$(MAKE) bench-json
 
-# Graph-stack benchmarks alone, straight to JSON.
+# Graph-stack benchmarks alone, straight to JSON. -benchmem records
+# B/op and allocs/op so the compare gate can catch alloc regressions on
+# the zero-copy read path, not just slowdowns.
 bench-json:
-	$(GO) test -run=NONE -bench=. -benchtime=$(BENCH_TIME) $(BENCH_PKGS) \
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCH_TIME) $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # Refresh the committed regression-gate baseline (run on quiet hardware,

@@ -10,13 +10,17 @@
 // ReportMetric units) keyed by unit name.
 //
 // With -compare, benchjson instead diffs two archived JSON documents and
-// fails when any benchmark's ns/op regressed beyond the tolerance:
+// fails when any benchmark's ns/op — or, when both records carry it,
+// allocs/op — regressed beyond the tolerance:
 //
 //	benchjson -compare -tol 0.20 BENCH_baseline.json BENCH_new.json
 //
 // Benchmarks present in only one file are reported but never fail the
-// comparison (new benchmarks appear, old ones get renamed); only a
-// measured slowdown does.
+// comparison (new benchmarks appear, old ones get renamed); likewise a
+// baseline without allocs/op (recorded before -benchmem) never fails the
+// alloc gate. Only a measured regression does. Alloc comparisons get a
+// small absolute grace (+2 allocs/op) on top of the fractional tolerance
+// so near-zero baselines don't flap.
 package main
 
 import (
@@ -30,6 +34,11 @@ import (
 	"strings"
 )
 
+// allocGrace is the absolute allocs/op slack added on top of the
+// fractional tolerance, so a 0→1 blip on an allocation-free benchmark
+// doesn't fail the gate.
+const allocGrace = 2
+
 type result struct {
 	Name       string             `json:"name"`
 	Package    string             `json:"package,omitempty"`
@@ -40,7 +49,7 @@ type result struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON files: benchjson -compare old.json new.json")
-	tol := flag.Float64("tol", 0.20, "allowed fractional ns/op regression in -compare mode (0.20 = 20%)")
+	tol := flag.Float64("tol", 0.20, "allowed fractional ns/op and allocs/op regression in -compare mode (0.20 = 20%)")
 	flag.Parse()
 
 	if *compare {
@@ -99,8 +108,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: %d results -> %s\n", len(results), *out)
 }
 
-// runCompare diffs two archived benchmark documents on ns/op and writes a
-// report. It returns how many benchmarks slowed down by more than tol.
+// runCompare diffs two archived benchmark documents on ns/op and (when
+// both sides recorded it) allocs/op, and writes a report. It returns how
+// many benchmarks regressed on either axis beyond tol.
 func runCompare(oldPath, newPath string, tol float64, w io.Writer) (int, error) {
 	oldRes, err := loadResults(oldPath)
 	if err != nil {
@@ -139,6 +149,19 @@ func runCompare(oldPath, newPath string, tol float64, w io.Writer) (int, error) 
 		}
 		fmt.Fprintf(w, "%s %-60s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
 			verdict, k, oldNs, newNs, delta*100)
+
+		// Alloc gate: only when the baseline has the metric at all — an
+		// old archive recorded without -benchmem must not fail every run.
+		oldAllocs, hasOld := or.Metrics["allocs/op"]
+		newAllocs, hasNew := nr.Metrics["allocs/op"]
+		if !hasOld || !hasNew {
+			continue
+		}
+		if newAllocs > oldAllocs*(1+tol)+allocGrace {
+			regressed++
+			fmt.Fprintf(w, "ALLOC %-60s %12.0f -> %12.0f allocs/op\n",
+				k, oldAllocs, newAllocs)
+		}
 	}
 	for _, or := range oldRes {
 		if !seen[key(or)] {

@@ -1,5 +1,6 @@
-// Command lintctx enforces the repo's cancellation conventions with two
-// AST checks over the internal/ tree (tests excluded):
+// Command lintctx enforces the repo's cancellation and allocation
+// conventions with three AST checks over the internal/ tree (tests
+// excluded):
 //
 //  1. No time.After inside a select statement anywhere under internal/.
 //     time.After leaks its timer until it fires — in a select that has
@@ -15,6 +16,15 @@
 //     Lifecycle entry points that intentionally block without a context
 //     (Close, Flush, ...) are allowlisted below; extend the list only for
 //     teardown-shaped APIs, never for request-shaped ones.
+//
+//  3. No make([]byte, ...) on the designated hot paths (internal/trunk,
+//     internal/msg, internal/memcloud/fetch) unless the line carries an
+//     `//alloc:ok <reason>` comment. These packages sit on the zero-copy
+//     read path: per-frame and per-cell buffers come from the buf lease
+//     pool, and an unannotated allocation is usually a regression that
+//     silently re-introduces the GC churn the lease refactor removed.
+//     Cold-path or deliberately caller-owned allocations get the
+//     annotation with a reason.
 //
 // Exit status is non-zero if any violation is found, so `make lint-ctx`
 // can gate CI. The tool has no dependencies outside the standard library.
@@ -38,6 +48,15 @@ var ctxPackages = []string{
 	"internal/msg",
 	"internal/memcloud",
 	"internal/compute",
+}
+
+// allocHotPackages are the trees where an unannotated make([]byte, ...)
+// is flagged: the zero-copy read path, where buffers are supposed to come
+// from the buf lease pool (or be appended into a caller-provided slice).
+var allocHotPackages = []string{
+	"internal/trunk",
+	"internal/msg",
+	"internal/memcloud/fetch",
 }
 
 // allowNoCtx names exported functions that block by design without a
@@ -75,7 +94,7 @@ func main() {
 		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
 			return nil
 		}
-		file, err := parser.ParseFile(fset, path, nil, 0)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return err
 		}
@@ -86,6 +105,9 @@ func main() {
 		violations = append(violations, checkTimeAfterInSelect(fset, file)...)
 		if inCtxPackage(rel) {
 			violations = append(violations, checkExportedBlocking(fset, file)...)
+		}
+		if inAllocPackage(rel) {
+			violations = append(violations, checkHotPathAllocs(fset, file)...)
 		}
 		return nil
 	})
@@ -109,6 +131,63 @@ func inCtxPackage(rel string) bool {
 		}
 	}
 	return false
+}
+
+func inAllocPackage(rel string) bool {
+	dir := rel
+	if i := strings.LastIndex(rel, "/"); i >= 0 {
+		dir = rel[:i]
+	}
+	for _, p := range allocHotPackages {
+		// Exact package match, not prefix: internal/memcloud is not a hot
+		// package even though internal/memcloud/fetch is.
+		if dir == p {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotPathAllocs flags make([]byte, ...) calls unless the line
+// carries an `//alloc:ok <reason>` annotation.
+func checkHotPathAllocs(fset *token.FileSet, file *ast.File) []violation {
+	annotated := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "alloc:ok") {
+				annotated[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	var out []violation
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "make" || len(call.Args) < 2 {
+			return true
+		}
+		arr, ok := call.Args[0].(*ast.ArrayType)
+		if !ok || arr.Len != nil {
+			return true
+		}
+		elem, ok := arr.Elt.(*ast.Ident)
+		if !ok || elem.Name != "byte" {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		if annotated[pos.Line] {
+			return true
+		}
+		out = append(out, violation{
+			pos: pos,
+			msg: "make([]byte, ...) on a zero-copy hot path; use a buf.Lease (or annotate the line with //alloc:ok <reason>)",
+		})
+		return true
+	})
+	return out
 }
 
 // checkTimeAfterInSelect flags every time.After call that appears inside

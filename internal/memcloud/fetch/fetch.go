@@ -28,11 +28,14 @@ package fetch
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"time"
 
 	"sync"
+	"sync/atomic"
 
+	"trinity/internal/buf"
 	"trinity/internal/memcloud"
 	"trinity/internal/msg"
 	"trinity/internal/obs"
@@ -104,11 +107,21 @@ func (o *Options) fill() {
 
 // Future is one pending cell read. Wait blocks until the pipeline
 // resolves it with the cell's value or an error.
+//
+// The completion channel is lazy: most futures in a pipelined workload
+// are already resolved by the time their caller looks (the whole point
+// of overlapping reads with computation), so the channel — one
+// allocation per key, otherwise — is only created when a caller
+// actually has to block. The resolved flag is the synchronization
+// point: resolveFut writes val/err before the atomic store, so a Wait
+// that observes the flag reads them without touching the mutex.
 type Future struct {
-	done      chan struct{}
-	val       []byte
-	err       error
-	cancelled *obs.Counter // fetcher's futures_cancelled; nil on pre-resolved futures
+	resolvedFlag atomic.Bool
+	mu           sync.Mutex
+	done         chan struct{} // created on first blocking Wait/Done
+	val          []byte
+	err          error
+	cancelled    *obs.Counter // fetcher's futures_cancelled; nil on pre-resolved futures
 }
 
 // Wait blocks until the future resolves or ctx fires. A cancelled Wait
@@ -118,13 +131,11 @@ type Future struct {
 // unaffected and the batching machinery never wedges on an abandoned
 // future.
 func (f *Future) Wait(ctx context.Context) ([]byte, error) {
-	select {
-	case <-f.done:
+	if f.resolvedFlag.Load() {
 		return f.val, f.err
-	default:
 	}
 	select {
-	case <-f.done:
+	case <-f.doneChan():
 		return f.val, f.err
 	case <-ctx.Done():
 		if f.cancelled != nil {
@@ -135,11 +146,51 @@ func (f *Future) Wait(ctx context.Context) ([]byte, error) {
 }
 
 // Done exposes the completion channel for select-based callers.
-func (f *Future) Done() <-chan struct{} { return f.done }
+func (f *Future) Done() <-chan struct{} { return f.doneChan() }
+
+// closedChan is returned by doneChan for every already-resolved future
+// that never had a blocked waiter: readiness polls (select with a
+// Done() arm and a default) are the common case in pipelined loops and
+// must not cost an allocation per key.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+func (f *Future) doneChan() chan struct{} {
+	if f.resolvedFlag.Load() {
+		return closedChan
+	}
+	f.mu.Lock()
+	if f.done == nil {
+		f.done = make(chan struct{})
+		if f.resolvedFlag.Load() {
+			// Resolved between the flag check and taking the lock;
+			// resolveFut already ran and saw done==nil, so close here.
+			close(f.done)
+		}
+	}
+	ch := f.done
+	f.mu.Unlock()
+	return ch
+}
+
+// resolveFut completes the future exactly once, waking any blocked
+// waiters.
+func (f *Future) resolveFut(val []byte, err error) {
+	f.mu.Lock()
+	f.val, f.err = val, err
+	f.resolvedFlag.Store(true)
+	if f.done != nil {
+		close(f.done)
+	}
+	f.mu.Unlock()
+}
 
 func resolved(val []byte, err error) *Future {
-	f := &Future{done: make(chan struct{}), val: val, err: err}
-	close(f.done)
+	f := &Future{val: val, err: err}
+	f.resolvedFlag.Store(true)
 	return f
 }
 
@@ -153,11 +204,22 @@ const maxRetries = 3
 // entry is one key's place in the pipeline. It lives in the pending map
 // from GetAsync until its future resolves, so later GetAsync calls for
 // the same key coalesce onto it whether it is queued or in flight.
+//
+// The future is embedded, not pointed to, and entries come out of a
+// slab (see newEntryLocked): in steady state one pipelined read costs a
+// fraction of an allocation, where the naive shape (entry, Future,
+// done channel) cost three per key.
 type entry struct {
 	key      uint64
-	fut      *Future
 	attempts int // re-routes consumed, capped at maxRetries
+	fut      Future
 }
+
+// entrySlabSize is how many entries one slab allocation covers. A slab
+// is garbage once every entry carved from it has resolved and every
+// caller has dropped its future, so a stuck key pins at most this many
+// neighbours — bounded, and small against a single wire frame.
+const entrySlabSize = 256
 
 // dest is the per-destination-machine batch queue.
 type dest struct {
@@ -180,6 +242,7 @@ type Fetcher struct {
 	mu      sync.Mutex
 	pending map[uint64]*entry
 	dests   map[msg.MachineID]*dest
+	slab    []entry // unissued tail of the current entry slab
 	closed  bool
 
 	batchSize    *obs.Histogram
@@ -249,12 +312,25 @@ func (f *Fetcher) GetAsync(key uint64) *Future {
 		// wire, saving a round trip a per-key Get would have made.
 		f.coalesceHits.Add(1)
 		f.savedRT.Add(1)
-		return e.fut
+		return &e.fut
 	}
-	e := &entry{key: key, fut: &Future{done: make(chan struct{}), cancelled: f.cancelled}}
+	e := f.newEntryLocked(key)
 	f.pending[key] = e
 	f.enqueueLocked(e)
-	return e.fut
+	return &e.fut
+}
+
+// newEntryLocked carves one entry out of the slab, refilling it when
+// exhausted.
+func (f *Fetcher) newEntryLocked(key uint64) *entry {
+	if len(f.slab) == 0 {
+		f.slab = make([]entry, entrySlabSize)
+	}
+	e := &f.slab[0]
+	f.slab = f.slab[1:]
+	e.key = key
+	e.fut.cancelled = f.cancelled
+	return e
 }
 
 // GetBatch schedules all keys, flushes the pipeline, and waits; fn (if
@@ -338,8 +414,11 @@ func (f *Fetcher) shipLocked(m msg.MachineID, d *dest) {
 	n := min(len(d.queue), d.target)
 	batch := make([]*entry, n)
 	copy(batch, d.queue[:n])
-	rest := d.queue[n:]
-	d.queue = append(d.queue[:0:0], rest...)
+	// batch owns its own copy of the shipped prefix, so the tail can be
+	// slid down in place and the queue's backing array reused forever.
+	rest := copy(d.queue, d.queue[n:])
+	clear(d.queue[rest:])
+	d.queue = d.queue[:rest]
 	d.mustShip = max(0, d.mustShip-n)
 	d.inflight++
 	f.inflight.Add(1)
@@ -374,39 +453,61 @@ func (f *Fetcher) timerFlush(m msg.MachineID) {
 }
 
 // send performs one wire exchange off the lock and resolves or requeues
-// its batch.
+// its batch. The request is encoded into a pooled lease and the reply is
+// decoded in place out of the reply frame's lease, which is released once
+// every future in the batch has resolved — no per-exchange buffer churn.
 func (f *Fetcher) send(m msg.MachineID, batch []*entry) {
-	keys := make([]uint64, len(batch))
+	req := buf.Get(4 + 8*len(batch))
+	rb := req.Bytes()
+	binary.LittleEndian.PutUint32(rb, uint32(len(batch)))
 	for i, e := range batch {
-		keys[i] = e.key
+		binary.LittleEndian.PutUint64(rb[4+8*i:], e.key)
 	}
 	// Background, not a caller's ctx: one wire batch aggregates reads from
 	// many callers with different budgets, so no single caller's deadline
 	// may kill it. The msg-layer CallTimeout bounds the exchange.
-	resp, err := f.c.Node().Call(context.Background(), m, memcloud.ProtoMultiGet, memcloud.EncodeMultiGetReq(keys))
+	lease, resp, err := f.c.Node().CallLease(context.Background(), m, memcloud.ProtoMultiGet, rb)
+	req.Release()
 	switch {
 	case err != nil:
 		f.transportFailed(m, batch, err)
 	default:
-		results, derr := memcloud.DecodeMultiGetResp(resp, len(keys))
+		results, derr := memcloud.DecodeMultiGetResp(resp, len(batch))
 		if derr != nil {
 			f.errorsCtr.Add(1)
 			f.failBatch(batch, derr)
 		} else {
 			f.deliver(batch, results)
 		}
+		lease.Release()
 	}
 	f.completed(m)
 }
 
 // deliver resolves each entry from its per-key status; wrong-owner keys
 // get re-routed through a refreshed table, up to maxRetries times.
+//
+// Values decode in place: each results[i].Val aliases the reply frame's
+// lease, held by send until deliver returns. Futures outlive the frame
+// and their callers retain values indefinitely (the subgraph matcher's
+// cell cache), so OK values are copied out — but into one contiguous
+// arena for the whole batch, not one allocation per key, and the arena
+// holds only payload bytes, no wire headers.
 func (f *Fetcher) deliver(batch []*entry, results []memcloud.MultiGetResult) {
+	total := 0
+	for i := range results {
+		if results[i].Status == memcloud.MultiGetOK {
+			total += len(results[i].Val)
+		}
+	}
+	arena := make([]byte, 0, total) //alloc:ok one caller-owned value arena per batch
 	var moved []*entry
 	for i, e := range batch {
 		switch results[i].Status {
 		case memcloud.MultiGetOK:
-			f.resolve(e, results[i].Val, nil)
+			off := len(arena)
+			arena = append(arena, results[i].Val...)
+			f.resolve(e, arena[off:len(arena):len(arena)], nil)
 		case memcloud.MultiGetNotFound:
 			f.resolve(e, nil, memcloud.ErrNotFound)
 		default: // MultiGetWrongOwner
@@ -511,6 +612,5 @@ func (f *Fetcher) resolve(e *entry, val []byte, err error) {
 // starts a fresh read instead of receiving a stale value.
 func (f *Fetcher) resolveLocked(e *entry, val []byte, err error) {
 	delete(f.pending, e.key)
-	e.fut.val, e.fut.err = val, err
-	close(e.fut.done)
+	e.fut.resolveFut(val, err)
 }

@@ -855,23 +855,38 @@ func (s *Slave) onMultiGet(_ context.Context, _ msg.MachineID, req []byte) ([]by
 	}
 	s.multigetBatches.Add(1)
 	s.multigetKeys.Add(int64(len(keys)))
-	var out []byte
-	var lenBuf [4]byte
+	// Size pre-pass so the whole reply is built in one buffer: the per-key
+	// copies then go straight from trunk memory into the reply via
+	// ReadInto, with zero per-cell allocations. A cell that grows between
+	// the pre-pass and its copy just makes the buffer relocate once.
+	total := 0
+	for _, key := range keys {
+		total += 5 // status byte + u32 length
+		if t := s.localTrunk(s.trunkFor(key)); t != nil {
+			if n, err := t.Size(key); err == nil {
+				total += n
+			}
+		}
+	}
+	out := make([]byte, 0, total) //alloc:ok one presized reply buffer per batch
 	for _, key := range keys {
 		t, err := s.serveTrunk(key)
 		if err != nil {
 			out = append(out, MultiGetWrongOwner)
 			continue
 		}
-		val, err := t.Get(key)
+		// Optimistically append the OK header, copy the payload in place,
+		// then patch the length with what actually landed (the cell may
+		// have been resized since the pre-pass).
+		out = append(out, MultiGetOK, 0, 0, 0, 0)
+		hdr := len(out) - 4
+		grown, err := t.ReadInto(key, out)
 		if err != nil {
-			out = append(out, MultiGetNotFound)
+			out = append(out[:hdr-1], MultiGetNotFound)
 			continue
 		}
-		out = append(out, MultiGetOK)
-		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(val)))
-		out = append(out, lenBuf[:]...)
-		out = append(out, val...)
+		binary.LittleEndian.PutUint32(grown[hdr:], uint32(len(grown)-hdr-4))
+		out = grown
 	}
 	return out, nil
 }

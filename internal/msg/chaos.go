@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"trinity/internal/buf"
 )
 
 // Chaos is a seeded, fault-injecting Transport decorator: it sits between
@@ -128,10 +130,11 @@ func (c *Chaos) Rejoin(id MachineID) {
 	c.mu.Unlock()
 }
 
-// PoisonFrames makes every chaos endpoint overwrite a delivered frame
-// with garbage after the receiver callback returns, emulating a
-// buffer-reusing transport. Any component that retained the frame reads
-// the garbage (and races with the write under -race).
+// PoisonFrames makes every chaos endpoint mark the frames it forwards so
+// that the final lease Release scribbles garbage over the backing array
+// before recycling it. Any component that kept an alias past its last
+// reference reads the garbage (and races with the scribble under -race) —
+// the lease-era equivalent of emulating a buffer-reusing transport.
 func (c *Chaos) PoisonFrames(on bool) {
 	c.mu.Lock()
 	c.poison = on
@@ -163,23 +166,13 @@ type chaosEndpoint struct {
 
 func (e *chaosEndpoint) Local() MachineID { return e.inner.Local() }
 
-func (e *chaosEndpoint) SetReceiver(fn func(MachineID, []byte)) {
-	e.inner.SetReceiver(func(from MachineID, frame []byte) {
-		fn(from, frame)
-		e.c.mu.Lock()
-		poison := e.c.poison
-		e.c.mu.Unlock()
-		if poison {
-			for i := range frame {
-				frame[i] = 0xDB
-			}
-		}
-	})
+func (e *chaosEndpoint) SetReceiver(fn func(MachineID, *buf.Lease)) {
+	e.inner.SetReceiver(fn)
 }
 
 func (e *chaosEndpoint) Close() error { return e.inner.Close() }
 
-func (e *chaosEndpoint) Send(to MachineID, frame []byte) error {
+func (e *chaosEndpoint) Send(to MachineID, frame *buf.Lease) error {
 	c := e.c
 	from := e.inner.Local()
 	c.mu.Lock()
@@ -189,6 +182,7 @@ func (e *chaosEndpoint) Send(to MachineID, frame []byte) error {
 	}
 	cut := p.Cut || c.isolated[from] || c.isolated[to]
 	c.stats.Sent++
+	poison := c.poison
 	var jitter, delay time.Duration
 	var dup bool
 	drop := cut
@@ -198,6 +192,9 @@ func (e *chaosEndpoint) Send(to MachineID, frame []byte) error {
 	if drop {
 		c.stats.Dropped++
 		c.mu.Unlock()
+		// A dropped frame still settles the sender's reference: the
+		// network ate it, exactly like a lossy link.
+		frame.Release()
 		return nil
 	}
 	if p.Jitter > 0 {
@@ -217,18 +214,26 @@ func (e *chaosEndpoint) Send(to MachineID, frame []byte) error {
 	}
 	c.mu.Unlock()
 
+	if poison {
+		frame.Poison()
+	}
 	if jitter > 0 {
 		time.Sleep(jitter)
 	}
+	// Duplication shares the backing array: one extra reference, two
+	// deliveries, and the bytes survive until the last receiver settles
+	// its reference. No copy — which is precisely what makes dup+delay
+	// the sharpest test of the lease contract: a receiver that releases
+	// early hands its duplicate a recycled buffer.
 	if delay > 0 {
-		// Transport.Send may not retain the caller's frame after
-		// returning, so the delayed copy owns its own buffer.
-		cp := append([]byte(nil), frame...)
+		if dup {
+			frame.Retain()
+		}
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
 			time.Sleep(delay)
-			if e.inner.Send(to, cp) == nil {
+			if e.inner.Send(to, frame) == nil {
 				c.countDelivered()
 			}
 		}()
@@ -241,13 +246,20 @@ func (e *chaosEndpoint) Send(to MachineID, frame []byte) error {
 		}
 		return nil
 	}
+	if dup {
+		frame.Retain()
+	}
 	err := e.inner.Send(to, frame)
 	if err == nil {
 		c.countDelivered()
 	}
-	if dup && err == nil {
-		if e.inner.Send(to, frame) == nil {
-			c.countDelivered()
+	if dup {
+		if err == nil {
+			if e.inner.Send(to, frame) == nil {
+				c.countDelivered()
+			}
+		} else {
+			frame.Release()
 		}
 	}
 	return err
@@ -293,7 +305,7 @@ func NewOrderChecker() *OrderChecker {
 // producing a message Handler can check. Sequence numbers within a lane
 // start at 1 and must increase by the sender's submission order.
 func StampSeq(lane uint8, seq uint64, payload []byte) []byte {
-	out := make([]byte, 9+len(payload))
+	out := make([]byte, 9+len(payload)) //alloc:ok test-harness stamping, not a data-path frame
 	out[0] = lane
 	binary.LittleEndian.PutUint64(out[1:], seq)
 	copy(out[9:], payload)

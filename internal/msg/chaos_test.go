@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"trinity/internal/buf"
 )
 
 const protoOrdered ProtocolID = 0x0042
@@ -295,7 +297,7 @@ func TestMalformedBatchTailCounted(t *testing.T) {
 	defer b.Close()
 	raw := bus.Endpoint(5)                                              // a sender with no Node on top
 	frame := []byte{kindBatch, 0x01, 0x00, 0xFF, 0x00, 0x00, 0x00, 'x'} // claims 255-byte item, carries 1
-	if err := raw.Send(1, frame); err != nil {
+	if err := raw.Send(1, buf.Wrap(frame)); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(time.Second)
@@ -350,5 +352,89 @@ func TestErrorCodeSurvivesWire(t *testing.T) {
 	}
 	if ErrorCode(err) != 42 {
 		t.Fatalf("ErrorCode(err) = %d, want 42", ErrorCode(err))
+	}
+}
+
+// TestChaosDupDelayLeaseIntegrity: duplicated frames share one backing
+// array (the chaos transport retains instead of copying) and delayed
+// frames hold their lease across the holdback — so a component that
+// releases a lease early would hand its duplicate, or its delayed self, a
+// recycled or poisoned buffer. Every delivered message carries a checksum
+// over its body; under dup+delay+poison, all of them must verify, and
+// under -race any read of a recycled buffer trips the scribble.
+func TestChaosDupDelayLeaseIntegrity(t *testing.T) {
+	for _, seed := range Seeds() {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			a, b, ch := chaosPair(t, "bus", seed, Options{FlushInterval: -1, CallTimeout: 2 * time.Second})
+			ch.PoisonFrames(true)
+			ch.SetDefault(Policy{Dup: 0.4, Delay: 0.4, MaxDelay: 2 * time.Millisecond})
+			var asyncGot, asyncBad atomic.Int64
+			b.HandleAsync(protoNotify, func(_ MachineID, msg []byte) {
+				if len(msg) < sha256.Size {
+					asyncBad.Add(1)
+					return
+				}
+				sum := sha256.Sum256(msg[sha256.Size:])
+				if !bytes.Equal(msg[:sha256.Size], sum[:]) {
+					asyncBad.Add(1)
+				}
+				asyncGot.Add(1)
+			})
+			b.HandleSync(protoEcho, func(_ context.Context, _ MachineID, req []byte) ([]byte, error) {
+				// Yield so a duplicate's delivery can interleave while this
+				// handler still reads the shared backing array.
+				time.Sleep(20 * time.Microsecond)
+				sum := sha256.Sum256(req)
+				return append(append([]byte(nil), req...), sum[:]...), nil
+			})
+
+			const asyncN = 150
+			for i := 0; i < asyncN; i++ {
+				body := bytes.Repeat([]byte{byte(i)}, 48)
+				sum := sha256.Sum256(body)
+				if err := a.Send(1, protoNotify, append(sum[:], body...)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := a.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 30; i++ {
+						req := bytes.Repeat([]byte{byte(g), byte(i)}, 24)
+						resp, err := a.Call(context.Background(), 1, protoEcho, req)
+						if err != nil {
+							t.Errorf("call: %v", err) // dup+delay never lose frames
+							return
+						}
+						wantSum := sha256.Sum256(req)
+						if !bytes.Equal(resp[:len(req)], req) || !bytes.Equal(resp[len(req):], wantSum[:]) {
+							t.Errorf("sync response corrupted under dup+delay")
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			ch.Drain()
+			deadline := time.Now().Add(2 * time.Second)
+			for asyncGot.Load() < asyncN && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if asyncGot.Load() < asyncN {
+				t.Fatalf("received %d/%d async messages (delay/dup must not lose frames)", asyncGot.Load(), asyncN)
+			}
+			if asyncBad.Load() != 0 {
+				t.Fatalf("%d async messages failed checksum: recycled buffer observed", asyncBad.Load())
+			}
+			if st := ch.Stats(); st.Duplicated == 0 || st.Delayed == 0 {
+				t.Fatalf("chaos injected no dup/delay: %+v", st)
+			}
+		})
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"trinity/internal/buf"
 )
 
 // TestCallContextCancelled: cancelling the caller's context unhooks the
@@ -131,7 +133,7 @@ func TestDeadlineDroppedRx(t *testing.T) {
 	budget := int64(-50)                         // spent 50µs before arrival
 	binary.LittleEndian.PutUint64(frame[frameHeader:], uint64(budget))
 	frame[syncReqHeader] = 'x'
-	if err := raw.Send(1, frame); err != nil {
+	if err := raw.Send(1, buf.Wrap(frame)); err != nil {
 		t.Fatal(err)
 	}
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trinity/internal/buf"
 	"trinity/internal/obs"
 )
 
@@ -22,6 +23,11 @@ type ProtocolID uint16
 // remaining deadline budget, decoded from the request frame: handlers
 // that block (fan-out calls, trunk scans) should pass it downstream so
 // the budget keeps shrinking across hops.
+//
+// request aliases the inbound frame's pooled lease, which is released
+// (and its buffer recycled) after the reply is built: handlers must not
+// retain request past returning. The returned response may alias request
+// — it is copied into the reply frame before the lease is settled.
 type SyncHandler func(ctx context.Context, from MachineID, request []byte) ([]byte, error)
 
 // AsyncHandler serves an asynchronous (one-way) protocol. msg must not be
@@ -53,6 +59,13 @@ const (
 	syncReqHeader = frameHeader + 8
 	batchItem     = 6
 )
+
+// CodeFrameTooLarge is the reserved one-byte wire error code carried on a
+// kindSyncErr frame when a handler's reply exceeded the transport's
+// MaxFrameSize: the oversized reply itself cannot cross the wire, so the
+// caller learns why through this small error frame instead of timing out.
+// Application handlers must not use it with WithCode.
+const CodeFrameTooLarge byte = 0xFF
 
 // Stats counts messaging activity. The ratio MessagesSent/FramesSent shows
 // the effect of message packing.
@@ -242,13 +255,18 @@ type destMetrics struct {
 	queueBytes *obs.Gauge
 }
 
+// callResult carries a parked sync reply. On success, payload aliases
+// lease, whose one reference travels with the result: whoever takes the
+// result out of the channel (the waiting Call, or the cleanup drain when
+// the caller gave up) owes the Release.
 type callResult struct {
+	lease   *buf.Lease
 	payload []byte
 	err     error
 }
 
 type packer struct {
-	buf   []byte
+	l     *buf.Lease
 	count int
 	dm    *destMetrics
 }
@@ -378,12 +396,27 @@ func (n *Node) HandleAsync(p ProtocolID, h AsyncHandler) {
 // what is left. Cancelling ctx abandons the wait immediately: the reply,
 // if it ever arrives, is discarded by the correlation table.
 func (n *Node) Call(ctx context.Context, to MachineID, p ProtocolID, request []byte) ([]byte, error) {
+	lease, payload, err := n.CallLease(ctx, to, p, request)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), payload...)
+	lease.Release()
+	return out, nil
+}
+
+// CallLease is Call without the final copy: on success the response
+// payload aliases the reply frame's pooled lease, which the caller owns
+// and must Release once done decoding (hot readers like the multi-get
+// pipeline decode in place and release when their futures resolve). On
+// error the lease is already settled and must not be touched.
+func (n *Node) CallLease(ctx context.Context, to MachineID, p ProtocolID, request []byte) (*buf.Lease, []byte, error) {
 	if n.closed.Load() {
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	if err := ctx.Err(); err != nil {
 		n.metrics.callsCancelled.Inc()
-		return nil, err
+		return nil, nil, err
 	}
 	// The wire budget is the caller's deadline capped by CallTimeout: a
 	// context with no deadline still must not pin the remote handler (or
@@ -407,9 +440,21 @@ func (n *Node) Call(ctx context.Context, to MachineID, p ProtocolID, request []b
 		n.callsMu.Lock()
 		delete(n.calls, corr)
 		n.callsMu.Unlock()
+		// Settle any reply this call will never look at: a late reply
+		// parked just before the delete, or a chaos duplicate parked
+		// after the first was consumed. Parking happens under callsMu,
+		// so after the delete nothing new can land here.
+		select {
+		case res := <-ch:
+			if res.lease != nil {
+				res.lease.Release()
+			}
+		default:
+		}
 	}()
 
-	frame := make([]byte, syncReqHeader+len(request))
+	fl := buf.Get(syncReqHeader + len(request))
+	frame := fl.Bytes()
 	frame[0] = kindSyncReq
 	binary.LittleEndian.PutUint16(frame[1:], uint16(p))
 	binary.LittleEndian.PutUint64(frame[3:], corr)
@@ -418,8 +463,8 @@ func (n *Node) Call(ctx context.Context, to MachineID, p ProtocolID, request []b
 	n.metrics.syncCalls.Inc()
 	n.metrics.messagesSent.Inc()
 	start := time.Now()
-	if err := n.sendFrame(to, frame); err != nil {
-		return nil, err
+	if err := n.sendFrame(to, fl); err != nil {
+		return nil, nil, err
 	}
 	// time.NewTimer + Stop, not time.After: the After timer would survive
 	// until the full CallTimeout even after the reply arrived, leaking one
@@ -432,14 +477,14 @@ func (n *Node) Call(ctx context.Context, to MachineID, p ProtocolID, request []b
 	select {
 	case res := <-ch:
 		n.metrics.callNs.Observe(int64(time.Since(start)))
-		return res.payload, res.err
+		return res.lease, res.payload, res.err
 	case <-ctx.Done():
 		n.metrics.callsCancelled.Inc()
 		n.metrics.callNs.Observe(int64(time.Since(start)))
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
 	case <-timer.C:
 		n.metrics.callNs.Observe(int64(time.Since(start)))
-		return nil, fmt.Errorf("%w: protocol %d to machine %d", ErrTimeout, p, to)
+		return nil, nil, fmt.Errorf("%w: protocol %d to machine %d", ErrTimeout, p, to)
 	}
 }
 
@@ -452,32 +497,34 @@ func (n *Node) Send(to MachineID, p ProtocolID, msg []byte) error {
 	}
 	n.metrics.messagesSent.Inc()
 	if n.opts.NoPacking {
-		frame := make([]byte, frameHeader+len(msg))
+		fl := buf.Get(frameHeader + len(msg))
+		frame := fl.Bytes()
 		frame[0] = kindAsync
 		binary.LittleEndian.PutUint16(frame[1:], uint16(p))
 		copy(frame[frameHeader:], msg)
-		return n.sendFrame(to, frame)
+		return n.sendFrame(to, fl)
 	}
 	n.packMu.Lock()
 	pk, ok := n.packers[to]
 	if !ok {
-		// Start small and let append grow toward BatchBytes: most packer
-		// lifetimes end at a timer flush with only a few messages, so
-		// reserving the full batch up front wastes an allocation storm.
-		pk = &packer{buf: append(make([]byte, 0, 512), kindBatch), dm: n.destMetricsFor(to)}
+		// The batch buffer is a pooled lease sized to BatchBytes up
+		// front: in steady state the same backing arrays cycle between
+		// packer and pool, so reserving the full batch costs nothing and
+		// spares the append-growth copy chain of a small initial buffer.
+		pk = &packer{l: buf.Sized(1, n.opts.BatchBytes), dm: n.destMetricsFor(to)}
+		pk.l.Bytes()[0] = kindBatch
 		n.packers[to] = pk
 	}
 	var item [batchItem]byte
 	binary.LittleEndian.PutUint16(item[0:], uint16(p))
 	binary.LittleEndian.PutUint32(item[2:], uint32(len(msg)))
-	pk.buf = append(pk.buf, item[:]...)
-	pk.buf = append(pk.buf, msg...)
+	pk.l = pk.l.Append(item[:], msg)
 	pk.count++
-	var flush []byte
+	var flush *buf.Lease
 	var ob *outbox
 	var ticket uint64
-	if len(pk.buf) >= n.opts.BatchBytes {
-		flush = pk.buf
+	if pk.l.Len() >= n.opts.BatchBytes {
+		flush = pk.l
 		delete(n.packers, to)
 		pk.dm.queueBytes.Set(0)
 		// Ticket the sealed batch while still holding packMu: the send
@@ -487,7 +534,7 @@ func (n *Node) Send(to MachineID, p ProtocolID, msg []byte) error {
 		ob = n.outboxFor(to)
 		ticket = ob.take()
 	} else {
-		pk.dm.queueBytes.Set(int64(len(pk.buf)))
+		pk.dm.queueBytes.Set(int64(pk.l.Len()))
 	}
 	n.packMu.Unlock()
 	if flush != nil {
@@ -501,7 +548,7 @@ func (n *Node) Send(to MachineID, p ProtocolID, msg []byte) error {
 func (n *Node) Flush() error {
 	type pendingSend struct {
 		to     MachineID
-		buf    []byte
+		fl     *buf.Lease
 		ob     *outbox
 		ticket uint64
 	}
@@ -512,12 +559,12 @@ func (n *Node) Flush() error {
 	for to, pk := range pending {
 		pk.dm.queueBytes.Set(0)
 		ob := n.outboxFor(to)
-		outs = append(outs, pendingSend{to: to, buf: pk.buf, ob: ob, ticket: ob.take()})
+		outs = append(outs, pendingSend{to: to, fl: pk.l, ob: ob, ticket: ob.take()})
 	}
 	n.packMu.Unlock()
 	var firstErr error
 	for _, o := range outs {
-		if err := n.sendTicketed(o.to, o.ob, o.ticket, o.buf); err != nil && firstErr == nil {
+		if err := n.sendTicketed(o.to, o.ob, o.ticket, o.fl); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -550,8 +597,9 @@ func (n *Node) Close() error {
 }
 
 // sendFrame ships one frame, sequenced behind any frames already
-// ticketed for the same destination.
-func (n *Node) sendFrame(to MachineID, frame []byte) error {
+// ticketed for the same destination. Like Transport.Send, it consumes one
+// reference to the frame in every outcome.
+func (n *Node) sendFrame(to MachineID, frame *buf.Lease) error {
 	ob := n.outboxFor(to)
 	return n.sendTicketed(to, ob, ob.take(), frame)
 }
@@ -560,15 +608,17 @@ func (n *Node) sendFrame(to MachineID, frame []byte) error {
 // order, ships it, then releases the next ticket. Holding the turn across
 // tr.Send is what makes the order observable at the receiver: transports
 // deliver frames per (sender, receiver) pair in Send-call order, so
-// serialized calls arrive serialized.
-func (n *Node) sendTicketed(to MachineID, ob *outbox, ticket uint64, frame []byte) error {
+// serialized calls arrive serialized. The frame's length is read before
+// Send: afterwards the lease may already be recycled.
+func (n *Node) sendTicketed(to MachineID, ob *outbox, ticket uint64, frame *buf.Lease) error {
 	ob.wait(ticket)
 	defer ob.done()
+	size := int64(frame.Len())
 	n.metrics.framesSent.Inc()
-	n.metrics.bytesSent.Add(int64(len(frame)))
+	n.metrics.bytesSent.Add(size)
 	dm := n.destMetricsFor(to)
 	dm.frames.Inc()
-	dm.bytes.Add(int64(len(frame)))
+	dm.bytes.Add(size)
 	return n.tr.Send(to, frame)
 }
 
@@ -577,21 +627,24 @@ func (n *Node) sendTicketed(to MachineID, ob *outbox, ticket uint64, frame []byt
 // a slow handler cannot stall the pipe, while async messages within a
 // batch run in order (the BSP engine relies on per-sender ordering).
 //
-// Frame ownership: the transport owns frame and may reuse its buffer the
-// moment this function returns (see the Transport contract). Everything
-// that outlives the call — the request handed to a serveSync goroutine,
-// the payload parked in a call-result channel — is copied here. Batch
-// items are dispatched inline and covered by the AsyncHandler no-retain
-// contract.
-func (n *Node) receive(from MachineID, frame []byte) {
+// Frame ownership: receive owns one reference to fl (the Transport
+// receiver contract) and settles it without copying the payload — a sync
+// request's reference transfers to the serveSync goroutine, a sync
+// reply's travels with the parked callResult to the waiting caller, and
+// async/batch frames are released here after their in-order inline
+// dispatch (covered by the AsyncHandler no-retain contract).
+func (n *Node) receive(from MachineID, fl *buf.Lease) {
+	frame := fl.Bytes()
 	if len(frame) == 0 {
 		n.metrics.droppedFrames.Inc()
+		fl.Release()
 		return
 	}
 	switch frame[0] {
 	case kindSyncReq:
 		if len(frame) < syncReqHeader {
 			n.metrics.droppedFrames.Inc()
+			fl.Release()
 			return
 		}
 		p := ProtocolID(binary.LittleEndian.Uint16(frame[1:]))
@@ -606,6 +659,7 @@ func (n *Node) receive(from MachineID, frame []byte) {
 		if budget != 0 {
 			if budget < 0 {
 				n.metrics.deadlineDroppedRx.Inc()
+				fl.Release()
 				return
 			}
 			deadline = time.Now().Add(time.Duration(budget) * time.Microsecond)
@@ -613,42 +667,65 @@ func (n *Node) receive(from MachineID, frame []byte) {
 		n.mu.RLock()
 		h := n.sync[p]
 		n.mu.RUnlock()
-		req := append([]byte(nil), frame[syncReqHeader:]...)
-		go n.serveSync(from, p, corr, h, req, deadline)
+		// The request is served zero-copy: the handler reads the payload
+		// straight out of the frame lease, whose reference now belongs to
+		// the serveSync goroutine.
+		go n.serveSync(from, p, corr, h, fl, deadline)
 	case kindSyncResp, kindSyncErr:
 		if len(frame) < frameHeader {
 			n.metrics.droppedFrames.Inc()
+			fl.Release()
 			return
 		}
 		corr := binary.LittleEndian.Uint64(frame[3:])
-		n.callsMu.Lock()
-		ch := n.calls[corr]
-		n.callsMu.Unlock()
-		if ch != nil {
-			res := callResult{}
-			if frame[0] == kindSyncErr {
-				body := frame[frameHeader:]
-				re := &RemoteError{}
-				if len(body) >= 1 {
-					re.Code = body[0]
-					re.Msg = string(body[1:])
-				}
-				res.err = re
-			} else {
-				res.payload = append([]byte(nil), frame[frameHeader:]...)
+		res := callResult{}
+		retain := false
+		if frame[0] == kindSyncErr {
+			body := frame[frameHeader:]
+			re := &RemoteError{}
+			if len(body) >= 1 {
+				re.Code = body[0]
+				re.Msg = string(body[1:])
 			}
+			if re.Code == CodeFrameTooLarge {
+				// The remote handler produced a reply its transport
+				// refused to ship; surface the sentinel so callers can
+				// errors.Is it.
+				res.err = fmt.Errorf("%w: remote reply: %s", ErrFrameTooLarge, re.Msg)
+			} else {
+				res.err = re
+			}
+		} else {
+			res.lease = fl
+			res.payload = frame[frameHeader:]
+			retain = true
+		}
+		// Park under callsMu: CallLease deletes the correlation entry
+		// under the same lock before draining the channel, so a result
+		// parked here is either consumed by the caller or swept by its
+		// cleanup drain — never stranded holding a lease.
+		delivered := false
+		n.callsMu.Lock()
+		if ch := n.calls[corr]; ch != nil {
 			select {
 			case ch <- res:
-			default: // caller already timed out
+				delivered = true
+			default: // duplicate reply; the first one won
 			}
+		}
+		n.callsMu.Unlock()
+		if !retain || !delivered {
+			fl.Release()
 		}
 	case kindAsync:
 		if len(frame) < frameHeader {
 			n.metrics.droppedFrames.Inc()
+			fl.Release()
 			return
 		}
 		p := ProtocolID(binary.LittleEndian.Uint16(frame[1:]))
 		n.dispatchAsync(from, p, frame[frameHeader:])
+		fl.Release()
 	case kindBatch:
 		n.metrics.batchesRecv.Inc()
 		body := frame[1:]
@@ -661,17 +738,27 @@ func (n *Node) receive(from MachineID, frame []byte) {
 				// production can tell "corrupted in transit" from
 				// "never sent".
 				n.metrics.droppedFrames.Inc()
+				fl.Release()
 				return
 			}
 			n.dispatchAsync(from, p, body[:size])
 			body = body[size:]
 		}
+		fl.Release()
 	default:
 		n.metrics.droppedFrames.Inc()
+		fl.Release()
 	}
 }
 
-func (n *Node) serveSync(from MachineID, p ProtocolID, corr uint64, h SyncHandler, req []byte, deadline time.Time) {
+// serveSync runs one sync handler and ships the reply. It owns the
+// request frame's lease: the handler reads the request in place, the
+// response is encoded into a fresh lease (the handler may return slices
+// aliasing the request, so the copy happens before the request lease is
+// settled by the deferred Release).
+func (n *Node) serveSync(from MachineID, p ProtocolID, corr uint64, h SyncHandler, fl *buf.Lease, deadline time.Time) {
+	defer fl.Release()
+	req := fl.Bytes()[syncReqHeader:]
 	ctx := context.Background()
 	if !deadline.IsZero() {
 		// Second expiry check at dispatch time: goroutine scheduling under
@@ -700,14 +787,28 @@ func (n *Node) serveSync(from MachineID, p ProtocolID, corr uint64, h SyncHandle
 		// without substring-matching the message.
 		resp = append([]byte{ErrorCode(err)}, err.Error()...)
 	}
-	out := make([]byte, frameHeader+len(resp))
-	out[0] = kind
-	binary.LittleEndian.PutUint16(out[1:], uint16(p))
-	binary.LittleEndian.PutUint64(out[3:], corr)
-	copy(out[frameHeader:], resp)
+	out := buf.Get(frameHeader + len(resp))
+	ob := out.Bytes()
+	ob[0] = kind
+	binary.LittleEndian.PutUint16(ob[1:], uint16(p))
+	binary.LittleEndian.PutUint64(ob[3:], corr)
+	copy(ob[frameHeader:], resp)
 	// Best effort: if the caller's machine died, the reply is dropped and
 	// the caller times out.
-	_ = n.sendFrame(from, out)
+	if err := n.sendFrame(from, out); errors.Is(err, ErrFrameTooLarge) && kind == kindSyncResp {
+		// The reply exceeded the transport's frame bound. A silent drop
+		// would cost the caller its full timeout; a one-byte wire error
+		// (CodeFrameTooLarge) tells it why immediately.
+		emsg := err.Error()
+		efl := buf.Get(frameHeader + 1 + len(emsg))
+		eb := efl.Bytes()
+		eb[0] = kindSyncErr
+		binary.LittleEndian.PutUint16(eb[1:], uint16(p))
+		binary.LittleEndian.PutUint64(eb[3:], corr)
+		eb[frameHeader] = CodeFrameTooLarge
+		copy(eb[frameHeader+1:], emsg)
+		_ = n.sendFrame(from, efl)
+	}
 }
 
 func (n *Node) dispatchAsync(from MachineID, p ProtocolID, msg []byte) {

@@ -6,7 +6,29 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"trinity/internal/buf"
+	"trinity/internal/obs"
 )
+
+// DefaultMaxFrameSize bounds a single frame on the wire (16 MiB). The
+// inbound length prefix is attacker-controlled: without a bound, one
+// corrupt or hostile peer could make the receiver allocate an
+// arbitrary-size buffer per frame. Oversized inbound frames are drained
+// and discarded (counted on the oversize_frames counter, connection kept);
+// oversized outbound frames are refused with ErrFrameTooLarge before
+// touching the socket.
+const DefaultMaxFrameSize = 16 << 20
+
+// TCPOptions configures a TCPTransport beyond its listen address.
+type TCPOptions struct {
+	// MaxFrameSize bounds frames in both directions. Zero means
+	// DefaultMaxFrameSize.
+	MaxFrameSize uint32
+	// Metrics is the registry for the transport's counters, under
+	// "msg.m<id>.tcp". Nil gives the transport a private registry.
+	Metrics *obs.Registry
+}
 
 // TCPTransport is a Transport over real TCP sockets. Frames are
 // length-prefixed (4-byte little-endian length, 4-byte sender ID, body).
@@ -16,22 +38,36 @@ import (
 type TCPTransport struct {
 	id       MachineID
 	listener net.Listener
+	maxFrame uint32
+	oversize *obs.Counter
 
 	mu      sync.Mutex
 	peers   map[MachineID]string // machine -> address
 	conns   map[MachineID]net.Conn
 	inbound map[net.Conn]bool
-	recv    func(MachineID, []byte)
+	recv    func(MachineID, *buf.Lease)
 	done    bool
 	wg      sync.WaitGroup
 }
 
 // NewTCPTransport starts listening on addr ("" or "127.0.0.1:0" for an
-// ephemeral loopback port) and returns the transport. Peer addresses are
+// ephemeral loopback port) with default options. Peer addresses are
 // registered with AddPeer; use Addr to learn the bound address.
 func NewTCPTransport(id MachineID, addr string) (*TCPTransport, error) {
+	return NewTCPTransportOpts(id, addr, TCPOptions{})
+}
+
+// NewTCPTransportOpts is NewTCPTransport with explicit options.
+func NewTCPTransportOpts(id MachineID, addr string, opts TCPOptions) (*TCPTransport, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
+	}
+	if opts.MaxFrameSize == 0 {
+		opts.MaxFrameSize = DefaultMaxFrameSize
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -40,6 +76,8 @@ func NewTCPTransport(id MachineID, addr string) (*TCPTransport, error) {
 	t := &TCPTransport{
 		id:       id,
 		listener: l,
+		maxFrame: opts.MaxFrameSize,
+		oversize: reg.Scope(fmt.Sprintf("msg.m%d.tcp", id)).Counter("oversize_frames"),
 		peers:    make(map[MachineID]string),
 		conns:    make(map[MachineID]net.Conn),
 		inbound:  make(map[net.Conn]bool),
@@ -63,7 +101,7 @@ func (t *TCPTransport) AddPeer(id MachineID, addr string) {
 func (t *TCPTransport) Local() MachineID { return t.id }
 
 // SetReceiver implements Transport.
-func (t *TCPTransport) SetReceiver(fn func(MachineID, []byte)) {
+func (t *TCPTransport) SetReceiver(fn func(MachineID, *buf.Lease)) {
 	t.mu.Lock()
 	t.recv = fn
 	t.mu.Unlock()
@@ -98,21 +136,29 @@ func (t *TCPTransport) read(conn net.Conn) {
 		t.mu.Unlock()
 	}()
 	var hdr [8]byte
-	var buf []byte // reused across frames: receivers must copy what they retain
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
 		}
 		size := binary.LittleEndian.Uint32(hdr[0:])
 		from := MachineID(int32(binary.LittleEndian.Uint32(hdr[4:])))
-		if size > 1<<30 {
-			return // refuse absurd frames
+		if size > t.maxFrame {
+			// The length prefix is untrusted input: drain the frame off
+			// the stream (keeping the connection framed) and drop it,
+			// visibly, instead of allocating whatever a corrupt or
+			// hostile peer asked for.
+			t.oversize.Inc()
+			if _, err := io.CopyN(io.Discard, conn, int64(size)); err != nil {
+				return
+			}
+			continue
 		}
-		if uint32(cap(buf)) < size {
-			buf = make([]byte, size)
-		}
-		frame := buf[:size]
-		if _, err := io.ReadFull(conn, frame); err != nil {
+		// Each frame reads into its own pooled lease whose reference
+		// transfers to the receiver — no per-connection buffer reuse, no
+		// defensive copy downstream.
+		frame := buf.Get(int(size))
+		if _, err := io.ReadFull(conn, frame.Bytes()); err != nil {
+			frame.Release()
 			return
 		}
 		t.mu.Lock()
@@ -120,27 +166,34 @@ func (t *TCPTransport) read(conn net.Conn) {
 		t.mu.Unlock()
 		if recv != nil {
 			recv(from, frame)
+		} else {
+			frame.Release()
 		}
 	}
 }
 
-// Send implements Transport. Writes to one peer are serialized by the
-// transport lock; the frame copy happens in the kernel.
-func (t *TCPTransport) Send(to MachineID, frame []byte) error {
+// Send implements Transport, consuming one reference to frame in every
+// outcome. Writes to one peer are serialized by the transport lock; the
+// frame copy happens in the kernel.
+func (t *TCPTransport) Send(to MachineID, frame *buf.Lease) error {
+	defer frame.Release()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.done {
 		return ErrClosed
+	}
+	if uint32(frame.Len()) > t.maxFrame {
+		return fmt.Errorf("%w: %d bytes to machine %d (limit %d)", ErrFrameTooLarge, frame.Len(), to, t.maxFrame)
 	}
 	conn, err := t.connLocked(to)
 	if err != nil {
 		return err
 	}
 	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(frame.Len()))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(int32(t.id)))
 	if _, err := conn.Write(hdr[:]); err == nil {
-		_, err = conn.Write(frame)
+		_, err = conn.Write(frame.Bytes())
 		if err == nil {
 			return nil
 		}
@@ -166,6 +219,10 @@ func (t *TCPTransport) connLocked(to MachineID) (net.Conn, error) {
 	t.conns[to] = c
 	return c, nil
 }
+
+// OversizeFrames returns the count of inbound frames discarded for
+// exceeding MaxFrameSize.
+func (t *TCPTransport) OversizeFrames() int64 { return t.oversize.Load() }
 
 // Close implements Transport.
 func (t *TCPTransport) Close() error {

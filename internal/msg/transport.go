@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"trinity/internal/buf"
 )
 
 // MachineID identifies a machine in the cluster.
@@ -37,24 +39,34 @@ var (
 	ErrNoHandler = errors.New("msg: no handler for protocol")
 	// ErrTimeout reports that a synchronous call timed out.
 	ErrTimeout = errors.New("msg: call timed out")
+	// ErrFrameTooLarge reports that a frame exceeds the transport's
+	// MaxFrameSize: outbound, the send is refused locally; a remote
+	// handler's oversized reply comes back as this error via a one-byte
+	// wire error code (CodeFrameTooLarge).
+	ErrFrameTooLarge = errors.New("msg: frame exceeds MaxFrameSize")
 )
 
 // Transport moves opaque frames between machines. Implementations must be
 // safe for concurrent use. The receiver callback is invoked from transport
 // goroutines; it must not block indefinitely.
 //
-// Frame ownership contract (both directions):
+// Frame ownership contract (both directions). Frames are buf.Leases and
+// ownership moves by reference transfer, never by defensive copy:
 //
-//   - Send: the frame belongs to the caller. The transport must finish
-//     reading it (copy it to a queue, write it to a socket) before Send
-//     returns and must not retain it afterward — callers reuse their
-//     buffers.
-//   - Receive: the frame passed to the receiver callback belongs to the
-//     transport, which may reuse or overwrite the buffer as soon as the
-//     callback returns. The receiver must copy anything that outlives the
-//     callback. The TCP transport reuses one read buffer per connection,
-//     and the chaos transport's PoisonFrames mode scribbles over every
-//     delivered frame, precisely to flush out violations.
+//   - Send consumes exactly one reference to the frame, in every outcome:
+//     on success the reference is settled once the frame is on the wire
+//     (or queued for in-process delivery), on error it is released before
+//     Send returns. A caller that wants to keep the frame after Send must
+//     Retain it first (the chaos transport does, to duplicate frames).
+//   - Receive: the receiver callback is handed one reference it now owns
+//     and must settle — by releasing it when dispatch is done, or by
+//     handing it to a longer-lived owner (the Node gives a sync request's
+//     lease to the handler goroutine, and a sync reply's lease to the
+//     waiting caller). The bytes are immutable while any reference is
+//     live: duplicated frames may be delivered twice sharing one backing
+//     array. The chaos transport's PoisonFrames mode scribbles over every
+//     frame at its final release, precisely to flush out aliases that
+//     outlive their reference.
 //
 // Ordering: frames between one (sender, receiver) pair are delivered in
 // Send-call order. Transports promise nothing about frames whose Send
@@ -63,12 +75,14 @@ var (
 type Transport interface {
 	// Local returns this endpoint's machine ID.
 	Local() MachineID
-	// Send delivers a frame to the destination machine. It returns
-	// ErrUnreachable if the destination is down.
-	Send(to MachineID, frame []byte) error
+	// Send delivers a frame to the destination machine, consuming one
+	// reference to it. It returns ErrUnreachable if the destination is
+	// down.
+	Send(to MachineID, frame *buf.Lease) error
 	// SetReceiver installs the frame handler. Must be called before the
-	// first Send to this endpoint.
-	SetReceiver(fn func(from MachineID, frame []byte))
+	// first Send to this endpoint. The handler owns one reference to
+	// every frame it is given.
+	SetReceiver(fn func(from MachineID, frame *buf.Lease))
 	// Close shuts the endpoint down; subsequent Sends to it fail with
 	// ErrUnreachable.
 	Close() error
@@ -89,7 +103,7 @@ func NewBus() *Bus {
 
 type busFrame struct {
 	from  MachineID
-	frame []byte
+	frame *buf.Lease
 }
 
 type busEndpoint struct {
@@ -100,7 +114,7 @@ type busEndpoint struct {
 	// require ep.mu: a sender blocked on a full queue holds ep.mu, and
 	// taking it here would deadlock the very goroutine that drains the
 	// queue.
-	recv atomic.Pointer[func(MachineID, []byte)]
+	recv atomic.Pointer[func(MachineID, *buf.Lease)]
 
 	mu     sync.Mutex
 	queue  chan busFrame
@@ -139,42 +153,50 @@ func (b *Bus) Disconnect(id MachineID) {
 }
 
 func (ep *busEndpoint) deliver() {
+	// Ranging over the closed queue drains frames enqueued before
+	// shutdown, so every queued lease is settled exactly once: by the
+	// receiver if one is installed, here otherwise.
 	for f := range ep.queue {
 		if recv := ep.recv.Load(); recv != nil {
 			(*recv)(f.from, f.frame)
+		} else {
+			f.frame.Release()
 		}
 	}
 }
 
 func (ep *busEndpoint) Local() MachineID { return ep.id }
 
-func (ep *busEndpoint) SetReceiver(fn func(MachineID, []byte)) {
+func (ep *busEndpoint) SetReceiver(fn func(MachineID, *buf.Lease)) {
 	ep.recv.Store(&fn)
 }
 
-func (ep *busEndpoint) Send(to MachineID, frame []byte) error {
+func (ep *busEndpoint) Send(to MachineID, frame *buf.Lease) error {
 	ep.mu.Lock()
 	closed := ep.closed
 	ep.mu.Unlock()
 	if closed {
+		frame.Release()
 		return ErrClosed
 	}
 	ep.bus.mu.RLock()
 	dst, ok := ep.bus.endpoints[to]
 	ep.bus.mu.RUnlock()
 	if !ok {
+		frame.Release()
 		return fmt.Errorf("%w: machine %d", ErrUnreachable, to)
 	}
-	// Copy: the frame crosses a goroutine boundary and callers reuse
-	// their buffers (exactly as a real NIC would copy to the wire).
-	cp := make([]byte, len(frame))
-	copy(cp, frame)
+	// No copy: the sender's reference transfers to the queue and from
+	// there to the receiver callback. This is the in-process analogue of
+	// zero-copy DMA — the bytes written by the sender are the bytes the
+	// receiver decodes.
 	dst.mu.Lock()
 	if dst.closed {
 		dst.mu.Unlock()
+		frame.Release()
 		return fmt.Errorf("%w: machine %d", ErrUnreachable, to)
 	}
-	dst.queue <- busFrame{from: ep.id, frame: cp}
+	dst.queue <- busFrame{from: ep.id, frame: frame}
 	dst.mu.Unlock()
 	return nil
 }

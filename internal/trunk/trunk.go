@@ -212,7 +212,7 @@ func New(opts Options) *Trunk {
 	}
 	pages := (opts.Capacity + opts.PageSize - 1) / opts.PageSize
 	t := &Trunk{
-		buf:       make([]byte, opts.Capacity),
+		buf:       make([]byte, opts.Capacity), //alloc:ok one-time trunk arena at construction
 		index:     make(map[uint64]*entry),
 		pageSize:  opts.PageSize,
 		committed: make([]bool, pages),
@@ -536,7 +536,7 @@ func (t *Trunk) Append(key uint64, extra []byte) error {
 		return nil
 	}
 	// Relocate with room for the new bytes plus a fresh reservation.
-	payload := make([]byte, int(e.size)+len(extra))
+	payload := make([]byte, int(e.size)+len(extra)) //alloc:ok relocation slow path, amortized by reservation
 	copy(payload, t.buf[e.offset+headerSize:e.offset+headerSize+int64(e.size)])
 	copy(payload[e.size:], extra)
 	return t.relocateLocked(key, e, payload, int32(t.reserve(int(e.size), len(extra))))
@@ -551,10 +551,43 @@ func (t *Trunk) Get(key uint64) ([]byte, error) {
 		return nil, ErrNotFound
 	}
 	e.spinLock()
-	out := make([]byte, e.size)
+	out := make([]byte, e.size) //alloc:ok Get is the copying API by contract; hot paths use GetView/ReadInto
 	copy(out, t.buf[e.offset+headerSize:])
 	e.unlock()
 	return out, nil
+}
+
+// GetView returns a zero-copy view of the cell's payload together with
+// the guard pinning it. The slice is valid until the guard is unlocked;
+// while held, the defragmentation daemon cannot move the cell and
+// concurrent writers to it block. Callers that only need the bytes
+// transiently should prefer View; GetView exists for readers that thread
+// the view through code that cannot run under a callback (the CSR
+// builder's arena appends, wire encoders filling a frame).
+func (t *Trunk) GetView(key uint64) ([]byte, *Guard, error) {
+	g, err := t.Lock(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g.Bytes(), g, nil
+}
+
+// ReadInto appends the cell's payload to dst and returns the extended
+// slice, like append: the caller brings the buffer, so a hot loop reading
+// many cells (the multi-get handler) performs zero per-cell allocations.
+// dst is returned unchanged on ErrNotFound. The cell's spin lock is held
+// only for the copy.
+func (t *Trunk) ReadInto(key uint64, dst []byte) ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.index[key]
+	if !ok {
+		return dst, ErrNotFound
+	}
+	e.spinLock()
+	dst = append(dst, t.buf[e.offset+headerSize:e.offset+headerSize+int64(e.size)]...)
+	e.unlock()
+	return dst, nil
 }
 
 // Size returns the payload size of a cell without copying it.
@@ -737,7 +770,7 @@ func (t *Trunk) advanceTail(span int64) {
 
 func (t *Trunk) scratchCopy(b []byte) []byte {
 	if cap(t.scratch) < len(b) {
-		t.scratch = make([]byte, len(b)*2)
+		t.scratch = make([]byte, len(b)*2) //alloc:ok reusable scratch, doubles rarely
 	}
 	s := t.scratch[:len(b)]
 	copy(s, b)
@@ -867,7 +900,7 @@ func (t *Trunk) LoadFrom(r io.Reader) error {
 			return fmt.Errorf("%w: record %d size %d exceeds capacity", ErrCorrupt, i, size)
 		}
 		if cap(payload) < int(size) {
-			payload = make([]byte, size)
+			payload = make([]byte, size) //alloc:ok startup-only snapshot load, buffer reused across records
 		}
 		payload = payload[:size]
 		if _, err := io.ReadFull(tr, payload); err != nil {

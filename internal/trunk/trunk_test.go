@@ -863,3 +863,64 @@ func ExampleTrunk() {
 	fmt.Println(string(v))
 	// Output: hello
 }
+
+func TestGetViewZeroCopy(t *testing.T) {
+	tr := newSmall(t)
+	want := payload(128, 3)
+	if err := tr.Add(9, want); err != nil {
+		t.Fatal(err)
+	}
+	view, g, err := tr.GetView(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(view, want) {
+		t.Fatalf("GetView = %v, want %v", view[:8], want[:8])
+	}
+	// Zero-copy: writing through the view must be visible to Get.
+	view[0] = 0xEE
+	g.Unlock()
+	got, err := tr.Get(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xEE {
+		t.Fatal("GetView handed out a copy, not a view")
+	}
+}
+
+func TestGetViewMissing(t *testing.T) {
+	tr := newSmall(t)
+	if _, _, err := tr.GetView(404); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetView missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestReadIntoAppends(t *testing.T) {
+	tr := newSmall(t)
+	a, b := payload(40, 1), payload(60, 2)
+	if err := tr.Add(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(2, b); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, 128)
+	dst, err := tr.ReadInto(1, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err = tr.ReadInto(2, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, append(append([]byte(nil), a...), b...)) {
+		t.Fatal("ReadInto did not append payloads in order")
+	}
+	// Missing key: dst comes back unchanged alongside ErrNotFound.
+	before := len(dst)
+	dst, err = tr.ReadInto(404, dst)
+	if !errors.Is(err, ErrNotFound) || len(dst) != before {
+		t.Fatalf("ReadInto missing = (%d bytes, %v), want unchanged + ErrNotFound", len(dst), err)
+	}
+}
