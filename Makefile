@@ -8,7 +8,7 @@ CHAOS_TIMEOUT ?= 10m
 # The graph-stack benchmark set: archived, baselined and gated in CI.
 BENCH_PKGS = ./internal/graph/ ./internal/graph/view/ \
 	./internal/compute/bsp/ ./internal/compute/traversal/ \
-	./internal/memcloud/fetch/
+	./internal/memcloud/fetch/ ./internal/memcloud/store/
 BENCH_TIME ?= 2s
 BENCH_JSON ?= BENCH_graph.json
 BENCH_TOL ?= 0.20
@@ -78,9 +78,12 @@ bench:
 
 # Graph-stack benchmarks alone, straight to JSON. -benchmem records
 # B/op and allocs/op so the compare gate can catch alloc regressions on
-# the zero-copy read path, not just slowdowns.
+# the zero-copy read path, not just slowdowns. -p 1 keeps the package
+# test binaries sequential: several of these spin up multi-machine
+# simulated clouds, and concurrent binaries contend for cores badly
+# enough to swing ns/op by 2x either way.
 bench-json:
-	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCH_TIME) $(BENCH_PKGS) \
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCH_TIME) -p 1 $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # Refresh the committed regression-gate baseline (run on quiet hardware,

@@ -18,9 +18,10 @@
 //     teardown-shaped APIs, never for request-shaped ones.
 //
 //  3. No make([]byte, ...) on the designated hot paths (internal/trunk,
-//     internal/msg, internal/memcloud/fetch) unless the line carries an
-//     `//alloc:ok <reason>` comment. These packages sit on the zero-copy
-//     read path: per-frame and per-cell buffers come from the buf lease
+//     internal/msg, internal/memcloud and its fetch/store subpackages)
+//     unless the line carries an `//alloc:ok <reason>` comment. These
+//     packages sit on the zero-copy read path and the batched write
+//     path: per-frame and per-cell buffers come from the buf lease
 //     pool, and an unannotated allocation is usually a regression that
 //     silently re-introduces the GC churn the lease refactor removed.
 //     Cold-path or deliberately caller-owned allocations get the
@@ -56,7 +57,9 @@ var ctxPackages = []string{
 var allocHotPackages = []string{
 	"internal/trunk",
 	"internal/msg",
+	"internal/memcloud",
 	"internal/memcloud/fetch",
+	"internal/memcloud/store",
 }
 
 // allowNoCtx names exported functions that block by design without a

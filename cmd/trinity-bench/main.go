@@ -26,17 +26,18 @@ import (
 )
 
 var experiments = map[string]func(context.Context, bench.Scale) (*bench.Table, error){
-	"fig8a":  bench.Fig8a,
-	"fig8b":  bench.Fig8b,
-	"fig12a": bench.Fig12a,
-	"fig12b": bench.Fig12b,
-	"fig12c": bench.Fig12c,
-	"fig12d": bench.Fig12d,
-	"fig13":  bench.Fig13,
-	"fig14a": bench.Fig14a,
-	"fig14b": bench.Fig14b,
-	"3hop":   bench.ThreeHop,
-	"msgopt": bench.MsgOptAblation,
+	"fig8a":    bench.Fig8a,
+	"fig8b":    bench.Fig8b,
+	"fig12a":   bench.Fig12a,
+	"fig12b":   bench.Fig12b,
+	"fig12c":   bench.Fig12c,
+	"fig12d":   bench.Fig12d,
+	"fig13":    bench.Fig13,
+	"fig14a":   bench.Fig14a,
+	"fig14b":   bench.Fig14b,
+	"3hop":     bench.ThreeHop,
+	"msgopt":   bench.MsgOptAblation,
+	"bulkload": bench.BulkLoad,
 }
 
 func main() {

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"trinity/internal/algo"
@@ -13,6 +14,7 @@ import (
 	"trinity/internal/graph"
 	"trinity/internal/hash"
 	"trinity/internal/memcloud"
+	"trinity/internal/memcloud/store"
 	"trinity/internal/msg"
 	"trinity/internal/obs"
 	"trinity/internal/rdf"
@@ -447,6 +449,148 @@ func MsgOptAblation(ctx context.Context, s Scale) (*Table, error) {
 		t.AddRow(label, wire, d)
 	}
 	return t, nil
+}
+
+// BulkLoad quantifies the batched write pipeline in its three regimes:
+// an owner-partitioned in-place load (graph.Builder.Flush), the same load
+// with buffered logging (where WAL group commit collapses one TFS append
+// per cell into one per batch), and an ingest through a single access
+// point (every cell streamed from slave 0, where multi-put batching
+// collapses one sync round trip per cell into one per batch). Each is
+// measured against the per-cell synchronous-Put baseline, with sync
+// storage calls counted from a private registry: the per-cell path pays
+// one call per cell, the pipeline one multi-put batch.
+func BulkLoad(ctx context.Context, s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Batched write pipeline: bulk load per-cell vs multi-put (8 machines)",
+		Columns: []string{"scenario", "cells", "per-cell", "pipelined", "speedup", "sync calls", "batches", "reduction"},
+	}
+	people := 30000 * s.factor()
+	build := func() *graph.Builder {
+		b := graph.NewBuilder(false)
+		gen.BuildSocial(gen.SocialConfig{People: people, AvgDegree: 13, Seed: uint64(people)}, b)
+		return b
+	}
+
+	// Owner-partitioned flush, with and without buffered logging.
+	for _, logged := range []bool{false, true} {
+		regBase := obs.NewRegistry()
+		cloudBase := newCloudOn(8, logged, regBase)
+		gBase := graph.New(cloudBase, false)
+		bBase := build()
+		cells := bBase.NodeCount()
+		var err error
+		perCell := Timed(func() { err = bBase.FlushPerCell(ctx, gBase) })
+		cloudBase.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		regPipe := obs.NewRegistry()
+		cloudPipe := newCloudOn(8, logged, regPipe)
+		gPipe := graph.New(cloudPipe, false)
+		bPipe := build()
+		pipelined := Timed(func() { err = bPipe.Flush(ctx, gPipe) })
+		cloudPipe.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		name := "owner-partitioned flush"
+		if logged {
+			name += " + WAL"
+		}
+		if err := addLoadRow(t, name, cells, perCell, pipelined, regBase, regPipe); err != nil {
+			return nil, err
+		}
+	}
+
+	// Single access point: every cell written from slave 0 (7/8 remote).
+	cells := make([][]byte, people)
+	for i := range cells {
+		v := make([]byte, 120)
+		for j := range v {
+			v[j] = byte(i) + byte(j)
+		}
+		cells[i] = v
+	}
+	regBase := obs.NewRegistry()
+	cloudBase := newCloudOn(8, false, regBase)
+	s0 := cloudBase.Slave(0)
+	var err error
+	perCell := Timed(func() {
+		for k, v := range cells {
+			if err = s0.Put(ctx, uint64(k), v); err != nil {
+				return
+			}
+		}
+	})
+	cloudBase.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	regPipe := obs.NewRegistry()
+	cloudPipe := newCloudOn(8, false, regPipe)
+	w := store.New(cloudPipe.Slave(0), store.Options{Metrics: regPipe})
+	pipelined := Timed(func() {
+		for k, v := range cells {
+			w.PutAsync(uint64(k), v)
+		}
+		err = w.Drain(ctx)
+	})
+	w.Close()
+	cloudPipe.Close()
+	if err != nil {
+		return nil, err
+	}
+	if err := addLoadRow(t, "single access point", people, perCell, pipelined, regBase, regPipe); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// addLoadRow derives the sync-call ablation for one bulk-load scenario:
+// the baseline's per-cell storage calls vs the pipeline's batch count.
+func addLoadRow(t *Table, name string, cells int, perCell, pipelined time.Duration, regBase, regPipe *obs.Registry) error {
+	syncCalls := sumCounters(regBase, ".local_ops") + sumCounters(regBase, ".remote_ops")
+	batches := sumCounters(regPipe, ".multiput_batches")
+	if batches == 0 {
+		return fmt.Errorf("bench: %s recorded no multi-put batches", name)
+	}
+	t.AddRow(name, cells, perCell, pipelined,
+		fmt.Sprintf("%.1fx", float64(perCell)/float64(pipelined)),
+		syncCalls, batches,
+		fmt.Sprintf("%.0fx", float64(syncCalls)/float64(batches)))
+	return nil
+}
+
+// newCloudOn is newCloud with a caller-chosen registry (for experiments
+// that count their own traffic instead of sharing the process registry)
+// and optional buffered logging.
+func newCloudOn(machines int, logged bool, reg *obs.Registry) *memcloud.Cloud {
+	return memcloud.New(memcloud.Config{
+		Machines:        machines,
+		TrunkCapacity:   4 << 20,
+		TrunkPageSize:   8 << 10,
+		BufferedLogging: logged,
+		Msg: msg.Options{
+			FlushInterval: time.Millisecond,
+			CallTimeout:   5 * time.Minute,
+		},
+		Metrics: reg,
+	})
+}
+
+// sumCounters totals every counter in reg whose name ends in suffix.
+func sumCounters(reg *obs.Registry, suffix string) int64 {
+	var total int64
+	for _, v := range reg.Snapshot() {
+		if v.Kind == "counter" && strings.HasSuffix(v.Name, suffix) {
+			total += v.Int
+		}
+	}
+	return total
 }
 
 // --- helpers ---

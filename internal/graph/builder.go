@@ -10,9 +10,16 @@ import (
 )
 
 // Builder accumulates a graph in memory and writes it to the cloud in one
-// parallel pass, one Put per node cell. Bulk loading this way is how the
-// simulated cluster ingests the multi-million-edge benchmark graphs; the
-// per-edge AddEdge path exists for dynamic updates.
+// parallel pass through the batched multi-put path: nodes are partitioned
+// by owner machine and applied in multi-put batches on each owner, so a
+// load costs one amortized trunk-lock acquisition and one WAL group
+// record per trunk per few hundred cells instead of one sync call and one
+// WAL append per cell. Bulk loading this way is how the simulated cluster
+// ingests the multi-million-edge benchmark graphs; the per-edge AddEdge
+// path exists for dynamic updates. rdf.Builder loads through this same
+// path. (Loaders that feed the cloud from a single access point — a
+// client or proxy that owns no trunks — use store.Writer instead, which
+// ships the same batches over the wire asynchronously.)
 //
 // A Builder is not safe for concurrent use; build the edge list first,
 // then Flush.
@@ -78,10 +85,104 @@ func (b *Builder) AddWeightedEdge(src, dst uint64, w int64) {
 func (b *Builder) NodeCount() int { return len(b.nodes) }
 
 // Flush writes all accumulated nodes into the graph's memory cloud in
-// parallel (one worker per CPU, each writing through the owner slave's
-// local fast path) and clears the builder.
+// parallel (one worker per CPU, each applying its owner's nodes in local
+// multi-put batches on that owner's slave) and clears the builder.
 func (b *Builder) Flush(ctx context.Context, g *Graph) error {
-	// Partition nodes by owner so every Put is a local trunk operation.
+	// Partition nodes by owner so every batch is a local trunk operation.
+	perOwner := make([][]*Node, g.Machines())
+	anchor := g.On(0).Slave()
+	for _, n := range b.nodes {
+		owner := int(anchor.Owner(n.ID))
+		if owner < 0 || owner >= len(perOwner) {
+			return fmt.Errorf("graph: node %d maps to unknown machine %d", n.ID, owner)
+		}
+		perOwner[owner] = append(perOwner[owner], n)
+	}
+	workers := runtime.NumCPU()
+	if workers > g.Machines() {
+		workers = g.Machines()
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, g.Machines())
+	sem := make(chan struct{}, workers)
+	for owner, nodes := range perOwner {
+		if len(nodes) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(owner int, nodes []*Node) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := flushOwner(ctx, g.On(owner).Slave(), nodes); err != nil {
+				errCh <- fmt.Errorf("graph: flush nodes for machine %d: %w", owner, err)
+			}
+		}(owner, nodes)
+	}
+	wg.Wait()
+	b.nodes = make(map[uint64]*Node)
+	// The bulk writes above go through the slaves directly, so bump every
+	// touched machine's partition epoch: cached partition views must not
+	// survive a load.
+	for owner, nodes := range perOwner {
+		if len(nodes) > 0 {
+			g.On(owner).InvalidatePartition()
+		}
+	}
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// flushBatch is how many node cells one multi-put batch carries during a
+// bulk load: the pipeline's maximum batch size, reached immediately since
+// the whole partition is known up front (no adaptive ramp needed).
+const flushBatch = 512
+
+// flushOwner streams one owner's nodes through the batched multi-put
+// path: every flushBatch cells cost one amortized trunk-lock acquisition
+// per trunk and one WAL group record, instead of one sync call and one
+// WAL append per cell. The keys here are unique (one per node), so the
+// store.Writer's per-key ordering machinery is unnecessary overhead;
+// LocalMultiPut is called directly. A key whose trunk moved away mid-load
+// (failover) answers WrongOwner and falls back to the re-routing Put.
+func flushOwner(ctx context.Context, s *memcloud.Slave, nodes []*Node) error {
+	items := make([]memcloud.MultiPutItem, 0, min(len(nodes), flushBatch))
+	for start := 0; start < len(nodes); start += flushBatch {
+		chunk := nodes[start:min(start+flushBatch, len(nodes))]
+		items = items[:0]
+		for _, n := range chunk {
+			items = append(items, memcloud.MultiPutItem{
+				Op: memcloud.MultiPutOpPut, Key: n.ID, Val: EncodeNode(n),
+			})
+		}
+		statuses, ok := s.LocalMultiPut(items)
+		if !ok {
+			return fmt.Errorf("graph: endpoint %d cannot apply batches locally", s.ID())
+		}
+		for i, st := range statuses {
+			if st == memcloud.MultiPutOK {
+				continue
+			}
+			// The trunk moved (or the item was refused): one re-routed
+			// synchronous Put answers both.
+			if err := s.Put(ctx, items[i].Key, items[i].Val); err != nil {
+				return fmt.Errorf("graph: flush node %d: %w", items[i].Key, err)
+			}
+		}
+	}
+	return nil
+}
+
+// FlushPerCell is the pre-pipeline write path — one synchronous Put per
+// node cell through the owner slave — kept as the measured baseline for
+// the bulk-load ablation (bench.BulkLoad, BenchmarkBulkLoad): it is what
+// Flush cost before batching, so the before/after table in EXPERIMENTS.md
+// stays reproducible.
+func (b *Builder) FlushPerCell(ctx context.Context, g *Graph) error {
 	perOwner := make([][]*Node, g.Machines())
 	anchor := g.On(0).Slave()
 	for _, n := range b.nodes {
@@ -118,9 +219,6 @@ func (b *Builder) Flush(ctx context.Context, g *Graph) error {
 	}
 	wg.Wait()
 	b.nodes = make(map[uint64]*Node)
-	// The bulk writes above go through the slaves directly, so bump every
-	// touched machine's partition epoch: cached partition views must not
-	// survive a load.
 	for owner, nodes := range perOwner {
 		if len(nodes) > 0 {
 			g.On(owner).InvalidatePartition()

@@ -78,6 +78,49 @@ const (
 	MultiGetWrongOwner
 )
 
+// ProtoMultiPut is the batched cell-write protocol, the mirror image of
+// ProtoMultiGet for the bulk-load direction: one request carries N write
+// ops and one response answers all of them with per-key status codes, so
+// a stale table entry or a duplicate insert for one key cannot fail the
+// whole frame. On the serving side the batch is applied trunk by trunk
+// through Trunk.PutBatch (one trunk-mutex acquisition per group) and
+// logged as one coalesced WAL group record per trunk (one AppendFile
+// instead of N). The store pipeline (internal/memcloud/store) is its
+// intended client; the protocol is exported so that package can speak it
+// without an import cycle.
+const ProtoMultiPut msg.ProtocolID = 0x0111
+
+// Op codes inside a ProtoMultiPut request.
+const (
+	// MultiPutOpPut upserts the cell (last write wins).
+	MultiPutOpPut byte = iota
+	// MultiPutOpAdd inserts the cell, answering MultiPutExists if present.
+	MultiPutOpAdd
+)
+
+// Per-key status codes in a ProtoMultiPut response.
+const (
+	// MultiPutOK reports the write was applied (and logged, under
+	// buffered logging) on the owner.
+	MultiPutOK byte = iota
+	// MultiPutExists answers an MultiPutOpAdd whose key already existed.
+	MultiPutExists
+	// MultiPutWrongOwner reports the serving machine does not host the
+	// key's trunk; the caller should refresh its table and retry.
+	MultiPutWrongOwner
+	// MultiPutErr reports the write failed on the owner for a reason that
+	// re-routing will not fix (trunk out of memory, reserved key).
+	MultiPutErr
+)
+
+// MultiPutItem is one write op inside a multi-put batch. Val is aliased,
+// not copied: it must stay immutable until the batch is applied.
+type MultiPutItem struct {
+	Op  byte
+	Key uint64
+	Val []byte
+}
+
 // Config configures a memory cloud.
 type Config struct {
 	// Machines is the number of slaves in the simulated cluster.
@@ -392,10 +435,18 @@ type Slave struct {
 
 	multigetBatches *obs.Counter
 	multigetKeys    *obs.Counter
+
+	multiputBatches   *obs.Counter
+	multiputKeys      *obs.Counter
+	multiputBatchSize *obs.Histogram
+
+	walGroupCommits  *obs.Counter
+	walBytesAppended *obs.Counter
 }
 
 func newSlave(node *msg.Node, fs *tfs.FS, initial *cluster.Table, cfg Config) *Slave {
 	scope := cfg.Metrics.Scope(fmt.Sprintf("memcloud.m%d", node.ID()))
+	walScope := cfg.Metrics.Scope(fmt.Sprintf("wal.m%d", node.ID()))
 	s := &Slave{
 		id:      node.ID(),
 		node:    node,
@@ -416,6 +467,13 @@ func newSlave(node *msg.Node, fs *tfs.FS, initial *cluster.Table, cfg Config) *S
 
 		multigetBatches: scope.Counter("multiget_batches"),
 		multigetKeys:    scope.Counter("multiget_keys"),
+
+		multiputBatches:   scope.Counter("multiput_batches"),
+		multiputKeys:      scope.Counter("multiput_keys"),
+		multiputBatchSize: scope.Histogram("multiput_batch_size"),
+
+		walGroupCommits:  walScope.Counter("group_commits"),
+		walBytesAppended: walScope.Counter("bytes_appended"),
 	}
 	s.registerTrunkGauges()
 	s.alive.Store(true)
@@ -434,6 +492,7 @@ func newSlave(node *msg.Node, fs *tfs.FS, initial *cluster.Table, cfg Config) *S
 	node.HandleSync(protoAppendCell, s.onAppend)
 	node.HandleSync(protoContains, s.onContains)
 	node.HandleSync(ProtoMultiGet, s.onMultiGet)
+	node.HandleSync(ProtoMultiPut, s.onMultiPut)
 	if cfg.DefragInterval > 0 {
 		s.defrag = trunk.NewDaemon(cfg.DefragInterval)
 		s.mu.RLock()
@@ -621,7 +680,7 @@ func encodeKey(key uint64) []byte {
 }
 
 func encodeKV(key uint64, val []byte) []byte {
-	out := make([]byte, 8+len(val))
+	out := make([]byte, 8+len(val)) //alloc:ok per-op sync path; batched writers encode into leases
 	binary.LittleEndian.PutUint64(out, key)
 	copy(out[8:], val)
 	return out
@@ -637,7 +696,7 @@ func decodeKV(b []byte) (uint64, []byte, error) {
 // EncodeMultiGetReq builds a ProtoMultiGet request: u32 count, then count
 // 64-bit keys.
 func EncodeMultiGetReq(keys []uint64) []byte {
-	out := make([]byte, 4+8*len(keys))
+	out := make([]byte, 4+8*len(keys)) //alloc:ok caller-owned request frame, one per batch
 	binary.LittleEndian.PutUint32(out, uint32(len(keys)))
 	for i, k := range keys {
 		binary.LittleEndian.PutUint64(out[4+8*i:], k)
@@ -697,6 +756,85 @@ func DecodeMultiGetResp(b []byte, want int) ([]MultiGetResult, error) {
 		return nil, fmt.Errorf("memcloud: multi-get answered %d of %d keys", len(out), want)
 	}
 	return out, nil
+}
+
+// MultiPutReqSize returns the encoded size of a ProtoMultiPut request, so
+// the store pipeline can lease the exact frame up front.
+func MultiPutReqSize(items []MultiPutItem) int {
+	n := 4
+	for i := range items {
+		n += 13 + len(items[i].Val)
+	}
+	return n
+}
+
+// AppendMultiPutReq encodes a ProtoMultiPut request into dst and returns
+// the extended slice: u32 count, then count × [op(1) key(8) len(4) val].
+// Combined with MultiPutReqSize the caller brings an exactly-sized buffer
+// (a pooled lease), so encoding allocates nothing.
+func AppendMultiPutReq(dst []byte, items []MultiPutItem) []byte {
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(items)))
+	dst = append(dst, u32[:]...)
+	var hdr [13]byte
+	for i := range items {
+		hdr[0] = items[i].Op
+		binary.LittleEndian.PutUint64(hdr[1:], items[i].Key)
+		binary.LittleEndian.PutUint32(hdr[9:], uint32(len(items[i].Val)))
+		dst = append(dst, hdr[:]...)
+		dst = append(dst, items[i].Val...)
+	}
+	return dst
+}
+
+// decodeMultiPutReq parses a ProtoMultiPut request. Values alias b: the
+// handler applies them before the request lease is released.
+func decodeMultiPutReq(b []byte) ([]MultiPutItem, error) {
+	if len(b) < 4 {
+		return nil, errors.New("memcloud: short multi-put request")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n < 0 || n > len(b) { // each item needs ≥ 13 bytes; cheap upper bound first
+		return nil, errors.New("memcloud: truncated multi-put request")
+	}
+	items := make([]MultiPutItem, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 13 {
+			return nil, errors.New("memcloud: truncated multi-put item header")
+		}
+		op := b[0]
+		if op != MultiPutOpPut && op != MultiPutOpAdd {
+			return nil, fmt.Errorf("memcloud: unknown multi-put op %d", op)
+		}
+		key := binary.LittleEndian.Uint64(b[1:])
+		vn := int(binary.LittleEndian.Uint32(b[9:]))
+		b = b[13:]
+		if vn < 0 || vn > len(b) {
+			return nil, errors.New("memcloud: truncated multi-put value")
+		}
+		items = append(items, MultiPutItem{Op: op, Key: key, Val: b[:vn:vn]})
+		b = b[vn:]
+	}
+	if len(b) != 0 {
+		return nil, errors.New("memcloud: trailing bytes in multi-put request")
+	}
+	return items, nil
+}
+
+// DecodeMultiPutResp parses a ProtoMultiPut response into per-item status
+// codes in request order. want is the number of items the request
+// carried; a response answering a different number is malformed.
+func DecodeMultiPutResp(b []byte, want int) ([]byte, error) {
+	if len(b) != want {
+		return nil, fmt.Errorf("memcloud: multi-put answered %d of %d keys", len(b), want)
+	}
+	for _, st := range b {
+		if st > MultiPutErr {
+			return nil, fmt.Errorf("memcloud: unknown multi-put status %d", st)
+		}
+	}
+	return b, nil
 }
 
 // Wire error codes: handlers tag their sentinel errors with msg.WithCode
@@ -889,6 +1027,98 @@ func (s *Slave) onMultiGet(_ context.Context, _ msg.MachineID, req []byte) ([]by
 		out = grown
 	}
 	return out, nil
+}
+
+// onMultiPut applies N cell writes from one frame. Every item gets its
+// own status byte, so one stale-table key or duplicate insert degrades to
+// a per-key status instead of failing the whole batch — the store
+// pipeline retries just the wrong-owner keys after a table refresh.
+func (s *Slave) onMultiPut(_ context.Context, _ msg.MachineID, req []byte) ([]byte, error) {
+	items, err := decodeMultiPutReq(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.applyMultiPut(items), nil
+}
+
+// LocalMultiPut applies a multi-put batch directly to this slave's
+// trunks, without touching the network: the store pipeline's local fast
+// path, which keeps the batching wins (amortized trunk locking, one WAL
+// group record per trunk) for writes that never leave the machine. ok is
+// always true for a slave; items whose trunk is not hosted here answer
+// MultiPutWrongOwner in the status slice.
+func (s *Slave) LocalMultiPut(items []MultiPutItem) (statuses []byte, ok bool) {
+	return s.applyMultiPut(items), true
+}
+
+// applyMultiPut groups the batch by trunk and applies each group through
+// Trunk.PutBatch — one trunk-mutex acquisition per group instead of one
+// per cell — then, under buffered logging, commits the whole group as one
+// coalesced WAL record with a single AppendFile under the trunk's wal
+// lock (group commit). Items are applied in batch order within each
+// trunk; two writes to one key always land in the same trunk, so the
+// pipeline's last-write-wins order is preserved end to end.
+func (s *Slave) applyMultiPut(items []MultiPutItem) []byte {
+	defer s.observeSince(s.setNs, time.Now())
+	s.multiputBatches.Add(1)
+	s.multiputKeys.Add(int64(len(items)))
+	s.multiputBatchSize.Observe(int64(len(items)))
+	statuses := make([]byte, len(items)) //alloc:ok one status slice per batch, amortized over items
+	// Group item indices by trunk, preserving batch order within each
+	// group. Bulk loads are partitioned per owner, so a typical batch
+	// touches only this machine's handful of trunks.
+	groups := make(map[uint32][]int)
+	for i := range items {
+		tid := s.trunkFor(items[i].Key)
+		groups[tid] = append(groups[tid], i)
+	}
+	for tid, idxs := range groups {
+		t := s.localTrunk(tid)
+		if t == nil {
+			for _, i := range idxs {
+				statuses[i] = MultiPutWrongOwner
+			}
+			continue
+		}
+		s.localOps.Add(int64(len(idxs)))
+		bitems := make([]trunk.BatchItem, len(idxs))
+		for j, i := range idxs {
+			bitems[j] = trunk.BatchItem{
+				Key: items[i].Key,
+				Val: items[i].Val,
+				Add: items[i].Op == MultiPutOpAdd,
+			}
+		}
+		var errs []error
+		if s.cfg.BufferedLogging {
+			// Mutation + group log append are one critical section with
+			// respect to backup's dump+truncate, exactly like loggedApply:
+			// every write in the batch is covered by the dump the
+			// truncation trusts, or by the log, or both.
+			mu := &s.walMu[tid]
+			mu.RLock()
+			errs = t.PutBatch(bitems)
+			rec := encodeGroupRecord(bitems, errs)
+			if rec != nil {
+				s.fs.AppendFile(walFile(tid), rec)
+				s.walGroupCommits.Add(1)
+				s.walBytesAppended.Add(int64(len(rec)))
+			}
+			mu.RUnlock()
+		} else {
+			errs = t.PutBatch(bitems)
+		}
+		for j, i := range idxs {
+			if errs == nil || errs[j] == nil {
+				statuses[i] = MultiPutOK
+			} else if errors.Is(errs[j], trunk.ErrExists) {
+				statuses[i] = MultiPutExists
+			} else {
+				statuses[i] = MultiPutErr
+			}
+		}
+	}
+	return statuses
 }
 
 // --- client-side operations ---
@@ -1119,7 +1349,9 @@ func (s *Slave) acquireTrunks(tids []uint32) {
 		}
 		if s.cfg.BufferedLogging {
 			if log, err := s.fs.ReadFile(walFile(tid)); err == nil {
-				replayLog(t, log)
+				// Best effort: a corrupt record stops replay at the last
+				// decodable prefix; everything before it is applied.
+				_ = replayLog(t, log)
 			}
 		}
 		s.mu.Lock()
@@ -1156,7 +1388,48 @@ const (
 	opPut byte = iota + 1
 	opRemove
 	opAppend
+	// opGroup frames a group-commit record: op(1) bodyLen(4) body, where
+	// body is a concatenation of plain records (one per write in the
+	// multi-put batch that succeeded on its trunk). The whole group lands
+	// in one AppendFile, so a batch of N writes costs one TFS append
+	// instead of N; the length prefix lets replay distinguish a crash-
+	// truncated tail (ignored, the writes were never acked) from garbage
+	// inside a fully appended group (an error).
+	opGroup
 )
+
+// encodeGroupRecord builds one opGroup WAL record covering the writes in
+// the batch that succeeded (errs nil, or nil at that index). Failed
+// writes mutated nothing, so they must not replay. Returns nil when no
+// write succeeded. Sub-records use the plain single-record layout with
+// opPut: Add and Put replay identically (replay's Put is idempotent and
+// the Add already won its race when the record was written).
+func encodeGroupRecord(items []trunk.BatchItem, errs []error) []byte {
+	body := 0
+	for i := range items {
+		if errs == nil || errs[i] == nil {
+			body += 13 + len(items[i].Val)
+		}
+	}
+	if body == 0 {
+		return nil
+	}
+	rec := make([]byte, 5, 5+body) //alloc:ok one WAL group record per batch; that amortization is the point
+	rec[0] = opGroup
+	binary.LittleEndian.PutUint32(rec[1:], uint32(body))
+	var hdr [13]byte
+	for i := range items {
+		if errs != nil && errs[i] != nil {
+			continue
+		}
+		hdr[0] = opPut
+		binary.LittleEndian.PutUint64(hdr[1:], items[i].Key)
+		binary.LittleEndian.PutUint32(hdr[9:], uint32(len(items[i].Val)))
+		rec = append(rec, hdr[:]...)
+		rec = append(rec, items[i].Val...)
+	}
+	return rec
+}
 
 // loggedApply runs a trunk mutation and, under buffered logging, appends
 // its record to the trunk's TFS log ("the key idea is to log operations
@@ -1178,36 +1451,102 @@ func (s *Slave) loggedApply(key uint64, op byte, val []byte, apply func() error)
 	if err := apply(); err != nil {
 		return err
 	}
-	rec := make([]byte, 13+len(val))
+	rec := make([]byte, 13+len(val)) //alloc:ok per-op WAL record; batched writers use the group-commit path
 	rec[0] = op
 	binary.LittleEndian.PutUint64(rec[1:], key)
 	binary.LittleEndian.PutUint32(rec[9:], uint32(len(val)))
 	copy(rec[13:], val)
 	s.fs.AppendFile(walFile(tid), rec)
+	s.walBytesAppended.Add(int64(len(rec)))
 	return nil
 }
 
-// replayLog applies a mutation log to a trunk.
-func replayLog(t *trunk.Trunk, log []byte) {
-	for len(log) >= 13 {
-		op := log[0]
-		key := binary.LittleEndian.Uint64(log[1:])
-		n := int(binary.LittleEndian.Uint32(log[9:]))
-		log = log[13:]
-		if n > len(log) {
-			return // truncated tail
-		}
-		val := log[:n]
-		log = log[n:]
-		switch op {
-		case opPut:
-			t.Put(key, val)
-		case opRemove:
-			t.Remove(key)
-		case opAppend:
-			if err := t.Append(key, val); errors.Is(err, trunk.ErrNotFound) {
-				t.Put(key, val)
+// replayLog applies a mutation log to a trunk. A truncated tail — the
+// normal residue of a crash mid-append — stops replay cleanly with a nil
+// error: the half-written record was never acked. Garbage that cannot be
+// a crash artifact (an unknown op code, or a malformed record inside a
+// fully appended group) stops replay with an error so recovery can count
+// the corruption; replay never panics, whatever the bytes.
+func replayLog(t *trunk.Trunk, log []byte) error {
+	for len(log) > 0 {
+		if log[0] == opGroup {
+			if len(log) < 5 {
+				return nil // truncated tail: group header cut off
 			}
+			n := int(binary.LittleEndian.Uint32(log[1:]))
+			if n < 0 || n > len(log)-5 {
+				return nil // truncated tail: crash mid group append
+			}
+			// The group framed n bytes and all n are present, so every
+			// sub-record must parse completely: a short record here is
+			// corruption, not a crash tail.
+			if err := replayRecords(t, log[5:5+n], true); err != nil {
+				return err
+			}
+			log = log[5+n:]
+			continue
+		}
+		var err error
+		log, err = replayOne(t, log, false)
+		if err != nil {
+			return err
+		}
+		if log == nil {
+			return nil // truncated tail
 		}
 	}
+	return nil
+}
+
+// replayRecords replays a run of plain records. strict reports a
+// truncated record as an error instead of a silent stop (used inside
+// fully framed group bodies).
+func replayRecords(t *trunk.Trunk, log []byte, strict bool) error {
+	for len(log) > 0 {
+		var err error
+		log, err = replayOne(t, log, strict)
+		if err != nil {
+			return err
+		}
+		if log == nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// replayOne decodes and applies a single plain record, returning the
+// remaining log. A nil remainder with nil error means a truncated tail
+// stopped replay (only when !strict).
+func replayOne(t *trunk.Trunk, log []byte, strict bool) ([]byte, error) {
+	if len(log) < 13 {
+		if strict {
+			return nil, fmt.Errorf("memcloud: wal record truncated at %d bytes", len(log))
+		}
+		return nil, nil
+	}
+	op := log[0]
+	key := binary.LittleEndian.Uint64(log[1:])
+	n := int(binary.LittleEndian.Uint32(log[9:]))
+	rest := log[13:]
+	if n < 0 || n > len(rest) {
+		if strict {
+			return nil, fmt.Errorf("memcloud: wal value truncated (%d of %d bytes)", len(rest), n)
+		}
+		return nil, nil
+	}
+	val := rest[:n]
+	switch op {
+	case opPut:
+		t.Put(key, val)
+	case opRemove:
+		t.Remove(key)
+	case opAppend:
+		if err := t.Append(key, val); errors.Is(err, trunk.ErrNotFound) {
+			t.Put(key, val)
+		}
+	default:
+		return nil, fmt.Errorf("memcloud: unknown wal op %d", op)
+	}
+	return rest[n:], nil
 }

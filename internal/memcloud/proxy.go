@@ -74,6 +74,11 @@ func (p *Proxy) ReportFailure(ctx context.Context, m msg.MachineID) error {
 // but does not own any data" (paper Figure 1), so every key is remote.
 func (p *Proxy) LocalGet(key uint64) ([]byte, bool, error) { return nil, false, nil }
 
+// LocalMultiPut never applies a batch locally for the same reason: the
+// write pipeline must ship every batch over the wire when it fronts a
+// proxy endpoint.
+func (p *Proxy) LocalMultiPut(items []MultiPutItem) ([]byte, bool) { return nil, false }
+
 // ScatterGather is the aggregator pattern the paper describes ("a proxy
 // may serve as an information aggregator: it dispatches requests from
 // clients to slaves and sends results back after aggregating the partial

@@ -1,0 +1,399 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"trinity/internal/memcloud"
+	"trinity/internal/memcloud/store"
+	"trinity/internal/msg"
+	"trinity/internal/obs"
+)
+
+func testConfig(machines int, reg *obs.Registry) memcloud.Config {
+	return memcloud.Config{
+		Machines: machines,
+		Msg: msg.Options{
+			FlushInterval: time.Millisecond,
+			CallTimeout:   time.Second,
+		},
+		Metrics: reg,
+	}
+}
+
+func val(n int, seed byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = seed + byte(i)
+	}
+	return out
+}
+
+// remoteKey finds a key s does not own.
+func remoteKey(s *memcloud.Slave, from uint64) uint64 {
+	for k := from; ; k++ {
+		if s.Owner(k) != s.ID() {
+			return k
+		}
+	}
+}
+
+func TestPutAsyncWritesEveryKey(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := memcloud.New(testConfig(4, reg))
+	defer c.Close()
+	s0 := c.Slave(0)
+
+	w := store.New(s0, store.Options{Metrics: reg})
+	defer w.Close()
+
+	const n = 400
+	for k := uint64(0); k < n; k++ {
+		w.PutAsync(k, val(24, byte(k)))
+	}
+	if err := w.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < n; k++ {
+		got, err := s0.Get(context.Background(), k)
+		if err != nil {
+			t.Fatalf("key %d: %v", k, err)
+		}
+		if !bytes.Equal(got, val(24, byte(k))) {
+			t.Fatalf("key %d: corrupt value", k)
+		}
+	}
+
+	scope := reg.Scope("store.m0")
+	keys := scope.Counter("keys").Load()
+	batches := scope.Counter("batches").Load()
+	if keys != n {
+		t.Fatalf("keys = %d, want %d", keys, n)
+	}
+	if batches == 0 || batches >= keys {
+		t.Fatalf("batching saved nothing: %d batches for %d keys", batches, keys)
+	}
+	if saved := scope.Counter("round_trips_saved").Load(); saved != keys-batches {
+		t.Fatalf("round_trips_saved = %d, want %d", saved, keys-batches)
+	}
+	if scope.Counter("local_batches").Load() == 0 {
+		t.Fatal("no batch of 400 keys applied locally on a 4-machine cloud")
+	}
+	if scope.Gauge("inflight").Load() != 0 {
+		t.Fatal("inflight gauge nonzero after Drain")
+	}
+}
+
+func TestFutureResolvesIndividually(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := memcloud.New(testConfig(2, reg))
+	defer c.Close()
+	s0 := c.Slave(0)
+
+	w := store.New(s0, store.Options{Metrics: reg})
+	defer w.Close()
+
+	key := remoteKey(s0, 0)
+	f := w.PutAsync(key, val(16, 3))
+	w.Flush()
+	if err := f.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s0.Get(context.Background(), key)
+	if err != nil || !bytes.Equal(got, val(16, 3)) {
+		t.Fatalf("write not visible after future resolved: %v", err)
+	}
+}
+
+func TestAddAsyncReportsExists(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := memcloud.New(testConfig(2, reg))
+	defer c.Close()
+	s0 := c.Slave(0)
+
+	key := remoteKey(s0, 0)
+	if err := s0.Put(context.Background(), key, val(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	w := store.New(s0, store.Options{Metrics: reg})
+	defer w.Close()
+	f := w.AddAsync(key, val(8, 2))
+	w.Flush()
+	if err := f.Wait(context.Background()); !errors.Is(err, memcloud.ErrExists) {
+		t.Fatalf("Add on existing key: err = %v, want ErrExists", err)
+	}
+	// The original value must be untouched.
+	got, err := s0.Get(context.Background(), key)
+	if err != nil || !bytes.Equal(got, val(8, 1)) {
+		t.Fatalf("Add clobbered existing cell: %v", err)
+	}
+}
+
+func TestPutOverPutCoalescesLastWriteWins(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := memcloud.New(testConfig(2, reg))
+	defer c.Close()
+	s0 := c.Slave(0)
+
+	// A huge MinBatch and MaxDelay keep the queue parked until Flush, so
+	// both writes are guaranteed to meet in the queue.
+	w := store.New(s0, store.Options{MinBatch: 1024, MaxDelay: time.Minute, Metrics: reg})
+	defer w.Close()
+
+	key := remoteKey(s0, 0)
+	f1 := w.PutAsync(key, val(16, 1))
+	f2 := w.PutAsync(key, val(16, 2))
+	if f1 != f2 {
+		t.Fatal("coalesced Put did not share the queued future")
+	}
+	if err := w.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s0.Get(context.Background(), key)
+	if err != nil || !bytes.Equal(got, val(16, 2)) {
+		t.Fatalf("last write did not win: %v", err)
+	}
+	scope := reg.Scope("store.m0")
+	if hits := scope.Counter("coalesce_hits").Load(); hits != 1 {
+		t.Fatalf("coalesce_hits = %d, want 1", hits)
+	}
+	if keys := scope.Counter("keys").Load(); keys != 1 {
+		t.Fatalf("coalesced pair shipped %d wire slots, want 1", keys)
+	}
+}
+
+func TestSameKeyOpsOrderThroughChain(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := memcloud.New(testConfig(2, reg))
+	defer c.Close()
+	s0 := c.Slave(0)
+
+	w := store.New(s0, store.Options{MinBatch: 1024, MaxDelay: time.Minute, Metrics: reg})
+	defer w.Close()
+
+	// Put then Add on one key, issued before anything ships: the Add must
+	// observe the Put (chained behind it, not coalesced or reordered).
+	key := remoteKey(s0, 0)
+	fPut := w.PutAsync(key, val(8, 1))
+	fAdd := w.AddAsync(key, val(8, 2))
+	if err := w.Drain(context.Background()); err == nil {
+		t.Fatal("Drain must surface the chained Add's ErrExists")
+	}
+	if err := fPut.Wait(context.Background()); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := fAdd.Wait(context.Background()); !errors.Is(err, memcloud.ErrExists) {
+		t.Fatalf("Add after queued Put: err = %v, want ErrExists", err)
+	}
+
+	// Add then Put: both succeed and the Put's value is final.
+	key2 := remoteKey(s0, key+1)
+	fAdd2 := w.AddAsync(key2, val(8, 3))
+	fPut2 := w.PutAsync(key2, val(8, 4))
+	if err := w.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fAdd2.Wait(context.Background()); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := fPut2.Wait(context.Background()); err != nil {
+		t.Fatalf("Put after Add: %v", err)
+	}
+	got, err := s0.Get(context.Background(), key2)
+	if err != nil || !bytes.Equal(got, val(8, 4)) {
+		t.Fatalf("chained Put did not land last: %v", err)
+	}
+}
+
+func TestDrainReturnsFirstError(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := memcloud.New(testConfig(2, reg))
+	defer c.Close()
+	s0 := c.Slave(0)
+
+	key := remoteKey(s0, 0)
+	if err := s0.Put(context.Background(), key, val(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w := store.New(s0, store.Options{Metrics: reg})
+	defer w.Close()
+	w.AddAsync(key, val(8, 2))
+	if err := w.Drain(context.Background()); !errors.Is(err, memcloud.ErrExists) {
+		t.Fatalf("Drain = %v, want ErrExists", err)
+	}
+	// The error is consumed: a fresh Drain over a clean pipeline is nil.
+	if err := w.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain = %v, want nil", err)
+	}
+}
+
+func TestCloseResolvesQueuedFutures(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := memcloud.New(testConfig(2, reg))
+	defer c.Close()
+	s0 := c.Slave(0)
+
+	w := store.New(s0, store.Options{MinBatch: 1024, MaxDelay: time.Minute, Metrics: reg})
+	key := remoteKey(s0, 0)
+	f1 := w.PutAsync(key, val(8, 1))
+	f2 := w.AddAsync(key, val(8, 2)) // chained successor must cascade too
+	w.Close()
+	if err := f1.Wait(context.Background()); !errors.Is(err, store.ErrClosed) {
+		t.Fatalf("queued future after Close: %v, want ErrClosed", err)
+	}
+	if err := f2.Wait(context.Background()); !errors.Is(err, store.ErrClosed) {
+		t.Fatalf("chained future after Close: %v, want ErrClosed", err)
+	}
+	if f := w.PutAsync(key, val(8, 3)); !errors.Is(f.Wait(context.Background()), store.ErrClosed) {
+		t.Fatal("write after Close must resolve ErrClosed")
+	}
+}
+
+func TestAdaptiveBatchSizeGrowsUnderLoad(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := memcloud.New(testConfig(2, reg))
+	defer c.Close()
+	s0 := c.Slave(0)
+
+	w := store.New(s0, store.Options{MinBatch: 8, MaxBatch: 128, Metrics: reg})
+	defer w.Close()
+	const n = 3000
+	for k := uint64(0); k < n; k++ {
+		w.PutAsync(k, val(16, byte(k)))
+	}
+	if err := w.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	scope := reg.Scope("store.m0")
+	snap := scope.Histogram("batch_size").Snapshot()
+	if snap.Count == 0 {
+		t.Fatal("no batches recorded")
+	}
+	if snap.Max <= 8 {
+		t.Fatalf("batch size never grew past MinBatch: max=%d", snap.Max)
+	}
+	if snap.Max > 128 {
+		t.Fatalf("batch size exceeded MaxBatch: max=%d", snap.Max)
+	}
+}
+
+func TestFailedMachineWritesResolveViaRecovery(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(4, reg)
+	cfg.Msg.CallTimeout = 250 * time.Millisecond
+	c := memcloud.New(cfg)
+	defer c.Close()
+	s0 := c.Slave(0)
+
+	w := store.New(s0, store.Options{Metrics: reg})
+	defer w.Close()
+
+	// Kill a machine, then write keys it owned: the pipeline must report
+	// the failure, wait out the table repair, and land every write on the
+	// new owner. §6.2: "report the failure, refresh the table, retry".
+	victim := msg.MachineID(3)
+	var victimKeys []uint64
+	for k := uint64(0); len(victimKeys) < 40; k++ {
+		if s0.Owner(k) == victim {
+			victimKeys = append(victimKeys, k)
+		}
+	}
+	c.KillMachine(victim)
+
+	for _, k := range victimKeys {
+		w.PutAsync(k, val(20, byte(k)))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := w.Drain(ctx); err != nil {
+		t.Fatalf("Drain after machine failure: %v", err)
+	}
+	for _, k := range victimKeys {
+		got, err := s0.Get(context.Background(), k)
+		if err != nil || !bytes.Equal(got, val(20, byte(k))) {
+			t.Fatalf("key %d not re-routed to new owner: %v", k, err)
+		}
+	}
+	if reg.Scope("store.m0").Counter("retries").Load() == 0 {
+		t.Fatal("no retries counted despite writing to a dead owner")
+	}
+}
+
+func TestProxyBackedWriter(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := memcloud.New(testConfig(3, reg))
+	defer c.Close()
+	p := c.NewProxy()
+	defer p.Close()
+
+	w := store.New(p, store.Options{Metrics: reg})
+	defer w.Close()
+	const n = 120
+	for k := uint64(0); k < n; k++ {
+		w.PutAsync(k, val(16, byte(k)))
+	}
+	if err := w.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s0 := c.Slave(0)
+	for k := uint64(0); k < n; k++ {
+		got, err := s0.Get(context.Background(), k)
+		if err != nil || !bytes.Equal(got, val(16, byte(k))) {
+			t.Fatalf("proxy-written key %d: %v", k, err)
+		}
+	}
+	// A proxy owns no trunks: everything must have gone over the wire.
+	scope := reg.Scope(fmt.Sprintf("store.m%d", p.ID()))
+	if scope.Counter("local_batches").Load() != 0 {
+		t.Fatal("proxy-backed writer claimed local batches")
+	}
+	if scope.Counter("batches").Load() == 0 {
+		t.Fatal("proxy-backed writer shipped no batches")
+	}
+}
+
+func TestWriterBatchesAmortizeWAL(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(2, reg)
+	cfg.BufferedLogging = true
+	c := memcloud.New(cfg)
+	defer c.Close()
+	s0 := c.Slave(0)
+
+	w := store.New(s0, store.Options{Metrics: reg})
+	defer w.Close()
+	const n = 500
+	for k := uint64(0); k < n; k++ {
+		w.PutAsync(k, val(16, byte(k)))
+	}
+	if err := w.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var groups, appended int64
+	for _, v := range reg.Snapshot() {
+		switch {
+		case v.Kind == "counter" && hasSuffix(v.Name, ".group_commits"):
+			groups += v.Int
+		case v.Kind == "counter" && hasSuffix(v.Name, ".bytes_appended"):
+			appended += v.Int
+		}
+	}
+	if groups == 0 {
+		t.Fatal("no WAL group commits recorded")
+	}
+	if groups >= n {
+		t.Fatalf("WAL group commit amortized nothing: %d appends for %d writes", groups, n)
+	}
+	if appended == 0 {
+		t.Fatal("wal.bytes_appended not counted")
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

@@ -457,6 +457,87 @@ func (t *Trunk) Put(key uint64, payload []byte) error {
 	return err
 }
 
+// BatchItem is one write inside a PutBatch: an upsert by default, or an
+// insert-only Add that fails with ErrExists when the key is present.
+type BatchItem struct {
+	Key uint64
+	Val []byte
+	Add bool
+}
+
+// PutBatch applies every item under a single acquisition of the trunk
+// mutex, amortizing the lock (and the per-cell spin-lock handshakes)
+// across the whole batch instead of paying them once per cell — the
+// storage half of the bulk-write pipeline. Items are applied in order, so
+// a batch carrying two writes to one key leaves the later value (the
+// pipeline's last-write-wins contract).
+//
+// The return value is nil when every item succeeded; otherwise it is a
+// per-item error slice in argument order (nil entries for the items that
+// succeeded). One full item does not fail its neighbours: ErrFull items
+// are retried once after a defragmentation pass, exactly like Put.
+func (t *Trunk) PutBatch(items []BatchItem) []error {
+	var errs []error
+	fail := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(items))
+		}
+		errs[i] = err
+	}
+	var full []int
+	t.mu.Lock()
+	for i := range items {
+		it := &items[i]
+		if it.Key == wrapKey {
+			fail(i, fmt.Errorf("trunk: key %#x is reserved", it.Key))
+			continue
+		}
+		e, ok := t.index[it.Key]
+		var err error
+		switch {
+		case ok && it.Add:
+			err = ErrExists
+		case ok:
+			err = t.rewriteLocked(it.Key, e, it.Val)
+		default:
+			err = t.addLocked(it.Key, it.Val)
+		}
+		if errors.Is(err, ErrFull) {
+			full = append(full, i)
+			continue
+		}
+		if err != nil {
+			fail(i, err)
+		}
+	}
+	t.mu.Unlock()
+	if len(full) == 0 {
+		return errs
+	}
+	// Tight on space: one defragmentation pass, then retry just the full
+	// items (still batched under one lock acquisition).
+	t.Defragment()
+	t.mu.Lock()
+	for _, i := range full {
+		it := &items[i]
+		var err error
+		if e, ok := t.index[it.Key]; ok {
+			if it.Add {
+				err = ErrExists
+			} else {
+				err = t.rewriteLocked(it.Key, e, it.Val)
+			}
+		} else {
+			err = t.addLocked(it.Key, it.Val)
+		}
+		if err != nil {
+			fail(i, err)
+		}
+	}
+	t.mu.Unlock()
+	return errs
+}
+
 // rewriteLocked replaces an existing cell's payload, reusing its slot when
 // the new payload fits in size+reservation, otherwise relocating.
 // Called with t.mu held.

@@ -924,3 +924,139 @@ func TestReadIntoAppends(t *testing.T) {
 		t.Fatalf("ReadInto missing = (%d bytes, %v), want unchanged + ErrNotFound", len(dst), err)
 	}
 }
+
+func TestPutBatchAppliesInOrder(t *testing.T) {
+	tr := newSmall(t)
+	if err := tr.Add(5, payload(20, 9)); err != nil {
+		t.Fatal(err)
+	}
+	items := []BatchItem{
+		{Key: 1, Val: payload(30, 1)},            // fresh insert
+		{Key: 2, Val: payload(30, 2), Add: true}, // fresh Add
+		{Key: 5, Val: payload(40, 3)},            // overwrite existing
+		{Key: 1, Val: payload(30, 4)},            // same-batch overwrite: later wins
+		{Key: 2, Val: payload(30, 5), Add: true}, // Add on key created earlier in batch
+	}
+	errs := tr.PutBatch(items)
+	if errs == nil {
+		t.Fatal("expected per-item errors (the duplicate Add must fail)")
+	}
+	for i, err := range errs {
+		if i == 4 {
+			if !errors.Is(err, ErrExists) {
+				t.Fatalf("item 4 = %v, want ErrExists", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("item %d = %v, want nil", i, err)
+		}
+	}
+	for _, want := range []struct {
+		key  uint64
+		seed byte
+		n    int
+	}{{1, 4, 30}, {2, 2, 30}, {5, 3, 40}} {
+		got, err := tr.Get(want.key)
+		if err != nil || !bytes.Equal(got, payload(want.n, want.seed)) {
+			t.Fatalf("key %d after batch: %v", want.key, err)
+		}
+	}
+}
+
+func TestPutBatchAllSuccessReturnsNil(t *testing.T) {
+	tr := newSmall(t)
+	items := make([]BatchItem, 64)
+	for i := range items {
+		items[i] = BatchItem{Key: uint64(i), Val: payload(16, byte(i))}
+	}
+	if errs := tr.PutBatch(items); errs != nil {
+		t.Fatalf("all-success batch returned %v", errs)
+	}
+	if tr.Count() != 64 {
+		t.Fatalf("Count = %d, want 64", tr.Count())
+	}
+}
+
+func TestPutBatchDefragsOnFull(t *testing.T) {
+	// Fill the trunk, free half without compacting, then batch-write
+	// payloads that only fit after defragmentation: PutBatch must defrag
+	// and retry the ErrFull items rather than failing them.
+	tr := New(Options{Capacity: 4 << 10, PageSize: 1 << 10})
+	var added []uint64
+	for i := uint64(1); ; i++ {
+		if err := tr.Add(i, payload(100, byte(i))); err != nil {
+			if !errors.Is(err, ErrFull) {
+				t.Fatal(err)
+			}
+			break
+		}
+		added = append(added, i)
+	}
+	for _, k := range added[:len(added)/2] {
+		if err := tr.Remove(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items := []BatchItem{
+		{Key: 10_000, Val: payload(100, 1)},
+		{Key: 10_001, Val: payload(100, 2)},
+	}
+	if errs := tr.PutBatch(items); errs != nil {
+		t.Fatalf("batch after freeing space: %v", errs)
+	}
+	for i, k := range []uint64{10_000, 10_001} {
+		got, err := tr.Get(k)
+		if err != nil || !bytes.Equal(got, payload(100, byte(i+1))) {
+			t.Fatalf("key %d after defrag retry: %v", k, err)
+		}
+	}
+	// Survivors of the defragmentation are intact.
+	for _, k := range added[len(added)/2:] {
+		if _, err := tr.Get(k); err != nil {
+			t.Fatalf("pre-existing key %d lost: %v", k, err)
+		}
+	}
+}
+
+func TestPutBatchMatchesSequentialPuts(t *testing.T) {
+	// Property: a batch leaves the trunk in exactly the state sequential
+	// Puts/Adds would.
+	rng := hash.NewRNG(7)
+	batch := New(Options{Capacity: 1 << 16, PageSize: 1 << 10})
+	seq := New(Options{Capacity: 1 << 16, PageSize: 1 << 10})
+	items := make([]BatchItem, 300)
+	for i := range items {
+		items[i] = BatchItem{
+			Key: uint64(rng.Intn(50)),
+			Val: payload(rng.Intn(60)+1, byte(i)),
+			Add: rng.Intn(3) == 0,
+		}
+	}
+	berrs := batch.PutBatch(items)
+	for i, it := range items {
+		var err error
+		if it.Add {
+			err = seq.Add(it.Key, it.Val)
+		} else {
+			err = seq.Put(it.Key, it.Val)
+		}
+		var berr error
+		if berrs != nil {
+			berr = berrs[i]
+		}
+		if !errors.Is(berr, err) && !errors.Is(err, berr) {
+			t.Fatalf("item %d: batch err %v, sequential err %v", i, berr, err)
+		}
+	}
+	if batch.Count() != seq.Count() {
+		t.Fatalf("Count: batch %d, sequential %d", batch.Count(), seq.Count())
+	}
+	seq.ForEach(func(k uint64, want []byte) bool {
+		got, err := batch.Get(k)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("key %d diverged: %v", k, err)
+		}
+		return true
+	})
+}
